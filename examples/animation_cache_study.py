@@ -1,0 +1,93 @@
+#!/usr/bin/env python3
+"""Animation, the bitmap cache, and the web: the paper's §6.1.3 story.
+
+Walks the full arc of the paper's network-animation analysis:
+
+1. a 10-frame GIF over X, LBX, and RDP (Figure 5) — caching beats
+   compression beats nothing;
+2. the synthetic MSNBC-style page (Figure 4) — two animations that each
+   fit the 1.5 MB client cache overflow it together, and load explodes
+   non-linearly;
+3. the frame-count sweep (Figure 7) — LRU's looping-animation cliff;
+4. the fix the paper suggests: loop-aware eviction, which removes the
+   cliff entirely.
+
+Run:  python examples/animation_cache_study.py
+"""
+
+from repro.core import format_table, sparkline
+from repro.workloads import (
+    run_frame_count_sweep,
+    run_gif_protocol_comparison,
+    run_webpage_experiment,
+)
+
+
+def gif_over_protocols() -> None:
+    results = run_gif_protocol_comparison(duration_ms=5_000.0)
+    rows = []
+    for name in ("x", "lbx", "rdp"):
+        result = results[name]
+        __, series = result.load_series(window_ms=100.0)
+        rows.append(
+            (name, f"{result.average_mbps(500.0):.3f}", sparkline(series[5:45]))
+        )
+    print(
+        format_table(
+            ["protocol", "steady Mbps", "load shape"],
+            rows,
+            title="1. A 10-frame 20 Hz GIF (Figure 5): cache > compression > X",
+        )
+    )
+    print()
+
+
+def synthetic_webpage() -> None:
+    rows = []
+    for variant in ("marquee", "banner", "both"):
+        result = run_webpage_experiment(variant, duration_ms=120_000.0)
+        rows.append((variant, f"{result.average_mbps():.3f}"))
+    print(
+        format_table(
+            ["page variant", "avg Mbps"],
+            rows,
+            title="2. The synthetic web page (Figure 4): "
+            "combined load is wildly non-additive",
+        )
+    )
+    print(
+        "   At ~1+ Mbps per browsing user, five of them saturate a 10 Mbps\n"
+        "   Ethernet — the paper's capacity warning.\n"
+    )
+
+
+def cache_cliff_and_fix() -> None:
+    frame_counts = [50, 60, 65, 66, 70, 85, 100]
+    lru = dict(run_frame_count_sweep(frame_counts, duration_ms=60_000.0))
+    aware = dict(
+        run_frame_count_sweep(
+            frame_counts, duration_ms=60_000.0, loop_aware_cache=True
+        )
+    )
+    print(
+        format_table(
+            ["frames", "LRU Mbps", "loop-aware Mbps"],
+            [(n, f"{lru[n]:.3f}", f"{aware[n]:.3f}") for n in frame_counts],
+            title="3+4. The LRU cliff (Figure 7) and the loop-aware fix",
+        )
+    )
+    print(
+        "   LRU falls off a two-orders-of-magnitude cliff at 66 frames\n"
+        "   (1.5 MB / 23,868 B per frame = 65 cacheable frames); detecting\n"
+        "   the loop and evicting MRU keeps a stable subset resident."
+    )
+
+
+def main() -> None:
+    gif_over_protocols()
+    synthetic_webpage()
+    cache_cliff_and_fix()
+
+
+if __name__ == "__main__":
+    main()

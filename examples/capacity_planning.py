@@ -1,0 +1,96 @@
+#!/usr/bin/env python3
+"""Capacity planning: how many users fit on a thin-client server?
+
+The paper (§3.1): "those interested in deploying interface services need
+to know the maximum number of concurrent users their servers can support
+given some hardware configuration."  This example plans capacity for three
+user classes on several hardware configurations, showing how the binding
+resource shifts:
+
+* task workers are memory-limited on small boxes;
+* web-browsing users saturate a 10 Mbps Ethernet at five — the paper's
+  §6.1.3 warning — and upgrading the network moves the bottleneck to CPU.
+
+It then validates one analytic cell against the full simulation by
+actually running that many typing users on a simulated server.
+
+Run:  python examples/capacity_planning.py
+"""
+
+from repro.core import ServerConfig, ThinClientServer, format_table, plan_capacity
+from repro.units import mb
+from repro.workloads import KNOWLEDGE_WORKER, TASK_WORKER, WEB_BROWSER_USER
+
+HARDWARE = {
+    "small (128MB, 10Mbps, 1cpu)": dict(
+        physical_bytes=mb(128), bandwidth_mbps=10.0, cpu_count=1
+    ),
+    "big-ram (512MB, 10Mbps, 1cpu)": dict(
+        physical_bytes=mb(512), bandwidth_mbps=10.0, cpu_count=1
+    ),
+    "fast-net (512MB, 100Mbps, 1cpu)": dict(
+        physical_bytes=mb(512), bandwidth_mbps=100.0, cpu_count=1
+    ),
+    "smp (512MB, 100Mbps, 4cpu)": dict(
+        physical_bytes=mb(512), bandwidth_mbps=100.0, cpu_count=4
+    ),
+}
+
+
+def plan_tables() -> None:
+    for os_name in ("nt_tse", "linux"):
+        rows = []
+        for hw_name, hw in HARDWARE.items():
+            for profile in (TASK_WORKER, KNOWLEDGE_WORKER, WEB_BROWSER_USER):
+                report = plan_capacity(os_name, profile, **hw)
+                rows.append(
+                    (
+                        hw_name,
+                        profile.name,
+                        report.max_users,
+                        report.limiting_resource,
+                    )
+                )
+        print(
+            format_table(
+                ["hardware", "user class", "max users", "limited by"],
+                rows,
+                title=f"Capacity plan: {os_name}",
+            )
+        )
+        print()
+
+
+def validate_against_simulation() -> None:
+    """Run 8 typing task-workers on a small TSE box: latency stays sane."""
+    server = ThinClientServer(ServerConfig.tse(), seed=11)
+    sessions = [server.connect(f"user{i}") for i in range(8)]
+    server.run(1_000.0)
+    for session in sessions:
+        session.start_typing()
+    server.run(20_000.0)
+    for session in sessions:
+        session.stop_typing()
+    server.run(2_000.0)
+    latencies = [s.client.assessment().summary.average for s in sessions]
+    print(
+        format_table(
+            ["validation", "value"],
+            [
+                ("concurrent typing users", len(sessions)),
+                ("worst per-user avg latency", f"{max(latencies):.1f} ms"),
+                ("server CPU utilization", f"{server.cpu.utilization(1_000.0, 21_000.0) * 100:.1f}%"),
+                ("link utilization", f"{server.link.utilization(1_000.0, 21_000.0) * 100:.2f}%"),
+            ],
+            title="Full-simulation check: 8 task workers on TSE",
+        )
+    )
+
+
+def main() -> None:
+    plan_tables()
+    validate_against_simulation()
+
+
+if __name__ == "__main__":
+    main()

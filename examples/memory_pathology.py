@@ -1,0 +1,68 @@
+#!/usr/bin/env python3
+"""The think-time paging pathology, and the throttling cure (§5.2).
+
+A user loads a document, reads for a while, and scrolls.  During the
+think time, a streaming job (an NFS copy, a compile, a /tmp writer) pages
+the editor to disk; the next keystroke costs seconds.  The paper measures
+averages of 1,170 ms on Linux and 4,026 ms on TSE — 11x and 40x the
+threshold of human perception — and points to Evans et al.'s
+non-interactive throttling as the demonstrated fix.
+
+This example reproduces the table, then re-runs it on the throttled VM.
+
+Run:  python examples/memory_pathology.py
+"""
+
+from repro.core import PERCEPTION_THRESHOLD_MS, format_table
+from repro.memory import run_memory_latency_experiment
+
+
+def run_table(throttled: bool):
+    rows = []
+    for os_name in ("linux", "nt_tse"):
+        for demand, label in ((0.5, "<100%"), (1.2, ">=100%")):
+            result = run_memory_latency_experiment(
+                os_name, demand, runs=10, seed=0, throttled=throttled
+            )
+            s = result.summary
+            rows.append(
+                (
+                    os_name,
+                    label,
+                    f"{s.minimum:,.0f}",
+                    f"{s.average:,.0f}",
+                    f"{s.maximum:,.0f}",
+                    f"{s.average / PERCEPTION_THRESHOLD_MS:.1f}x",
+                )
+            )
+    return rows
+
+
+def main() -> None:
+    headers = ["OS", "page demand", "min ms", "avg ms", "max ms", "vs perception"]
+    print(
+        format_table(
+            headers,
+            run_table(throttled=False),
+            title="Keystroke response after a 30 s memory stream "
+            "(plain LRU paging, 10 runs)",
+        )
+    )
+    print()
+    print(
+        format_table(
+            headers,
+            run_table(throttled=True),
+            title="Same experiment with interactive working-set protection "
+            "+ streamer throttling (Evans et al.)",
+        )
+    )
+    print()
+    print(
+        "Throttling pins the interactive session's pages through the\n"
+        "stream: the keystroke stays at the 50 ms baseline at any demand."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,75 @@
+#!/usr/bin/env python3
+"""Quickstart: stand up a thin-client server and measure what a user feels.
+
+This example builds the paper's two systems — NT TSE serving RDP and Linux
+serving X — logs a user into each, lets them type at the 20 Hz key-repeat
+rate, and reports **user-perceived latency** (the paper's §3.2 criterion)
+with and without competing CPU load.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro.core import ServerConfig, ThinClientServer, format_table
+from repro.workloads import SinkFleet
+
+
+def measure(config: ServerConfig, sinks: int, seed: int = 0):
+    """One server, one typing user, N competing sink processes."""
+    server = ThinClientServer(config, seed=seed)
+    if sinks:
+        # Sinks launched inside sessions are foreground-class on NT.
+        SinkFleet(server.cpu, sinks, foreground=True)
+    session = server.connect("user")
+    server.run(1_000.0)  # session settles
+    session.start_typing()  # 20 Hz key repeat
+    server.run(30_000.0)
+    session.stop_typing()
+    server.run(2_000.0)  # drain in-flight echoes
+    return session.client.assessment()
+
+
+def main() -> None:
+    systems = {
+        "TSE/RDP": ServerConfig.tse(),
+        "Linux/X": ServerConfig.linux(),
+        "Linux/LBX": ServerConfig.linux_lbx(),
+    }
+    rows = []
+    for name, config in systems.items():
+        for sinks in (0, 10):
+            a = measure(config, sinks)
+            rows.append(
+                (
+                    name,
+                    sinks,
+                    f"{a.summary.average:.1f}",
+                    f"{a.summary.maximum:.1f}",
+                    f"{a.perceptible_fraction * 100:.0f}%",
+                    f"{a.jitter_ms:.1f}",
+                )
+            )
+    print(
+        format_table(
+            [
+                "system",
+                "sinks",
+                "avg latency (ms)",
+                "max (ms)",
+                "perceptible",
+                "jitter (ms)",
+            ],
+            rows,
+            title="Keystroke echo latency, 30 s of 20 Hz typing "
+            "(perception threshold: 100 ms)",
+        )
+    )
+    print()
+    print(
+        "Idle servers answer in a few ms; a dozen competing CPU hogs push\n"
+        "TSE's echoes deep into perceptible territory while Linux degrades\n"
+        "more gently — Figure 3's finding, reproduced end to end."
+    )
+
+
+if __name__ == "__main__":
+    main()

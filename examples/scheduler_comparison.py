@@ -1,0 +1,84 @@
+#!/usr/bin/env python3
+"""Scheduler showdown: TSE vs Linux vs the Evans et al. SVR4/IA baseline.
+
+Reproduces the paper's §4 narrative as a single runnable study:
+
+* idle-state compulsory load (Figures 1-2): what each OS burns with
+  nobody logged in, and the event durations a user can collide with;
+* dynamic load (Figure 3): keystroke stalls as sink processes pile up;
+* the scheduler that fixes it: the SVR4 interactive class keeps stalls
+  flat to load 20, as Evans et al. demonstrated in 1993 — and as neither
+  1999 production system did.
+
+Run:  python examples/scheduler_comparison.py
+"""
+
+from repro.core import format_table
+from repro.cpu import OS_NAMES, run_idle_experiment
+from repro.workloads import run_stall_experiment
+
+
+def idle_state() -> None:
+    rows = []
+    for os_name in OS_NAMES:
+        result = run_idle_experiment(os_name, duration_ms=300_000.0, seed=0)
+        durations = result.event_durations_ms
+        rows.append(
+            (
+                os_name,
+                f"{result.total_lost_time_ms / 1000:.1f}s",
+                f"{result.idle_utilization * 100:.2f}%",
+                f"{max(durations):.0f}ms",
+            )
+        )
+    print(
+        format_table(
+            ["system", "lost time / 5min", "idle util", "longest event"],
+            rows,
+            title="Idle-state compulsory load (Figures 1-2)",
+        )
+    )
+    print(
+        "   TSE burns ~3x NT Workstation and ~7x Linux while doing nothing;\n"
+        "   its 250-400ms service events are individually perceptible.\n"
+    )
+
+
+def loaded_state() -> None:
+    loads = [0, 5, 10, 15, 20]
+    stalls = {}
+    for os_name in ("nt_tse", "linux", "svr4"):
+        results = run_stall_experiment(
+            os_name, loads, duration_ms=30_000.0, seed=0
+        )
+        stalls[os_name] = {r.queue_length: r for r in results}
+    rows = []
+    for n in loads:
+        rows.append(
+            [n]
+            + [
+                f"{stalls[o][n].average_stall_ms:.0f}"
+                for o in ("nt_tse", "linux", "svr4")
+            ]
+        )
+    print(
+        format_table(
+            ["sinks", "TSE stall (ms)", "Linux stall (ms)", "SVR4/IA stall (ms)"],
+            rows,
+            title="Keystroke stalls vs CPU load (Figure 3 + Evans baseline)",
+        )
+    )
+    print(
+        "   TSE collapses near 15 sinks (the paper: 'barely usable');\n"
+        "   Linux degrades linearly; the interactive class stays flat —\n"
+        "   the improvement the paper laments no production Unix adopted."
+    )
+
+
+def main() -> None:
+    idle_state()
+    loaded_state()
+
+
+if __name__ == "__main__":
+    main()

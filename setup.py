@@ -1,0 +1,11 @@
+"""Setuptools shim.
+
+The execution environment has no network access and an older setuptools
+without PEP 660 editable-wheel support, so ``pip install -e .`` falls back to
+this legacy path (``pip install -e . --no-build-isolation --no-use-pep517``).
+All real metadata lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

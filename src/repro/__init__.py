@@ -1,0 +1,28 @@
+"""repro — a latency-centric thin-client operating system simulator.
+
+A from-scratch reproduction of Wong & Seltzer, *Operating System Support for
+Multi-User, Remote, Graphical Interaction* (USENIX 2000).  The package
+rebuilds the paper's measured environment as a deterministic discrete-event
+simulation:
+
+* :mod:`repro.sim` — the event kernel, RNG streams, traces, statistics;
+* :mod:`repro.cpu` — NT/TSE, Linux 2.0, and SVR4-interactive schedulers,
+  idle-activity profiles, and lost-time latency measurement;
+* :mod:`repro.memory` — frames, page tables, replacement, a paging disk;
+* :mod:`repro.net` — a shared link, TCP/IP framing, load generation, ping;
+* :mod:`repro.gui` — the display-operation vocabulary and input events;
+* :mod:`repro.protocols` — RDP (with client bitmap cache), X, and LBX;
+* :mod:`repro.workloads` — sink, typing, memory hog, animations, app scripts;
+* :mod:`repro.core` — the paper's behaviour → load → latency framework,
+  thin-client server/client composition, experiments, and reports.
+
+See README.md and DESIGN.md for the full map, and ``examples/`` for runnable
+scenarios.
+"""
+
+__version__ = "1.0.0"
+
+from . import units
+from .errors import ReproError
+
+__all__ = ["ReproError", "__version__", "units"]

@@ -1,0 +1,414 @@
+"""Command-line experiment runner.
+
+Regenerate any of the paper's tables and figures without writing code::
+
+    python -m repro list
+    python -m repro run fig3 --seed 1
+    python -m repro run tab-proto
+    python -m repro run all --out results/
+
+Each experiment prints the same rows/series its benchmark emits; ``--csv``
+additionally writes machine-readable series next to the text output.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Callable, Dict, List, Optional, TextIO
+
+from .core.report import format_series, format_table, write_csv
+from .errors import ReproError
+
+
+class Experiment:
+    """One named, runnable reproduction."""
+
+    def __init__(
+        self,
+        name: str,
+        title: str,
+        run: Callable[[int, TextIO, Optional[str]], None],
+    ) -> None:
+        self.name = name
+        self.title = title
+        self.run = run
+
+
+def _fig1(seed: int, out: TextIO, csv_dir: Optional[str]) -> None:
+    from .core.report import sparkline
+    from .cpu import OS_NAMES, run_idle_experiment
+
+    rows = []
+    for os_name in OS_NAMES:
+        result = run_idle_experiment(os_name, 60_000.0, seed=seed)
+        times, utils = result.utilization_trace(bin_ms=1_000.0)
+        rows.append(
+            (os_name, f"{result.idle_utilization * 100:.2f}%", sparkline(utils[:30]))
+        )
+        if csv_dir:
+            write_csv(
+                f"{csv_dir}/fig1_{os_name}.csv",
+                ["time_ms", "utilization"],
+                zip(times, utils),
+            )
+    out.write(
+        format_table(
+            ["system", "avg idle util", "trace"],
+            rows,
+            title="Figure 1: idle-state processor activity",
+        )
+        + "\n"
+    )
+
+
+def _fig2(seed: int, out: TextIO, csv_dir: Optional[str]) -> None:
+    from .cpu import FIG2_THRESHOLDS_MS, OS_NAMES, run_idle_experiment
+
+    rows = []
+    for os_name in OS_NAMES:
+        result = run_idle_experiment(os_name, 600_000.0, seed=seed)
+        thresholds, curve = result.cumulative_latency_curve()
+        rows.append((os_name, f"{result.total_lost_time_ms / 1000:.1f}s"))
+        if csv_dir:
+            write_csv(
+                f"{csv_dir}/fig2_{os_name}.csv",
+                ["threshold_ms", "cumulative_latency_s"],
+                zip(thresholds, curve),
+            )
+    out.write(
+        format_table(
+            ["system", "total lost time / 10 min"],
+            rows,
+            title="Figure 2: cumulative idle-state latency",
+        )
+        + "\n"
+    )
+
+
+def _fig3(seed: int, out: TextIO, csv_dir: Optional[str]) -> None:
+    from .workloads import run_stall_experiment
+
+    sweeps = {
+        "nt_tse": [0, 5, 10, 15],
+        "linux": [0, 5, 10, 15, 25, 35, 50],
+    }
+    rows = []
+    for os_name, loads in sweeps.items():
+        results = run_stall_experiment(os_name, loads, seed=seed)
+        for r in results:
+            rows.append((os_name, r.queue_length, f"{r.average_stall_ms:.0f}"))
+        if csv_dir:
+            write_csv(
+                f"{csv_dir}/fig3_{os_name}.csv",
+                ["queue_length", "avg_stall_ms"],
+                [(r.queue_length, r.average_stall_ms) for r in results],
+            )
+    out.write(
+        format_table(
+            ["system", "queue length", "avg stall (ms)"],
+            rows,
+            title="Figure 3: stall length vs scheduler queue length",
+        )
+        + "\n"
+    )
+
+
+def _tab_mem(seed: int, out: TextIO, csv_dir: Optional[str]) -> None:
+    from .memory import run_memory_latency_experiment
+
+    rows = []
+    for os_name in ("linux", "nt_tse"):
+        for demand, label in ((0.5, "<100%"), (1.2, ">=100%")):
+            s = run_memory_latency_experiment(
+                os_name, demand, runs=10, seed=seed
+            ).summary
+            rows.append(
+                (os_name, label, f"{s.minimum:.0f}", f"{s.average:.0f}", f"{s.maximum:.0f}")
+            )
+    out.write(
+        format_table(
+            ["OS", "demand", "min", "avg", "max"],
+            rows,
+            title="§5.2: keystroke latency (ms) under page demand",
+        )
+        + "\n"
+    )
+    if csv_dir:
+        write_csv(
+            f"{csv_dir}/tab_mem_latency.csv",
+            ["os", "demand", "min_ms", "avg_ms", "max_ms"],
+            rows,
+        )
+
+
+def _tab_sessions(seed: int, out: TextIO, csv_dir: Optional[str]) -> None:
+    from .memory import LINUX_SESSION, TSE_SESSION_LIGHT, TSE_SESSION_TYPICAL
+
+    for session in (LINUX_SESSION, TSE_SESSION_TYPICAL, TSE_SESSION_LIGHT):
+        rows = [(p.name, f"{p.private_kb:,} KB") for p in session.processes]
+        rows.append(("Total", f"{session.total_kb:,} KB"))
+        out.write(
+            format_table(
+                ["process", "private"],
+                rows,
+                title=f"§5.1.1 login: {session.os_name} ({session.variant})",
+            )
+            + "\n"
+        )
+
+
+def _tab_proto(seed: int, out: TextIO, csv_dir: Optional[str]) -> None:
+    from .workloads import run_protocol_comparison
+
+    taps = run_protocol_comparison(seed=seed)
+    rows = []
+    for name in ("rdp", "x", "lbx"):
+        t = taps[name].trace()
+        v = taps[name].vip_table_row()
+        rows.append(
+            (
+                name,
+                f"{t.total_bytes:,}",
+                f"{t.total_messages:,}",
+                f"{t.avg_message_size:.1f}",
+                f"{v['savings'] * 100:.2f}%",
+            )
+        )
+    out.write(
+        format_table(
+            ["protocol", "bytes", "messages", "avg size", "VIP savings"],
+            rows,
+            title="§6.1.2: protocol comparison + VIP table",
+        )
+        + "\n"
+    )
+    if csv_dir:
+        write_csv(
+            f"{csv_dir}/tab_proto.csv",
+            ["protocol", "bytes", "messages", "avg_size", "vip_savings"],
+            rows,
+        )
+
+
+def _tab_setup(seed: int, out: TextIO, csv_dir: Optional[str]) -> None:
+    from .gui import TSE_SETUP, X_SETUP
+
+    out.write(
+        format_table(
+            ["system", "setup bytes"],
+            [
+                ("nt_tse (RDP)", f"{TSE_SETUP.total_bytes:,}"),
+                ("linux (X)", f"{X_SETUP.total_bytes:,}"),
+            ],
+            title="§6.1.1: session setup costs",
+        )
+        + "\n"
+    )
+
+
+def _fig4(seed: int, out: TextIO, csv_dir: Optional[str]) -> None:
+    from .workloads import run_webpage_experiment
+
+    rows = []
+    for variant in ("marquee", "banner", "both"):
+        result = run_webpage_experiment(variant, duration_ms=160_000.0)
+        rows.append((variant, f"{result.average_mbps():.3f}"))
+        if csv_dir:
+            times, mbps = result.load_series(2_000.0)
+            write_csv(
+                f"{csv_dir}/fig4_{variant}.csv",
+                ["time_ms", "mbps"],
+                zip(times, mbps),
+            )
+    out.write(
+        format_table(
+            ["variant", "avg Mbps"],
+            rows,
+            title="Figure 4: synthetic web page over RDP",
+        )
+        + "\n"
+    )
+
+
+def _fig5(seed: int, out: TextIO, csv_dir: Optional[str]) -> None:
+    from .workloads import run_gif_protocol_comparison
+
+    results = run_gif_protocol_comparison(duration_ms=5_000.0)
+    rows = []
+    for name in ("x", "lbx", "rdp"):
+        rows.append((name, f"{results[name].average_mbps(500.0):.3f}"))
+        if csv_dir:
+            times, mbps = results[name].load_series(100.0)
+            write_csv(
+                f"{csv_dir}/fig5_{name}.csv", ["time_ms", "mbps"], zip(times, mbps)
+            )
+    out.write(
+        format_table(
+            ["protocol", "steady Mbps"],
+            rows,
+            title="Figure 5: 10-frame 20 Hz GIF",
+        )
+        + "\n"
+    )
+
+
+def _fig6(seed: int, out: TextIO, csv_dir: Optional[str]) -> None:
+    from .workloads import run_cache_overflow_experiment
+
+    result = run_cache_overflow_experiment(66, 60_000.0)
+    out.write(
+        format_series(
+            "time (s)",
+            "cumulative hit ratio",
+            [int(t / 1000) for t in result.times_ms[::10]],
+            result.cumulative_hit_ratio[::10],
+            title="Figure 6: 66-frame animation overflowing the cache",
+        )
+        + "\n"
+    )
+    if csv_dir:
+        write_csv(
+            f"{csv_dir}/fig6.csv",
+            ["time_ms", "cpu_utilization", "cumulative_hit_ratio"],
+            zip(result.times_ms, result.cpu_utilization, result.cumulative_hit_ratio),
+        )
+
+
+def _fig7(seed: int, out: TextIO, csv_dir: Optional[str]) -> None:
+    from .workloads import run_frame_count_sweep
+
+    rows = run_frame_count_sweep(
+        [25, 35, 45, 55, 65, 66, 70, 80, 90, 100], duration_ms=60_000.0
+    )
+    out.write(
+        format_series(
+            "frames",
+            "Mbps",
+            [c for c, __ in rows],
+            [m for __, m in rows],
+            title="Figure 7: network load vs frame count",
+        )
+        + "\n"
+    )
+    if csv_dir:
+        write_csv(f"{csv_dir}/fig7.csv", ["frames", "mbps"], rows)
+
+
+def _fig8(seed: int, out: TextIO, csv_dir: Optional[str]) -> None:
+    from .net import run_ping_experiment
+
+    results = run_ping_experiment(
+        [0, 1, 2, 3, 4, 5, 6, 7, 8, 9, 9.6], duration_ms=60_000.0, seed=seed
+    )
+    out.write(
+        format_series(
+            "offered Mbps",
+            "mean RTT (ms)",
+            [r.offered_mbps for r in results],
+            [r.mean_rtt_ms for r in results],
+            title="Figure 8: RTT vs offered load",
+        )
+        + "\n"
+    )
+    if csv_dir:
+        write_csv(
+            f"{csv_dir}/fig8.csv",
+            ["offered_mbps", "mean_rtt_ms", "rtt_variance"],
+            [(r.offered_mbps, r.mean_rtt_ms, r.rtt_variance) for r in results],
+        )
+
+
+def _fig9(seed: int, out: TextIO, csv_dir: Optional[str]) -> None:
+    from .net import run_ping_experiment
+
+    results = run_ping_experiment(
+        [0, 2, 4, 6, 8, 9, 9.6], duration_ms=60_000.0, seed=seed
+    )
+    out.write(
+        format_series(
+            "offered Mbps",
+            "RTT variance (ms^2)",
+            [r.offered_mbps for r in results],
+            [r.rtt_variance for r in results],
+            title="Figure 9: RTT jitter vs offered load",
+            y_format="{:.2f}",
+        )
+        + "\n"
+    )
+
+
+EXPERIMENTS: Dict[str, Experiment] = {
+    e.name: e
+    for e in (
+        Experiment("fig1", "Idle-state CPU activity traces", _fig1),
+        Experiment("fig2", "Cumulative idle-state latency", _fig2),
+        Experiment("fig3", "Stall length vs scheduler queue length", _fig3),
+        Experiment("fig4", "Synthetic web page network load", _fig4),
+        Experiment("fig5", "10-frame GIF over X/LBX/RDP", _fig5),
+        Experiment("fig6", "Cache overflow: hit ratio + CPU", _fig6),
+        Experiment("fig7", "Network load vs frame count (cache cliff)", _fig7),
+        Experiment("fig8", "RTT vs offered load", _fig8),
+        Experiment("fig9", "RTT variance vs offered load", _fig9),
+        Experiment("tab-mem", "Keystroke latency under page demand", _tab_mem),
+        Experiment("tab-sessions", "Per-login session memory", _tab_sessions),
+        Experiment("tab-proto", "Protocol comparison + VIP savings", _tab_proto),
+        Experiment("tab-setup", "Session setup costs", _tab_setup),
+    )
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The argparse CLI: ``list`` and ``run <experiment> [--seed] [--csv]``."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Reproduce the tables and figures of Wong & Seltzer "
+        "(USENIX 2000) on the simulation substrate.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+    sub.add_parser("list", help="list available experiments")
+    run = sub.add_parser("run", help="run one experiment (or 'all')")
+    run.add_argument("experiment", help="experiment id from 'list', or 'all'")
+    run.add_argument("--seed", type=int, default=0, help="master RNG seed")
+    run.add_argument(
+        "--csv",
+        metavar="DIR",
+        default=None,
+        help="also write CSV series into DIR",
+    )
+    return parser
+
+
+def main(argv: Optional[List[str]] = None, out: TextIO = sys.stdout) -> int:
+    """CLI entry point; returns a process exit code."""
+    args = build_parser().parse_args(argv)
+    if args.command == "list":
+        out.write(
+            format_table(
+                ["id", "reproduces"],
+                [(e.name, e.title) for e in EXPERIMENTS.values()],
+                title="Available experiments",
+            )
+            + "\n"
+        )
+        return 0
+
+    names = list(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
+    for name in names:
+        experiment = EXPERIMENTS.get(name)
+        if experiment is None:
+            out.write(
+                f"unknown experiment {name!r}; try 'python -m repro list'\n"
+            )
+            return 2
+        try:
+            experiment.run(args.seed, out, args.csv)
+        except ReproError as exc:
+            out.write(f"experiment {name} failed: {exc}\n")
+            return 1
+        out.write("\n")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    sys.exit(main())

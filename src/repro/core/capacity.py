@@ -1,0 +1,161 @@
+"""Capacity planning: the question the paper says deployers actually ask.
+
+"Ultimately, those interested in deploying interface services need to know
+the maximum number of concurrent users their servers can support given some
+hardware configuration, and what impact on users yields this maximum
+value" (§3.1).
+
+:func:`plan_capacity` answers it per resource and takes the minimum —
+exposing *which* resource gates the deployment, the way the paper's
+§6.1.3 does for the network ("if just five users open their browsers to a
+page like this, the network link becomes saturated").
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, replace
+from typing import Dict, Mapping
+
+from ..cpu.idle import idle_profile
+from ..errors import ExperimentError
+from ..memory.sessions import sessions_that_fit
+from ..units import mb
+from ..workloads.behavior import BehaviorProfile
+
+
+@dataclass(frozen=True)
+class CapacityReport:
+    """Per-resource user ceilings and the binding constraint."""
+
+    os_name: str
+    profile_name: str
+    cpu_users: int
+    memory_users: int
+    network_users: int
+
+    @property
+    def max_users(self) -> int:
+        """The deployable user count: the smallest per-resource ceiling."""
+        return min(self.cpu_users, self.memory_users, self.network_users)
+
+    @property
+    def limiting_resource(self) -> str:
+        """Which resource gates the deployment (ties break alphabetically)."""
+        ceilings: Dict[str, int] = {
+            "processor": self.cpu_users,
+            "memory": self.memory_users,
+            "network": self.network_users,
+        }
+        return min(ceilings, key=lambda k: (ceilings[k], k))
+
+    def describe(self) -> str:
+        """One-line human summary naming the binding constraint."""
+        return (
+            f"{self.os_name}/{self.profile_name}: {self.max_users} users "
+            f"(limited by {self.limiting_resource}; "
+            f"cpu={self.cpu_users}, mem={self.memory_users}, "
+            f"net={self.network_users})"
+        )
+
+
+def plan_capacity(
+    os_name: str,
+    profile: BehaviorProfile,
+    *,
+    physical_bytes: int = mb(256),
+    bandwidth_mbps: float = 10.0,
+    cpu_count: int = 1,
+    cpu_speed: float = 1.0,
+    cpu_headroom: float = 0.7,
+    network_utilization_cap: float = 0.8,
+    session_variant: str = "typical",
+) -> CapacityReport:
+    """Max concurrent users of class *profile* on the given hardware.
+
+    * **processor**: users' load must fit within ``cpu_headroom`` of the
+      processors after the OS's compulsory idle load is deducted (beyond
+      that, §4.2.2's stalls erase interactivity well before 100 %);
+    * **memory**: the §5.1.1 per-login compulsory load plus the profile's
+      dynamic working set must stay resident (§5.2's paging pathology);
+    * **network**: aggregate display/input traffic must stay below the
+      saturation knee of Figures 8–9.
+    """
+    if cpu_count < 1 or cpu_speed <= 0:
+        raise ExperimentError("need at least one CPU of positive speed")
+    if not 0 < cpu_headroom <= 1 or not 0 < network_utilization_cap <= 1:
+        raise ExperimentError("headroom/caps must be in (0, 1]")
+
+    # Processor dimension.
+    compulsory = idle_profile(os_name).expected_busy(1000.0) / 1000.0
+    usable_cpu = cpu_count * cpu_speed * cpu_headroom - compulsory
+    if profile.cpu_load > 0:
+        cpu_users = max(0, math.floor(usable_cpu / profile.cpu_load))
+    else:
+        cpu_users = 10**9
+
+    # Memory dimension.
+    memory_users = sessions_that_fit(
+        os_name,
+        physical_bytes,
+        variant=session_variant,
+        per_user_dynamic_bytes=profile.memory_bytes,
+    )
+
+    # Network dimension.
+    usable_mbps = bandwidth_mbps * network_utilization_cap
+    if profile.network_mbps > 0:
+        network_users = max(0, math.floor(usable_mbps / profile.network_mbps))
+    else:
+        network_users = 10**9
+
+    return CapacityReport(
+        os_name=os_name,
+        profile_name=profile.name,
+        cpu_users=cpu_users,
+        memory_users=memory_users,
+        network_users=network_users,
+    )
+
+
+def blend_profiles(
+    mix: Mapping[BehaviorProfile, float], name: str = "mixed"
+) -> BehaviorProfile:
+    """The weighted-average user of a population mix (Wang & Rubin, §4.1.2).
+
+    "Two classes of users running different application mixes will consume
+    resources at different per-user rates" — a deployment plans for its
+    *population*, so the mix's expected per-user demand is what the
+    capacity dimensions see.  Weights are normalized; they need not sum
+    to 1.
+    """
+    if not mix:
+        raise ExperimentError("empty profile mix")
+    total_weight = float(sum(mix.values()))
+    if total_weight <= 0 or any(w < 0 for w in mix.values()):
+        raise ExperimentError("mix weights must be non-negative, sum > 0")
+    cpu = sum(p.cpu_load * w for p, w in mix.items()) / total_weight
+    memory = sum(p.memory_bytes * w for p, w in mix.items()) / total_weight
+    network = sum(p.network_mbps * w for p, w in mix.items()) / total_weight
+    rate = sum(p.interactions_per_sec * w for p, w in mix.items()) / total_weight
+    return BehaviorProfile(
+        name=name,
+        cpu_load=cpu,
+        memory_bytes=int(memory),
+        network_mbps=network,
+        interactions_per_sec=rate,
+    )
+
+
+def plan_mixed_capacity(
+    os_name: str,
+    mix: Mapping[BehaviorProfile, float],
+    **kwargs,
+) -> CapacityReport:
+    """Capacity for a weighted population of user classes.
+
+    Convenience wrapper: blends the mix into its expected per-user demand
+    and plans as usual; the returned report's per-user ceilings are for
+    the blended user.
+    """
+    return plan_capacity(os_name, blend_profiles(mix), **kwargs)

@@ -1,0 +1,44 @@
+"""The thin client endpoint.
+
+The client is deliberately thin: it forwards input events and renders the
+display messages the server sends.  What it *measures* is the quantity the
+paper is about — the wall-clock gap between the user's input and the
+display update that answers it (user-perceived latency).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from ..net.tcpstream import Message
+from ..sim.engine import Simulator
+from .latency import LatencyAssessment, assess
+
+
+class ThinClient:
+    """Records user-perceived latency for one session's interactions."""
+
+    def __init__(self, sim: Simulator, name: str = "client") -> None:
+        self.sim = sim
+        self.name = name
+        self.latencies_ms: List[float] = []
+        self.display_messages_received = 0
+        self.display_bytes_received = 0
+        self._pending_input_time: Optional[float] = None
+
+    def input_sent(self) -> None:
+        """The user produced an input the display must answer."""
+        if self._pending_input_time is None:
+            self._pending_input_time = self.sim.now
+
+    def display_received(self, message: Message) -> None:
+        """A display message arrived; closes the oldest pending input."""
+        self.display_messages_received += 1
+        self.display_bytes_received += message.payload_bytes
+        if self._pending_input_time is not None:
+            self.latencies_ms.append(self.sim.now - self._pending_input_time)
+            self._pending_input_time = None
+
+    def assessment(self, threshold_ms: float = 100.0) -> LatencyAssessment:
+        """The paper's three-way latency quality measure for this client."""
+        return assess(self.latencies_ms, threshold_ms)

@@ -1,0 +1,70 @@
+"""A small parameter-sweep harness shared by benches and examples.
+
+Every figure in the paper is a sweep: stall length *vs* queue depth, RTT
+*vs* offered load, bandwidth *vs* frame count.  :class:`ParameterSweep`
+standardizes the bookkeeping: named parameter, values, a run function, and
+a results table keyed by parameter value.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Generic, List, Sequence, Tuple, TypeVar
+
+from ..errors import ExperimentError
+
+P = TypeVar("P")
+R = TypeVar("R")
+
+
+@dataclass
+class SweepResult(Generic[P, R]):
+    """All (parameter, result) rows of one sweep."""
+
+    name: str
+    parameter: str
+    rows: List[Tuple[P, R]] = field(default_factory=list)
+
+    def values(self) -> List[P]:
+        """The swept parameter values, in run order."""
+        return [p for p, __ in self.rows]
+
+    def results(self) -> List[R]:
+        """The per-value results, aligned with :meth:`values`."""
+        return [r for __, r in self.rows]
+
+    def series(self, extract: Callable[[R], float]) -> Tuple[List[P], List[float]]:
+        """(parameter values, extracted metric) — a figure's two axes."""
+        return self.values(), [extract(r) for r in self.results()]
+
+    def result_for(self, value: P) -> R:
+        """The result recorded for one parameter value."""
+        for p, r in self.rows:
+            if p == value:
+                return r
+        raise ExperimentError(
+            f"sweep {self.name!r} has no row for {self.parameter}={value!r}"
+        )
+
+
+class ParameterSweep(Generic[P, R]):
+    """Run one experiment function across a parameter range."""
+
+    def __init__(
+        self,
+        name: str,
+        parameter: str,
+        run: Callable[[P], R],
+    ) -> None:
+        self.name = name
+        self.parameter = parameter
+        self.run = run
+
+    def execute(self, values: Sequence[P]) -> SweepResult[P, R]:
+        """Run the experiment at every value; returns the result table."""
+        if not values:
+            raise ExperimentError(f"sweep {self.name!r} given no values")
+        result: SweepResult[P, R] = SweepResult(self.name, self.parameter)
+        for value in values:
+            result.rows.append((value, self.run(value)))
+        return result

@@ -1,0 +1,90 @@
+"""Latency metrics: perception thresholds, stalls, jitter (§3.2).
+
+"Previous work has found that tolerable levels of latency vary with the
+nature of the operation.  For example, latency tolerances for continuous
+operations are lower than for discrete operations, and humans are generally
+irritated by latencies 100ms or greater.  Jitter, or an inconsistent level
+of latency, is also considered harmful."
+
+The paper identifies three ways a system degrades with respect to latency
+(§3.2); :class:`LatencyAssessment` quantifies all three for a series of
+operation latencies:
+
+1. how far individual operations rise above the perception threshold;
+2. how many operations induce perceptible latency;
+3. how unpredictable the latency is (jitter).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence
+
+from ..errors import ExperimentError
+from ..sim.stats import Summary, mean, stddev
+
+#: "humans are generally irritated by latencies 100ms or greater" (§3.2).
+PERCEPTION_THRESHOLD_MS = 100.0
+
+#: Continuous operations (dragging, scrolling, typing echo) have tighter
+#: tolerances than discrete ones (§3.2, MacKenzie & Ware).
+CONTINUOUS_THRESHOLD_MS = 50.0
+DISCRETE_THRESHOLD_MS = 100.0
+
+
+def threshold_for(operation_kind: str) -> float:
+    """The tolerance for ``"continuous"`` or ``"discrete"`` operations."""
+    if operation_kind == "continuous":
+        return CONTINUOUS_THRESHOLD_MS
+    if operation_kind == "discrete":
+        return DISCRETE_THRESHOLD_MS
+    raise ExperimentError(
+        f"unknown operation kind {operation_kind!r}; "
+        "expected 'continuous' or 'discrete'"
+    )
+
+
+@dataclass(frozen=True)
+class LatencyAssessment:
+    """The paper's three-way latency quality measure for one op series."""
+
+    threshold_ms: float
+    summary: Summary
+    #: (1) worst-case excess over the perception threshold, as a multiple.
+    worst_case_factor: float
+    #: (2) fraction of operations with perceptible latency.
+    perceptible_fraction: float
+    #: (3) jitter: standard deviation of the latency series.
+    jitter_ms: float
+
+    @property
+    def acceptable(self) -> bool:
+        """A 'good' system: no perceptible ops (hence no perceptible jitter)."""
+        return self.perceptible_fraction == 0.0
+
+    def describe(self) -> str:
+        """One-line summary of all three degradation measures."""
+        return (
+            f"worst {self.worst_case_factor:.1f}x threshold, "
+            f"{self.perceptible_fraction * 100:.1f}% perceptible, "
+            f"jitter {self.jitter_ms:.1f}ms"
+        )
+
+
+def assess(
+    latencies_ms: Sequence[float],
+    threshold_ms: float = PERCEPTION_THRESHOLD_MS,
+) -> LatencyAssessment:
+    """Assess an operation-latency series against a perception threshold."""
+    if not latencies_ms:
+        raise ExperimentError("cannot assess an empty latency series")
+    if threshold_ms <= 0:
+        raise ExperimentError("threshold must be positive")
+    perceptible = [l for l in latencies_ms if l >= threshold_ms]
+    return LatencyAssessment(
+        threshold_ms=threshold_ms,
+        summary=Summary.of(list(latencies_ms)),
+        worst_case_factor=max(latencies_ms) / threshold_ms,
+        perceptible_fraction=len(perceptible) / len(latencies_ms),
+        jitter_ms=stddev(latencies_ms) if len(latencies_ms) > 1 else 0.0,
+    )

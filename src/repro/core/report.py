@@ -1,0 +1,94 @@
+"""Plain-text rendering of tables and series for benches and examples.
+
+The benchmark harness prints the same rows/series the paper's tables and
+figures report; these helpers keep that output aligned and consistent.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Sequence
+
+from ..errors import ExperimentError
+
+#: Eight-level unicode bars for quick-look series.
+_BARS = "▁▂▃▄▅▆▇█"
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[object]],
+    *,
+    title: Optional[str] = None,
+) -> str:
+    """An aligned, pipe-separated text table."""
+    materialized: List[List[str]] = [[str(c) for c in row] for row in rows]
+    for row in materialized:
+        if len(row) != len(headers):
+            raise ExperimentError(
+                f"row has {len(row)} cells for {len(headers)} headers"
+            )
+    widths = [len(h) for h in headers]
+    for row in materialized:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+
+    def render_row(cells: Sequence[str]) -> str:
+        return " | ".join(cell.rjust(widths[i]) for i, cell in enumerate(cells))
+
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    lines.append(render_row(list(headers)))
+    lines.append("-+-".join("-" * w for w in widths))
+    lines.extend(render_row(row) for row in materialized)
+    return "\n".join(lines)
+
+
+def format_series(
+    x_label: str,
+    y_label: str,
+    xs: Sequence[object],
+    ys: Sequence[float],
+    *,
+    title: Optional[str] = None,
+    y_format: str = "{:.3f}",
+) -> str:
+    """A two-column table for a figure's series."""
+    if len(xs) != len(ys):
+        raise ExperimentError("series axes differ in length")
+    rows = [(x, y_format.format(y)) for x, y in zip(xs, ys)]
+    return format_table([x_label, y_label], rows, title=title)
+
+
+def write_csv(
+    path: str,
+    headers: Sequence[str],
+    rows: Iterable[Sequence[object]],
+) -> None:
+    """Write a series/table as CSV (creating parent directories)."""
+    import csv
+    import os
+
+    parent = os.path.dirname(path)
+    if parent:
+        os.makedirs(parent, exist_ok=True)
+    with open(path, "w", newline="") as f:
+        writer = csv.writer(f)
+        writer.writerow(list(headers))
+        for row in rows:
+            writer.writerow(list(row))
+
+
+def sparkline(values: Sequence[float]) -> str:
+    """A one-line unicode rendering of a series' shape."""
+    if not values:
+        raise ExperimentError("empty series")
+    lo = min(values)
+    hi = max(values)
+    if hi == lo:
+        return _BARS[0] * len(values)
+    span = hi - lo
+    return "".join(
+        _BARS[min(len(_BARS) - 1, int((v - lo) / span * len(_BARS)))]
+        for v in values
+    )

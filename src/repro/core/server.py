@@ -1,0 +1,332 @@
+"""The thin-client server: every substrate composed end to end.
+
+A :class:`ThinClientServer` assembles the full measured environment of the
+paper on one simulator clock:
+
+* a CPU running the OS's scheduler with its idle-activity profile (§4);
+* a virtual-memory subsystem with the OS base usage pinned (§5);
+* a shared network link carrying TCP/IP-framed protocol traffic (§6);
+* per-user sessions, each with its login process memory, an interactive
+  echo thread, a protocol encoder (RDP for TSE, X/LBX for Linux), and a
+  :class:`~repro.core.client.ThinClient` endpoint that measures
+  user-perceived latency.
+
+The examples and integration tests drive complete interactions through
+this composition: a keystroke leaves the client, crosses the link, wakes
+the session thread under the OS scheduler, is encoded by the protocol,
+crosses the link again, and stamps a latency at the client.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Dict, List, Optional
+
+from ..cpu.cpusim import CPU
+from ..cpu.idle import idle_profile, make_scheduler
+from ..cpu.thread import Burst, Thread
+from ..errors import ExperimentError
+from ..gui.drawing import DisplayOp, DrawText
+from ..gui.input import InputEvent, KeyPress
+from ..gui.session import session_setup
+from ..memory.disk import PagingDisk
+from ..memory.physical import FramePool
+from ..memory.replacement import make_policy
+from ..memory.sessions import idle_memory_bytes, session_profile
+from ..memory.vm import VirtualMemory
+from ..net.framing import TCPIP
+from ..net.link import Link
+from ..net.tcpstream import TcpConnection
+from ..protocols import make_protocol
+from ..protocols.rdp import RDPProtocol
+from ..sim.engine import PeriodicTask, Simulator
+from ..sim.rng import RngRegistry
+from ..units import mb
+from ..workloads.typing import ECHO_BURST_MS
+from .client import ThinClient
+
+
+@dataclass(frozen=True)
+class ServerConfig:
+    """What to build: OS, hardware, and protocol."""
+
+    os_name: str  #: "nt_tse" or "linux"
+    protocol_name: str  #: "rdp", "x", or "lbx"
+    cpu_speed: float = 1.0
+    physical_bytes: int = mb(128)
+    bandwidth_mbps: float = 10.0
+    include_idle_activity: bool = True
+    session_variant: str = "typical"
+
+    @classmethod
+    def tse(cls, **overrides) -> "ServerConfig":
+        """NT TSE serving RDP — one of the paper's two systems."""
+        return replace(cls(os_name="nt_tse", protocol_name="rdp"), **overrides)
+
+    @classmethod
+    def linux(cls, **overrides) -> "ServerConfig":
+        """Linux with X Windows — the paper's other system."""
+        return replace(cls(os_name="linux", protocol_name="x"), **overrides)
+
+    @classmethod
+    def linux_lbx(cls, **overrides) -> "ServerConfig":
+        """Linux with the LBX proxy on the wire."""
+        return replace(cls(os_name="linux", protocol_name="lbx"), **overrides)
+
+
+class UserSession:
+    """One logged-in user: session memory, echo thread, protocol, client."""
+
+    def __init__(self, server: "ThinClientServer", name: str) -> None:
+        self.server = server
+        self.name = name
+        sim = server.sim
+
+        # Login memory: the §5.1.1 compulsory per-user load.
+        profile = session_profile(
+            server.config.os_name, server.config.session_variant
+        )
+        self.memory = server.vm.create_process(
+            f"{name}:login", profile.total_bytes, interactive=True
+        )
+        server.vm.touch_sequential(self.memory, 0, self.memory.num_pages)
+
+        # The interactive application thread.
+        self.echo_thread = Thread(f"{name}:app", gui=True, foreground=True)
+        server.cpu.add_thread(self.echo_thread)
+
+        # Protocol encoder + wire.  Interactive sessions flush display
+        # updates immediately (the RDP update timer is far below our
+        # keystroke granularity).
+        self.protocol = make_protocol(server.config.protocol_name)
+        if isinstance(self.protocol, RDPProtocol):
+            self.protocol.display_flush_steps = 1
+        self.connection = TcpConnection(
+            sim, server.link, stack=TCPIP, protocol=self.protocol.name
+        )
+        self.client = ThinClient(sim, f"{name}:client")
+        self.connected = True
+        self._typing_task: Optional[PeriodicTask] = None
+        self._webpage_players: List = []
+
+        # Session establishment bytes (§6.1.1).
+        setup_system = "nt_tse" if self.protocol.name == "rdp" else "linux"
+        for message in session_setup(setup_system).messages:
+            self.connection.send_message(
+                message.direction, message.payload_bytes, kind=message.name
+            )
+
+    # -- one interaction, end to end ------------------------------------------
+
+    def press_key(
+        self, key: int = 65, ops: Optional[List[DisplayOp]] = None
+    ) -> None:
+        """The user presses a key; the echo crosses the full stack."""
+        self.client.input_sent()
+        events: List[InputEvent] = [KeyPress(key)]
+        display_ops = ops if ops is not None else [DrawText(1)]
+        for message in self.protocol.encode_input_step(events):
+            self.connection.send_message(
+                message.channel,
+                message.payload_bytes,
+                kind=message.kind,
+                on_delivered=lambda m, d=display_ops: self._serve_input(d),
+            )
+
+    #: Session-memory pages the echo path touches per keystroke (§5.2:
+    #: the response set must be resident or the user waits on the disk).
+    HOT_PAGES_PER_KEYSTROKE = 4
+
+    def _serve_input(self, ops: List[DisplayOp]) -> None:
+        """Input arrived at the server: wake the app thread to respond."""
+        if not self.connected:
+            return  # the message outlived its session (logout race)
+        self.server.cpu.submit(
+            self.echo_thread,
+            Burst(ECHO_BURST_MS, on_complete=lambda __: self._touch_memory(ops)),
+        )
+
+    def _touch_memory(self, ops: List[DisplayOp]) -> None:
+        """The echo path references its working set before drawing.
+
+        Normally these are memory-hierarchy hits and cost nothing; after a
+        streaming job has paged the session out (§5.2), each one is a disk
+        wait, and the display update is delayed accordingly.
+        """
+        paging_ms = 0.0
+        pages = min(self.HOT_PAGES_PER_KEYSTROKE, self.memory.num_pages)
+        for vpn in range(pages):
+            paging_ms += self.server.vm.touch(self.memory, vpn).latency_ms
+        if paging_ms > 0.01:
+            self.server.sim.schedule(
+                paging_ms, lambda: self._send_display(ops)
+            )
+        else:
+            self._send_display(ops)
+
+    def _send_display(self, ops: List[DisplayOp]) -> None:
+        messages = self.protocol.encode_display_step(ops)
+        messages.extend(self.protocol.flush_display())
+        for message in messages:
+            self.connection.send_message(
+                message.channel,
+                message.payload_bytes,
+                kind=message.kind,
+                on_delivered=self.client.display_received,
+            )
+
+    # -- browsing: animated pages over this session's connection -----------------
+
+    def open_webpage(self, variant: str = "both") -> None:
+        """Open the §6.1.3 synthetic web page in this session's browser.
+
+        The page's animations render server-side and stream over this
+        session's display channel — on a shared link, a handful of these
+        sessions saturate the medium ("If just five users open their
+        browsers to a page like this, the network link becomes
+        saturated").
+        """
+        from ..workloads.animation import banner_ad, marquee
+
+        if self._webpage_players:
+            raise ExperimentError(f"session {self.name!r} already browsing")
+        specs = []
+        if variant in ("both", "marquee"):
+            specs.append(marquee())
+        if variant in ("both", "banner"):
+            specs.append(banner_ad())
+        if not specs:
+            raise ExperimentError(f"unknown page variant {variant!r}")
+        from ..workloads.animation import AnimationPlayer
+
+        for spec in specs:
+            self._webpage_players.append(
+                AnimationPlayer(
+                    self.server.sim,
+                    spec,
+                    lambda op: self._send_display([op]),
+                )
+            )
+
+    def close_webpage(self) -> None:
+        """Stop this session's page animations (idempotent)."""
+        for player in self._webpage_players:
+            player.stop()
+        self._webpage_players = []
+
+    # -- sustained typing ---------------------------------------------------------
+
+    def start_typing(self, interval_ms: float = 50.0) -> None:
+        """Engage key repeat at ``1000 / interval_ms`` Hz."""
+        if self._typing_task is not None:
+            raise ExperimentError(f"session {self.name!r} is already typing")
+        self._typing_task = self.server.sim.every(
+            interval_ms, lambda: self.press_key()
+        )
+
+    def stop_typing(self) -> None:
+        """Release the held key (idempotent)."""
+        if self._typing_task is not None:
+            self._typing_task.stop()
+            self._typing_task = None
+
+
+class ThinClientServer:
+    """The composed server; see module docstring."""
+
+    def __init__(
+        self,
+        config: ServerConfig,
+        *,
+        seed: int = 0,
+        sim: Optional[Simulator] = None,
+    ) -> None:
+        self.config = config
+        self.sim = sim if sim is not None else Simulator()
+        self.rngs = RngRegistry(seed)
+
+        # Processor.
+        self.cpu = CPU(
+            self.sim,
+            make_scheduler(config.os_name),
+            name=config.os_name,
+            speed=config.cpu_speed,
+        )
+        self._idle = None
+        if config.include_idle_activity:
+            self._idle = idle_profile(config.os_name).install(
+                self.sim, self.cpu, self.rngs
+            )
+
+        # Memory.
+        pool = FramePool(config.physical_bytes)
+        pool.pin(idle_memory_bytes(config.os_name))
+        self.vm = VirtualMemory(
+            pool,
+            PagingDisk(self.rngs.stream("server:disk")),
+            make_policy("lru"),
+        )
+
+        # Network.
+        self.link = Link(self.sim, bandwidth_mbps=config.bandwidth_mbps)
+
+        self.sessions: Dict[str, UserSession] = {}
+
+    def connect(self, name: str) -> UserSession:
+        """Log a new user in; returns the live session."""
+        if name in self.sessions:
+            raise ExperimentError(f"session {name!r} already connected")
+        session = UserSession(self, name)
+        self.sessions[name] = session
+        return session
+
+    def disconnect(self, name: str) -> None:
+        """Log a user out: stop their activity, free threads and memory."""
+        session = self.sessions.pop(name, None)
+        if session is None:
+            raise ExperimentError(f"no session {name!r}")
+        session.connected = False
+        session.stop_typing()
+        session.close_webpage()
+        self.cpu.kill(session.echo_thread)
+        self.vm.destroy_process(session.memory)
+
+    def run(self, duration_ms: float) -> None:
+        """Advance the whole composed system."""
+        self.sim.run(duration_ms)
+
+    @property
+    def session_count(self) -> int:
+        """Number of users currently logged in."""
+        return len(self.sessions)
+
+    def report(self, t0: float = 0.0, t1: Optional[float] = None) -> Dict[str, object]:
+        """A per-resource snapshot over ``[t0, t1)`` (defaults to all time).
+
+        The observability surface a deployer would watch: processor and
+        link utilization, run-queue depth, paging activity, and each
+        session's user-perceived latency assessment (when it has
+        interacted).
+        """
+        end = self.sim.now if t1 is None else t1
+        if end <= t0:
+            raise ExperimentError("empty report window")
+        sessions = {}
+        for name, session in self.sessions.items():
+            latencies = session.client.latencies_ms
+            sessions[name] = (
+                session.client.assessment() if latencies else None
+            )
+        return {
+            "os": self.config.os_name,
+            "protocol": self.config.protocol_name,
+            "window_ms": (t0, end),
+            "cpu_utilization": self.cpu.utilization(t0, end),
+            "run_queue_length": self.cpu.run_queue_length,
+            "link_utilization": self.link.utilization(t0, end),
+            "link_bytes": self.link.bytes_sent,
+            "page_faults": self.vm.total_faults,
+            "page_evictions": self.vm.total_evictions,
+            "free_frames": self.vm.pool.free_frames,
+            "sessions": sessions,
+        }

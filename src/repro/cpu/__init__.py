@@ -1,0 +1,67 @@
+"""Processor substrate: threads, schedulers, CPUs, idle profiles, lost time.
+
+The schedulers model the three systems the paper analyzes in §4:
+
+* :class:`~repro.cpu.nt.NTScheduler` — NT Workstation / TSE (quantum
+  stretching, GUI wake-up boosting, balance-set anti-starvation sweep);
+* :class:`~repro.cpu.linuxsched.LinuxScheduler` — Linux 2.0's 10 ms
+  round robin with no interactive protection;
+* :class:`~repro.cpu.svr4.SVR4Scheduler` — the Evans et al. SVR4 baseline
+  with the interactive (IA) class.
+"""
+
+from .cpusim import CPU
+from .goodness import LinuxGoodnessScheduler
+from .idle import (
+    OS_NAMES,
+    Activity,
+    IdleProfile,
+    idle_profile,
+    linux_profile,
+    make_scheduler,
+    nt_tse_profile,
+    nt_workstation_profile,
+)
+from .linuxsched import LINUX_QUANTUM_MS, LinuxScheduler
+from .losttime import (
+    FIG2_THRESHOLDS_MS,
+    IdleStateResult,
+    LostTimeMonitor,
+    run_idle_experiment,
+)
+from .nt import NT_BOOST_PRIORITY, NTConfig, NTScheduler
+from .scheduler import PriorityReadyQueues, Scheduler
+from .smp import SMPSystem
+from .svr4 import DispatchTable, SVR4Scheduler
+from .thread import Burst, Thread, ThreadState, sink_thread
+
+__all__ = [
+    "Activity",
+    "Burst",
+    "CPU",
+    "DispatchTable",
+    "FIG2_THRESHOLDS_MS",
+    "IdleProfile",
+    "IdleStateResult",
+    "LINUX_QUANTUM_MS",
+    "LinuxGoodnessScheduler",
+    "LinuxScheduler",
+    "LostTimeMonitor",
+    "NTConfig",
+    "NTScheduler",
+    "NT_BOOST_PRIORITY",
+    "OS_NAMES",
+    "PriorityReadyQueues",
+    "SMPSystem",
+    "Scheduler",
+    "SVR4Scheduler",
+    "Thread",
+    "ThreadState",
+    "idle_profile",
+    "linux_profile",
+    "make_scheduler",
+    "nt_tse_profile",
+    "nt_workstation_profile",
+    "run_idle_experiment",
+    "sink_thread",
+]

@@ -1,0 +1,132 @@
+"""The *actual* Linux 2.0 scheduler: counters, epochs, and goodness.
+
+The paper characterizes Linux as a plain 10 ms round robin with "no
+facility for automatic priority boosting" (§4.2.1), and
+:class:`~repro.cpu.linuxsched.LinuxScheduler` follows that model — it is
+what reproduces Figure 3.  The kernel the paper ran (2.0.36) actually
+implemented something subtler, and this module provides it as a fidelity
+ablation:
+
+* every process has a **counter** of remaining ticks; the scheduler runs
+  the runnable process with the highest counter (its *goodness*);
+* when every runnable counter reaches zero, a new **epoch** begins:
+  every process — including sleepers — gets ``counter = counter/2 +
+  priority``, so interactive processes that sleep accumulate credit (up
+  to 2x priority) and are selected promptly once runnable;
+* 2.0's ``wake_up`` did **not** preempt the running process on an
+  ordinary wake; the woken thread waits for the current counter to drain.
+  ``preempt_on_wake=True`` gives the 2.2-style behaviour for comparison.
+
+The ablation (``benchmarks/test_abl_goodness.py``) shows why the paper's
+linear Figure 3 curve is consistent with the RR characterization and what
+the sleeper credit would have changed.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, List, Optional
+
+from ..errors import SchedulerError
+from .scheduler import Scheduler
+from .thread import Thread
+
+#: DEF_PRIORITY: 20 ticks of 10 ms, expressed in ms of CPU entitlement.
+DEFAULT_PRIORITY_MS = 200.0
+#: Sleeper credit saturates near two full entitlements.
+MAX_COUNTER_FACTOR = 2.0
+
+
+class LinuxGoodnessScheduler(Scheduler):
+    """Counter/epoch scheduling as Linux 2.0 actually shipped it."""
+
+    name = "linux-goodness"
+
+    def __init__(
+        self,
+        priority_ms: float = DEFAULT_PRIORITY_MS,
+        *,
+        preempt_on_wake: bool = False,
+    ) -> None:
+        super().__init__()
+        if priority_ms <= 0:
+            raise SchedulerError("priority entitlement must be positive")
+        self.priority_ms = priority_ms
+        self.preempt_on_wake = preempt_on_wake
+        self._ready: Deque[Thread] = deque()
+        self._all: List[Thread] = []
+        self.epochs = 0
+
+    # -- counter bookkeeping ----------------------------------------------------
+
+    def _counter(self, thread: Thread) -> float:
+        return thread.sched_data.get("counter", 0.0)
+
+    def _set_counter(self, thread: Thread, value: float) -> None:
+        thread.sched_data["counter"] = value
+
+    def _new_epoch(self) -> None:
+        """counter = counter/2 + priority, for every process alive."""
+        self.epochs += 1
+        cap = self.priority_ms * MAX_COUNTER_FACTOR
+        for thread in self._all:
+            refreshed = min(cap, self._counter(thread) / 2.0 + self.priority_ms)
+            self._set_counter(thread, refreshed)
+
+    # -- Scheduler interface --------------------------------------------------------
+
+    def register(self, thread: Thread) -> None:
+        if thread.base_priority is None:
+            thread.base_priority = 0  # nice 0
+        thread.priority = 0
+        self._set_counter(thread, self.priority_ms)
+        self._all.append(thread)
+
+    def enqueue_woken(self, thread: Thread) -> None:
+        # Sleepers spent no counter; whatever the epochs granted, they keep.
+        # 2.0's add_to_runqueue inserts at the head and goodness comparison
+        # is strict, so a woken process wins counter ties against CPU hogs.
+        thread.remaining_quantum = max(0.0, self._counter(thread))
+        self._ready.appendleft(thread)
+
+    def enqueue_expired(self, thread: Thread) -> None:
+        self._set_counter(thread, 0.0)
+        thread.remaining_quantum = 0.0
+        self._ready.append(thread)
+
+    def enqueue_preempted(self, thread: Thread) -> None:
+        # The interrupted thread keeps its unconsumed counter.
+        self._set_counter(thread, max(0.0, thread.remaining_quantum))
+        self._ready.appendleft(thread)
+
+    def select(self) -> Optional[Thread]:
+        if not self._ready:
+            return None
+        if all(self._counter(t) <= 0.0 for t in self._ready):
+            self._new_epoch()
+        best = max(self._ready, key=self._counter)
+        self._ready.remove(best)
+        best.remaining_quantum = max(self._counter(best), 1e-9)
+        return best
+
+    def preempts(self, woken: Thread, running: Thread) -> bool:
+        if not self.preempt_on_wake:
+            return False
+        return self._counter(woken) > running.remaining_quantum
+
+    def on_block(self, thread: Thread) -> None:
+        # Bank the unconsumed counter for the next wake/epoch.
+        self._set_counter(thread, max(0.0, thread.remaining_quantum))
+
+    def runnable_count(self) -> int:
+        return len(self._ready)
+
+    def remove(self, thread: Thread) -> None:
+        try:
+            self._ready.remove(thread)
+        except ValueError:
+            pass
+        try:
+            self._all.remove(thread)
+        except ValueError:
+            pass

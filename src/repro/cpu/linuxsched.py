@@ -1,0 +1,139 @@
+"""The Linux 2.0 scheduler model, as the paper characterizes it.
+
+Section 4.2.1: "The Linux kernel supports 'FIFO', 'round robin', and 'other'
+scheduling classes, with priority values between -20 and +20 in each class.
+Most processes run in the round robin class with a quantum of 10ms.  There
+is no provision for changing the quantum length and no facility for
+automatic priority boosting on GUI-related or foreground processes."
+
+The model follows the paper's characterization:
+
+* ``other`` (the default class): a single round-robin queue with a fixed
+  10 ms quantum.  Woken and expired threads join the tail; nothing boosts
+  an interactive thread past the CPU hogs ahead of it.  The ``nice`` value
+  is carried but — matching the paper's analysis — does not reorder equal
+  threads.
+* ``fifo`` and ``rr``: POSIX real-time classes at static priorities 0–99,
+  which preempt every ``other`` thread.  ``fifo`` runs to block;
+  ``rr`` round-robins within its priority on a 10 ms quantum.  The
+  simulator's interrupt/daemon machinery uses these.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Optional
+
+from ..errors import SchedulerError
+from .scheduler import PriorityReadyQueues, Scheduler
+from .thread import Thread
+
+#: The Linux time slice the paper reports (§4.2.1).
+LINUX_QUANTUM_MS = 10.0
+#: Effectively-infinite quantum for SCHED_FIFO threads.
+_FIFO_QUANTUM_MS = 1e12
+#: Real-time priority levels.
+RT_LEVELS = 100
+
+_CLASSES = ("other", "rr", "fifo")
+
+
+class LinuxScheduler(Scheduler):
+    """Linux 2.0.36 as modelled by the paper: 10 ms RR, no interactivity help."""
+
+    name = "linux"
+
+    def __init__(self, quantum_ms: float = LINUX_QUANTUM_MS) -> None:
+        super().__init__()
+        if quantum_ms <= 0:
+            raise SchedulerError("quantum must be positive")
+        self.quantum_ms = quantum_ms
+        self._other: Deque[Thread] = deque()
+        self._rt = PriorityReadyQueues(RT_LEVELS)
+
+    # -- policy ----------------------------------------------------------------
+
+    def register(self, thread: Thread) -> None:
+        if thread.sched_class is None:
+            thread.sched_class = "other"
+        if thread.sched_class not in _CLASSES:
+            raise SchedulerError(
+                f"unknown Linux scheduling class {thread.sched_class!r}"
+            )
+        if thread.sched_class == "other":
+            # base_priority doubles as the nice value (-20..+20); carried
+            # for reporting but not used to reorder the RR queue, per the
+            # paper's model of the 'other' class.
+            if thread.base_priority is None:
+                thread.base_priority = 0
+            if not -20 <= thread.base_priority <= 20:
+                raise SchedulerError(
+                    f"nice value {thread.base_priority} out of [-20, 20]"
+                )
+            thread.priority = 0
+        else:
+            if thread.base_priority is None:
+                thread.base_priority = 50
+            if not 0 <= thread.base_priority < RT_LEVELS:
+                raise SchedulerError(
+                    f"rt priority {thread.base_priority} out of [0, {RT_LEVELS})"
+                )
+            thread.priority = thread.base_priority
+
+    def _quantum_for(self, thread: Thread) -> float:
+        if thread.sched_class == "fifo":
+            return _FIFO_QUANTUM_MS
+        return self.quantum_ms
+
+    def enqueue_woken(self, thread: Thread) -> None:
+        thread.remaining_quantum = self._quantum_for(thread)
+        if thread.sched_class == "other":
+            self._other.append(thread)
+        else:
+            self._rt.push(thread)
+
+    def enqueue_expired(self, thread: Thread) -> None:
+        thread.remaining_quantum = self._quantum_for(thread)
+        if thread.sched_class == "other":
+            self._other.append(thread)
+        else:
+            self._rt.push(thread)
+
+    def enqueue_preempted(self, thread: Thread) -> None:
+        if thread.remaining_quantum <= 0:
+            thread.remaining_quantum = self._quantum_for(thread)
+        if thread.sched_class == "other":
+            # Preemption only comes from real-time threads; the interrupted
+            # process resumes where it left off, at the queue head.
+            self._other.appendleft(thread)
+        else:
+            self._rt.push(thread, front=True)
+
+    def select(self) -> Optional[Thread]:
+        thread = self._rt.pop_best()
+        if thread is None and self._other:
+            thread = self._other.popleft()
+        if thread is not None and thread.remaining_quantum <= 0:
+            thread.remaining_quantum = self._quantum_for(thread)
+        return thread
+
+    def preempts(self, woken: Thread, running: Thread) -> bool:
+        if woken.sched_class == "other":
+            # No boosting, no preemption among timesharing threads: the
+            # woken process waits its round-robin turn (§4.2.1).
+            return False
+        if running.sched_class == "other":
+            return True
+        return woken.priority > running.priority
+
+    def runnable_count(self) -> int:
+        return len(self._other) + len(self._rt)
+
+    def remove(self, thread: Thread) -> None:
+        if thread.sched_class == "other":
+            try:
+                self._other.remove(thread)
+            except ValueError:
+                pass
+        else:
+            self._rt.remove(thread)

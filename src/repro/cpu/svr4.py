@@ -1,0 +1,163 @@
+"""An SVR4 scheduler with Evans et al.'s interactive (IA) improvements.
+
+The paper uses Evans, Clarke, Singleton & Smaalders, *Optimizing Unix
+Resource Scheduling for User Interaction* (USENIX 1993) as its "good"
+baseline: a time-sharing dispatch table whose priorities reward sleepers and
+punish quantum-expirers, plus an **interactive class** that boosts threads
+identified as interactive so keystroke latency stays flat as load grows.
+
+This module implements:
+
+* the **TS** (time-sharing) class: priorities 0–59 driven by a dispatch
+  table — ``tqexp`` (priority after quantum expiry, lower), ``slpret``
+  (priority after sleep return, higher), and a per-priority quantum that
+  shrinks as priority rises;
+* the **IA** class: TS plus a fixed interactivity boost, assigned to
+  GUI threads (``thread.gui``) by default;
+* a **SYS** class: fixed high priorities for kernel daemons/interrupts.
+
+With this policy, a CPU hog's priority decays toward 0 while an interactive
+thread returns from sleep near the top of the TS range (plus the IA boost),
+so it preempts the hogs immediately — reproducing Evans et al.'s flat
+keystroke-latency curve out to load 20 (``benchmarks/test_abl_svr4_interactive.py``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from ..errors import SchedulerError
+from .scheduler import PriorityReadyQueues, Scheduler
+from .thread import Thread
+
+#: TS/IA user priority range.
+TS_LEVELS = 60
+#: Global priority levels: TS/IA 0-59, SYS 60-99.
+GLOBAL_LEVELS = 100
+#: Offset of the SYS class in global priority space.
+SYS_BASE = 60
+
+
+@dataclass(frozen=True)
+class DispatchTable:
+    """The shape of an SVR4 ``ts_dptbl``, parameterized rather than tabulated.
+
+    * ``quantum(prio)``  — time slice, longer for lower priorities;
+    * ``tqexp(prio)``    — new priority after using a full quantum;
+    * ``slpret(prio)``   — new priority after returning from sleep.
+    """
+
+    base_quantum_ms: float = 20.0  #: quantum at the top priority
+    quantum_step_ms: float = 2.0  #: added per level below the top
+    tqexp_drop: int = 10  #: priority penalty for burning a quantum
+    slpret_gain: int = 25  #: priority reward for sleeping
+    ia_boost: int = 10  #: extra levels for the interactive class
+
+    def quantum(self, priority: int) -> float:
+        """Time slice for *priority*: longer for lower priorities."""
+        return self.base_quantum_ms + (TS_LEVELS - 1 - priority) * self.quantum_step_ms
+
+    def tqexp(self, priority: int) -> int:
+        """New priority after burning a full quantum (a demotion)."""
+        return max(0, priority - self.tqexp_drop)
+
+    def slpret(self, priority: int) -> int:
+        """New priority on sleep return (the interactivity reward)."""
+        return min(TS_LEVELS - 1, priority + self.slpret_gain)
+
+
+class SVR4Scheduler(Scheduler):
+    """SVR4 TS/IA/SYS classes with Evans et al.'s interactive protection."""
+
+    name = "svr4"
+
+    #: Default user priority for new TS/IA threads.
+    DEFAULT_USER_PRIORITY = 29
+
+    def __init__(self, table: Optional[DispatchTable] = None) -> None:
+        super().__init__()
+        self.table = table or DispatchTable()
+        self.queues = PriorityReadyQueues(GLOBAL_LEVELS)
+
+    # -- class/priority plumbing -----------------------------------------------
+
+    def register(self, thread: Thread) -> None:
+        if thread.sched_class is None:
+            thread.sched_class = "ia" if thread.gui else "ts"
+        if thread.sched_class not in ("ts", "ia", "sys"):
+            raise SchedulerError(
+                f"unknown SVR4 scheduling class {thread.sched_class!r}"
+            )
+        if thread.sched_class == "sys":
+            if thread.base_priority is None:
+                thread.base_priority = 20  # mid-SYS
+            if not 0 <= thread.base_priority < GLOBAL_LEVELS - SYS_BASE:
+                raise SchedulerError(
+                    f"sys priority {thread.base_priority} out of range"
+                )
+            thread.priority = SYS_BASE + thread.base_priority
+        else:
+            if thread.base_priority is None:
+                thread.base_priority = self.DEFAULT_USER_PRIORITY
+            if not 0 <= thread.base_priority < TS_LEVELS:
+                raise SchedulerError(
+                    f"ts priority {thread.base_priority} out of range"
+                )
+            thread.priority = self._clamp_user(
+                thread, thread.base_priority
+            )
+        thread.sched_data["user_priority"] = (
+            thread.base_priority if thread.sched_class != "sys" else None
+        )
+
+    def _clamp_user(self, thread: Thread, user_priority: int) -> int:
+        """Apply the IA boost and clamp to the TS range (global space)."""
+        if thread.sched_class == "ia":
+            user_priority = min(TS_LEVELS - 1, user_priority + self.table.ia_boost)
+        return max(0, min(TS_LEVELS - 1, user_priority))
+
+    def _quantum_for(self, thread: Thread) -> float:
+        if thread.sched_class == "sys":
+            return 100.0  # SYS threads run to block in practice
+        return self.table.quantum(thread.priority)
+
+    # -- policy ------------------------------------------------------------------
+
+    def enqueue_woken(self, thread: Thread) -> None:
+        if thread.sched_class != "sys":
+            user = thread.sched_data["user_priority"]
+            user = self.table.slpret(user)
+            thread.sched_data["user_priority"] = user
+            thread.priority = self._clamp_user(thread, user)
+        thread.remaining_quantum = self._quantum_for(thread)
+        self.queues.push(thread)
+
+    def enqueue_expired(self, thread: Thread) -> None:
+        if thread.sched_class != "sys":
+            user = thread.sched_data["user_priority"]
+            user = self.table.tqexp(user)
+            thread.sched_data["user_priority"] = user
+            thread.priority = self._clamp_user(thread, user)
+        thread.remaining_quantum = self._quantum_for(thread)
+        self.queues.push(thread)
+
+    def enqueue_preempted(self, thread: Thread) -> None:
+        if thread.remaining_quantum <= 0:
+            thread.remaining_quantum = self._quantum_for(thread)
+        self.queues.push(thread, front=True)
+
+    def select(self) -> Optional[Thread]:
+        thread = self.queues.pop_best()
+        if thread is not None and thread.remaining_quantum <= 0:
+            thread.remaining_quantum = self._quantum_for(thread)
+        return thread
+
+    def preempts(self, woken: Thread, running: Thread) -> bool:
+        return woken.priority > running.priority
+
+    def runnable_count(self) -> int:
+        return len(self.queues)
+
+    def remove(self, thread: Thread) -> None:
+        self.queues.remove(thread)

@@ -1,0 +1,47 @@
+"""Exception hierarchy for the repro package.
+
+Every exception raised deliberately by this package derives from
+:class:`ReproError`, so callers can catch package failures without also
+swallowing programming errors such as ``TypeError``.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro package."""
+
+
+class SimulationError(ReproError):
+    """The discrete-event kernel was used incorrectly.
+
+    Examples: scheduling an event in the past, running a simulator that has
+    already been stopped, or re-triggering a one-shot signal.
+    """
+
+
+class SchedulerError(ReproError):
+    """A CPU scheduler invariant was violated (bad priority, bad state)."""
+
+
+class MemoryError_(ReproError):
+    """A virtual-memory operation failed (out of frames and no victim, etc.).
+
+    Named with a trailing underscore to avoid shadowing the builtin.
+    """
+
+
+class NetworkError(ReproError):
+    """A network-substrate operation failed (oversized frame, closed link)."""
+
+
+class ProtocolError(ReproError):
+    """A remote-display protocol was driven incorrectly."""
+
+
+class WorkloadError(ReproError):
+    """A workload script was configured incorrectly."""
+
+
+class ExperimentError(ReproError):
+    """An experiment harness was configured or driven incorrectly."""

@@ -1,0 +1,43 @@
+"""GUI substrate: display operations, input events, session setup."""
+
+from .drawing import (
+    Bitmap,
+    CopyArea,
+    DisplayOp,
+    DrawBitmap,
+    DrawText,
+    DrawWidget,
+    FillRect,
+)
+from .input import InputEvent, KeyPress, KeyRelease, MouseButton, MouseMove
+from .session import (
+    TO_CLIENT,
+    TO_SERVER,
+    TSE_SETUP,
+    X_SETUP,
+    SessionSetup,
+    SetupMessage,
+    session_setup,
+)
+
+__all__ = [
+    "Bitmap",
+    "CopyArea",
+    "DisplayOp",
+    "DrawBitmap",
+    "DrawText",
+    "DrawWidget",
+    "FillRect",
+    "InputEvent",
+    "KeyPress",
+    "KeyRelease",
+    "MouseButton",
+    "MouseMove",
+    "SessionSetup",
+    "SetupMessage",
+    "TO_CLIENT",
+    "TO_SERVER",
+    "TSE_SETUP",
+    "X_SETUP",
+    "session_setup",
+]

@@ -1,0 +1,136 @@
+"""The display-operation vocabulary.
+
+Applications in the simulator express their user interfaces as sequences of
+**display operations**, the common currency that all three remote-display
+protocols encode (each with very different efficiency — the point of §6):
+
+* :class:`DrawText` — rendered characters (keystroke echo, documents);
+* :class:`FillRect` — solid fills (backgrounds, selection, clears);
+* :class:`CopyArea` — on-screen blits (scrolling);
+* :class:`DrawWidget` — composite UI chrome (buttons, menus, dialogs),
+  which RDP encodes as few high-level orders and X as many primitives;
+* :class:`DrawBitmap` — raster images: icons, photos, and the animation
+  frames of §6.1.3.  A :class:`Bitmap` is identified by ``bitmap_id`` so
+  the RDP client cache can recognize re-draws of the same pixels.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import ProtocolError
+
+
+@dataclass(frozen=True)
+class Bitmap:
+    """An identified raster image.
+
+    ``compressed_ratio`` approximates the on-wire/in-cache compression of
+    the pixel data (RLE/GIF-style); 1.0 means incompressible.
+    """
+
+    bitmap_id: str
+    width: int
+    height: int
+    bpp: int = 8
+    compressed_ratio: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.width <= 0 or self.height <= 0:
+            raise ProtocolError("bitmap must have positive dimensions")
+        if self.bpp not in (1, 4, 8, 16, 24, 32):
+            raise ProtocolError(f"unsupported depth {self.bpp}")
+        if not 0.0 < self.compressed_ratio <= 1.0:
+            raise ProtocolError("compressed_ratio must be in (0, 1]")
+
+    @property
+    def raw_bytes(self) -> int:
+        """Uncompressed pixel data size."""
+        return self.width * self.height * self.bpp // 8
+
+    @property
+    def compressed_bytes(self) -> int:
+        """Size as transferred/cached by compressing protocols."""
+        return max(1, int(self.raw_bytes * self.compressed_ratio))
+
+
+class DisplayOp:
+    """Base class for display operations (a closed set; see module doc)."""
+
+    __slots__ = ()
+
+
+@dataclass(frozen=True)
+class DrawText(DisplayOp):
+    """Render *chars* characters of text."""
+
+    chars: int
+
+    def __post_init__(self) -> None:
+        if self.chars <= 0:
+            raise ProtocolError("text draw needs at least one character")
+
+
+@dataclass(frozen=True)
+class FillRect(DisplayOp):
+    """Fill a width x height rectangle with a solid color."""
+
+    width: int
+    height: int
+
+    def __post_init__(self) -> None:
+        if self.width <= 0 or self.height <= 0:
+            raise ProtocolError("fill must have positive dimensions")
+
+
+@dataclass(frozen=True)
+class CopyArea(DisplayOp):
+    """Blit a width x height on-screen region (scrolling)."""
+
+    width: int
+    height: int
+
+    def __post_init__(self) -> None:
+        if self.width <= 0 or self.height <= 0:
+            raise ProtocolError("copy must have positive dimensions")
+
+
+@dataclass(frozen=True)
+class DrawWidget(DisplayOp):
+    """Draw composite UI chrome built from *elements* primitive pieces."""
+
+    elements: int
+
+    def __post_init__(self) -> None:
+        if self.elements <= 0:
+            raise ProtocolError("widget needs at least one element")
+
+
+@dataclass(frozen=True)
+class DrawBitmap(DisplayOp):
+    """Display *bitmap* (full image or one animation frame)."""
+
+    bitmap: Bitmap
+
+
+@dataclass(frozen=True)
+class RestoreRegion(DisplayOp):
+    """Repaint a previously drawn region after occlusion (menu/dialog close).
+
+    This op captures a real architectural asymmetry (§2, §6): the TSE
+    server maintains the rendered screen state server-side, so restoring
+    an uncovered region is a single blit order from the shadow surface;
+    X pushes re-rendering back through the wire — the application redraws
+    ``complexity`` primitives.
+    """
+
+    width: int
+    height: int
+    key: str  #: identifies the content being restored
+    complexity: int  #: primitive count X needs to re-render it
+
+    def __post_init__(self) -> None:
+        if self.width <= 0 or self.height <= 0:
+            raise ProtocolError("region must have positive dimensions")
+        if self.complexity <= 0:
+            raise ProtocolError("complexity must be positive")

@@ -1,0 +1,70 @@
+"""Memory substrate: frames, page tables, replacement, paging, sessions.
+
+Implements the paper's §5: compulsory per-login memory load (the §5.1.1
+tables), demand paging with global replacement, the page-demand latency
+pathology (§5.2's table), and Evans et al.'s throttling remedy.
+"""
+
+from .disk import DiskParameters, PagingDisk
+from .experiment import (
+    BASELINE_RESPONSE_MS,
+    MEMORY_PROFILES,
+    MemoryLatencyResult,
+    MemoryWorkloadProfile,
+    memory_profile,
+    run_memory_latency_experiment,
+)
+from .pagetable import AddressSpace
+from .physical import DEFAULT_PAGE_SIZE, Frame, FramePool
+from .replacement import (
+    ClockPolicy,
+    FIFOPolicy,
+    LRUPolicy,
+    ReplacementPolicy,
+    make_policy,
+)
+from .sessions import (
+    IDLE_MEMORY_BYTES,
+    LINUX_SESSION,
+    TSE_SESSION_LIGHT,
+    TSE_SESSION_TYPICAL,
+    ProcessMemory,
+    SessionProfile,
+    idle_memory_bytes,
+    session_profile,
+    sessions_that_fit,
+)
+from .throttle import ThrottledVirtualMemory
+from .vm import AccessResult, VirtualMemory
+
+__all__ = [
+    "AccessResult",
+    "AddressSpace",
+    "BASELINE_RESPONSE_MS",
+    "ClockPolicy",
+    "DEFAULT_PAGE_SIZE",
+    "DiskParameters",
+    "FIFOPolicy",
+    "Frame",
+    "FramePool",
+    "IDLE_MEMORY_BYTES",
+    "LINUX_SESSION",
+    "LRUPolicy",
+    "MEMORY_PROFILES",
+    "MemoryLatencyResult",
+    "MemoryWorkloadProfile",
+    "PagingDisk",
+    "ProcessMemory",
+    "ReplacementPolicy",
+    "SessionProfile",
+    "ThrottledVirtualMemory",
+    "TSE_SESSION_LIGHT",
+    "TSE_SESSION_TYPICAL",
+    "VirtualMemory",
+    "idle_memory_bytes",
+    "make_policy",
+    "memory_profile",
+    "run_memory_latency_experiment",
+    "session_profile",
+    "sessions_that_fit",
+]

@@ -1,0 +1,201 @@
+"""The paper's memory-latency experiment (§5.2's table).
+
+Procedure (paper): open a simple text editor remotely (Notepad on TSE,
+vim on Linux); start a process that sequentially touches each byte of a
+region exceeding available physical memory and let it run 30 seconds —
+paging the editor out; then input a single keystroke and measure the time
+until the server responds with a screen update.  Ten runs per system,
+reporting min/avg/max for page demand below and at-or-above 100 % of
+physical memory.
+
+Our reproduction runs the same procedure against the
+:class:`~repro.memory.vm.VirtualMemory` substrate.  The editor session is
+warmed, a non-interactive hog streams through an address space sized
+relative to evictable memory (its *page demand*), and the keystroke then
+touches the editor's **response set** — the pages the echo path actually
+needs.  The response-set size is sampled per run (lognormal): which parts
+of an application and its session services a redraw touches varies run to
+run, and this is the dominant source of the wide min–max spread the paper
+reports.
+
+Why TSE pays ~3.4× Linux's latency: its keystroke path spans a much larger
+private session working set — Notepad plus ``csrss.exe``/``winlogin.exe``
+and the per-session kernel state TSE makes pageable — mirroring the 3,244 KB
+vs 752 KB compulsory per-login memory of §5.1.1.  The response-set means
+below are calibrated to that ratio.
+
+Responses are reported as ``max(measured, 50 ms)``: the paper's methodology
+observes screen updates paced at the 50 ms key-repeat interval, so anything
+faster reads as 50 ms (the "< 100 %" rows of its table).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List
+
+from ..errors import MemoryError_
+from ..sim.rng import RngRegistry
+from ..sim.stats import Summary
+from ..units import mb
+from .disk import PagingDisk
+from .physical import FramePool
+from .replacement import make_policy
+from .sessions import idle_memory_bytes
+from .throttle import ThrottledVirtualMemory
+from .vm import VirtualMemory
+
+#: Screen updates are paced at the 50 ms key-repeat interval (§4.2.2).
+BASELINE_RESPONSE_MS = 50.0
+
+#: CPU cost of the echo path itself, negligible next to paging.
+ECHO_CPU_MS = 2.0
+
+
+@dataclass(frozen=True)
+class MemoryWorkloadProfile:
+    """Per-OS parameters of the page-demand experiment."""
+
+    os_name: str
+    respond_pages_mean: float  #: mean pages the keystroke path touches
+    respond_sigma: float  #: lognormal sigma of the response-set size
+    respond_pages_min: int  #: floor on the sampled response set
+    editor_pages: int  #: total editor session address-space size
+    read_cluster: int = 1  #: page-in clustering
+
+
+#: Calibrated so avg latency lands near the paper's 1,170 ms (Linux) and
+#: 4,026 ms (TSE) with the default disk model (~13 ms per page-in).
+MEMORY_PROFILES: Dict[str, MemoryWorkloadProfile] = {
+    "linux": MemoryWorkloadProfile(
+        os_name="linux",
+        respond_pages_mean=90.0,
+        respond_sigma=0.55,
+        respond_pages_min=22,
+        editor_pages=420,
+    ),
+    "nt_tse": MemoryWorkloadProfile(
+        os_name="nt_tse",
+        respond_pages_mean=245.0,
+        respond_sigma=0.55,
+        respond_pages_min=140,
+        editor_pages=1400,
+    ),
+}
+
+
+@dataclass
+class MemoryLatencyResult:
+    """Ten-run outcome for one (OS, page-demand) cell of the table."""
+
+    os_name: str
+    page_demand: float
+    latencies_ms: List[float]
+    throttled: bool = False
+
+    @property
+    def summary(self) -> Summary:
+        """min/avg/max over the ten runs — one table row."""
+        return Summary.of(self.latencies_ms)
+
+
+def memory_profile(os_name: str) -> MemoryWorkloadProfile:
+    """The per-OS experiment parameters."""
+    try:
+        return MEMORY_PROFILES[os_name]
+    except KeyError:
+        raise MemoryError_(
+            f"no memory workload profile for {os_name!r}; expected one of "
+            f"{sorted(MEMORY_PROFILES)}"
+        ) from None
+
+
+def _sample_respond_pages(profile: MemoryWorkloadProfile, rng) -> int:
+    mu = math.log(profile.respond_pages_mean) - profile.respond_sigma**2 / 2.0
+    pages = int(round(rng.lognormvariate(mu, profile.respond_sigma)))
+    return max(profile.respond_pages_min, min(profile.editor_pages, pages))
+
+
+def run_memory_latency_experiment(
+    os_name: str,
+    page_demand: float,
+    *,
+    runs: int = 10,
+    seed: int = 0,
+    physical_bytes: int = mb(64),
+    policy: str = "lru",
+    throttled: bool = False,
+    hog_disk_contention: float = 0.3,
+) -> MemoryLatencyResult:
+    """One cell of the §5.2 table.
+
+    ``page_demand`` is the hog's address-space size as a fraction of the
+    memory evictable after the OS base and editor session are resident:
+    the paper's "< 100 %" column corresponds to e.g. ``0.5``, the
+    "≥ 100 %" column to e.g. ``1.2``.  Set ``throttled=True`` for the
+    Evans et al. ablation.
+
+    ``hog_disk_contention`` is the probability that an editor page-in
+    queues behind one of the still-running hog's own disk requests ("we
+    then started and **let run**" — the streamer keeps faulting during the
+    measurement), paying one extra disk service.  It both raises the mean
+    and widens the run-to-run spread, as the paper's min/max columns show.
+    """
+    if page_demand < 0:
+        raise MemoryError_("page demand must be non-negative")
+    profile = memory_profile(os_name)
+    rngs = RngRegistry(seed)
+    respond_rng = rngs.stream(f"mem:respond:{os_name}:{page_demand}")
+    latencies: List[float] = []
+
+    for run in range(runs):
+        disk = PagingDisk(rngs.stream(f"mem:disk:{os_name}:{page_demand}:{run}"))
+        pool = FramePool(physical_bytes)
+        vm_cls = ThrottledVirtualMemory if throttled else VirtualMemory
+        vm = vm_cls(
+            pool, disk, make_policy(policy), read_cluster=profile.read_cluster
+        )
+
+        pool.pin(idle_memory_bytes(os_name))
+        editor = vm.create_process(
+            "editor-session",
+            profile.editor_pages * pool.page_size,
+            interactive=True,
+        )
+        # Warm the session: everything resident, then the user stops typing
+        # ("think time") — the editor pages become the LRU-coldest.
+        vm.touch_sequential(editor, 0, profile.editor_pages)
+
+        # The streaming hog: sized relative to what it can steal.
+        evictable = pool.free_frames + editor.resident_pages
+        hog_pages = max(1, int(evictable * page_demand))
+        hog = vm.create_process(
+            "memhog", hog_pages * pool.page_size, interactive=False
+        )
+        vm.touch_sequential(hog, 0, hog_pages, write=True)
+
+        # The keystroke: the echo path touches the sampled response set
+        # while the hog keeps streaming and contending for the disk.
+        contention_rng = rngs.stream(
+            f"mem:contention:{os_name}:{page_demand}:{run}"
+        )
+        respond_pages = _sample_respond_pages(profile, respond_rng)
+        latency = ECHO_CPU_MS
+        for vpn in range(respond_pages):
+            result = vm.touch(editor, vpn % editor.num_pages)
+            latency += result.latency_ms
+            if (
+                result.faulted
+                and hog_disk_contention > 0
+                and contention_rng.random() < hog_disk_contention
+            ):
+                latency += disk.read_ms(1)  # queued behind a hog request
+        latencies.append(max(latency, BASELINE_RESPONSE_MS))
+
+    return MemoryLatencyResult(
+        os_name=os_name,
+        page_demand=page_demand,
+        latencies_ms=latencies,
+        throttled=throttled,
+    )

@@ -1,0 +1,195 @@
+"""The virtual-memory manager: faults, eviction, page-in latency.
+
+:class:`VirtualMemory` ties together the frame pool, per-process address
+spaces, a replacement policy, and the paging disk.  It is *clock-agnostic*:
+``touch`` returns the latency the access cost, and callers (experiments,
+the thin-client server composition) account for that time on their own
+clocks.  This keeps the module usable both inside the event simulator and
+in closed-form experiments.
+
+The latency structure is the paper's (§5.2): while the active data set fits,
+access latency is bounded by the memory hierarchy (modelled as a small
+constant); when physical memory is exhausted, every miss pays a disk
+service time, which dwarfs everything else.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from ..errors import MemoryError_
+from .disk import PagingDisk
+from .pagetable import AddressSpace
+from .physical import Frame, FramePool
+from .replacement import ReplacementPolicy
+
+
+class AccessResult:
+    """Outcome of a single page touch."""
+
+    __slots__ = ("latency_ms", "faulted", "evicted", "pages_read")
+
+    def __init__(
+        self, latency_ms: float, faulted: bool, evicted: int, pages_read: int
+    ) -> None:
+        self.latency_ms = latency_ms
+        self.faulted = faulted
+        self.evicted = evicted  #: frames evicted to satisfy this access
+        self.pages_read = pages_read  #: pages transferred from disk
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        kind = "fault" if self.faulted else "hit"
+        return f"<AccessResult {kind} {self.latency_ms:.3f}ms>"
+
+
+class VirtualMemory:
+    """Global-replacement demand paging over a fixed frame pool."""
+
+    #: Latency of a memory-hierarchy hit, in ms.  Negligible next to disk
+    #: service times, but non-zero so hit paths consume simulated time.
+    HIT_LATENCY_MS = 0.0002
+
+    def __init__(
+        self,
+        pool: FramePool,
+        disk: PagingDisk,
+        policy: ReplacementPolicy,
+        *,
+        read_cluster: int = 1,
+        synchronous_writeback: bool = False,
+    ) -> None:
+        if read_cluster < 1:
+            raise MemoryError_("read cluster must be >= 1")
+        self.pool = pool
+        self.disk = disk
+        self.policy = policy
+        self.read_cluster = read_cluster
+        self.synchronous_writeback = synchronous_writeback
+        self.spaces: List[AddressSpace] = []
+
+        # Global accounting.
+        self.total_faults = 0
+        self.total_hits = 0
+        self.total_evictions = 0
+        self.total_writebacks = 0
+
+    # -- process management ----------------------------------------------------
+
+    def create_process(
+        self, name: str, size_bytes: int, *, interactive: bool = False
+    ) -> AddressSpace:
+        """Create an address space of ``ceil(size_bytes / page_size)`` pages."""
+        num_pages = -(-size_bytes // self.pool.page_size)
+        space = AddressSpace(name, num_pages, interactive=interactive)
+        self.spaces.append(space)
+        return space
+
+    def destroy_process(self, space: AddressSpace) -> None:
+        """Free every resident frame of *space*."""
+        for vpn in list(space.resident_vpns()):
+            frame = space.lookup(vpn)
+            assert frame is not None
+            self.policy.remove(frame)
+            space.unmap(vpn)
+            self.pool.release(frame)
+        self.spaces.remove(space)
+
+    # -- the access path -----------------------------------------------------------
+
+    def touch(
+        self, space: AddressSpace, vpn: int, *, write: bool = False
+    ) -> AccessResult:
+        """Access one page; fault it (and its read cluster) in if needed."""
+        frame = space.lookup(vpn)
+        if frame is not None:
+            self.policy.access(frame)
+            if write:
+                frame.dirty = True
+            space.hits += 1
+            self.total_hits += 1
+            return AccessResult(self.HIT_LATENCY_MS, False, 0, 0)
+
+        # Page fault: bring in vpn plus up to read_cluster-1 following pages.
+        space.faults += 1
+        self.total_faults += 1
+        latency = 0.0
+        evicted = 0
+        to_read = [vpn]
+        for next_vpn in range(vpn + 1, vpn + self.read_cluster):
+            if next_vpn < space.num_pages and space.lookup(next_vpn) is None:
+                to_read.append(next_vpn)
+            else:
+                break
+
+        mapped = 0
+        for fault_vpn in to_read:
+            frame, evict_latency, evict_count = self._obtain_frame(space)
+            if frame is None:
+                if mapped:
+                    break  # cluster truncated by memory pressure
+                raise MemoryError_(
+                    "out of memory: no free frames and no evictable pages"
+                )
+            latency += evict_latency
+            evicted += evict_count
+            space.map(fault_vpn, frame)
+            if write and fault_vpn == vpn:
+                frame.dirty = True
+            self.policy.insert(frame)
+            mapped += 1
+
+        latency += self.disk.read_ms(mapped)
+        return AccessResult(latency, True, evicted, mapped)
+
+    def touch_sequential(
+        self, space: AddressSpace, start_vpn: int, npages: int, *, write: bool = False
+    ) -> float:
+        """Touch ``[start_vpn, start_vpn + npages)`` in order; total latency."""
+        total = 0.0
+        for vpn in range(start_vpn, start_vpn + npages):
+            total += self.touch(space, vpn % space.num_pages, write=write).latency_ms
+        return total
+
+    def resident_fraction(self, space: AddressSpace) -> float:
+        """Fraction of *space*'s pages currently in physical memory."""
+        return space.resident_pages / space.num_pages
+
+    # -- internals --------------------------------------------------------------
+
+    def _obtain_frame(self, requester: AddressSpace):
+        """A free frame, evicting a victim if necessary.
+
+        Returns ``(frame_or_none, writeback_latency_ms, evicted_count)``.
+        Subclasses (throttling) override :meth:`_select_victim`.
+        """
+        frame = self.pool.allocate()
+        if frame is not None:
+            return frame, 0.0, 0
+        victim = self._select_victim(requester)
+        if victim is None:
+            return None, 0.0, 0
+        latency = self._evict(victim)
+        frame = self.pool.allocate()
+        assert frame is not None
+        return frame, latency, 1
+
+    def _select_victim(self, requester: AddressSpace) -> Optional[Frame]:
+        if len(self.policy) == 0:
+            return None
+        return self.policy.select_victim()
+
+    def _evict(self, victim: Frame) -> float:
+        """Unmap and free *victim*; returns synchronous write-back latency."""
+        owner = victim.owner
+        assert isinstance(owner, AddressSpace)
+        assert victim.vpn is not None
+        latency = 0.0
+        if victim.dirty:
+            self.total_writebacks += 1
+            write_ms = self.disk.write_ms(1)
+            if self.synchronous_writeback:
+                latency = write_ms
+        owner.unmap(victim.vpn)
+        self.pool.release(victim)
+        self.total_evictions += 1
+        return latency

@@ -1,0 +1,72 @@
+"""Network substrate: framing, links, streams, load generation, tracing.
+
+Implements the paper's §6 measurement environment: a 10 Mbps shared
+Ethernet, TCP/IP (and VIP) framing, Poisson synthetic load, the ping RTT
+experiment (Figs. 8–9), and prototap per-channel accounting.
+"""
+
+from .framing import (
+    DEFAULT_MTU,
+    ETHERNET_FCS,
+    ETHERNET_HEADER,
+    IP_HEADER,
+    RAW,
+    TCP_HEADER,
+    TCPIP,
+    VIP,
+    HeaderStack,
+    segment,
+    vip_savings,
+    wire_bytes,
+)
+from .link import Link
+from .loadgen import DEFAULT_LOAD_PACKET_BYTES, PoissonLoadGenerator
+from .packet import Packet
+from .ping import (
+    PING_INTERVAL_MS,
+    PING_PACKET_BYTES,
+    Pinger,
+    PingResult,
+    run_ping_experiment,
+)
+from .prototap import (
+    DISPLAY_CHANNEL,
+    INPUT_CHANNEL,
+    ChannelStats,
+    KindStats,
+    ProtocolTrace,
+    ProtoTap,
+)
+from .tcpstream import Message, TcpConnection
+
+__all__ = [
+    "ChannelStats",
+    "DEFAULT_LOAD_PACKET_BYTES",
+    "DEFAULT_MTU",
+    "DISPLAY_CHANNEL",
+    "ETHERNET_FCS",
+    "ETHERNET_HEADER",
+    "HeaderStack",
+    "INPUT_CHANNEL",
+    "KindStats",
+    "IP_HEADER",
+    "Link",
+    "Message",
+    "Packet",
+    "PING_INTERVAL_MS",
+    "PING_PACKET_BYTES",
+    "Pinger",
+    "PingResult",
+    "PoissonLoadGenerator",
+    "ProtoTap",
+    "ProtocolTrace",
+    "RAW",
+    "TCPIP",
+    "TCP_HEADER",
+    "TcpConnection",
+    "VIP",
+    "run_ping_experiment",
+    "segment",
+    "vip_savings",
+    "wire_bytes",
+]

@@ -1,0 +1,124 @@
+"""Header stacks and segmentation: Ethernet, IP, TCP, and x-kernel VIP.
+
+The paper's protocols (RDP, X, LBX) all ran over TCP/IP on 10 Mbps
+Ethernet.  Protocol messages average just 267 bytes, "much smaller than the
+interface MTU on our systems (1500 bytes)", so "the overhead imposed even by
+just 20 byte IP headers is significant" — which motivates the paper's VIP
+table: in non-routed deployments, the x-kernel *virtual IP* stack omits the
+IP header entirely (Hutchinson et al.).
+
+:func:`segment` turns an application message into on-wire frame sizes, one
+header stack per MTU-sized segment.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from ..errors import NetworkError
+
+ETHERNET_HEADER = 14  #: destination + source + ethertype
+ETHERNET_FCS = 4  #: trailing frame check sequence
+IP_HEADER = 20  #: the header VIP elides (§6.1.2)
+TCP_HEADER = 20
+#: Maximum transmission unit — IP packet size, as on the paper's systems.
+DEFAULT_MTU = 1500
+
+
+@dataclass(frozen=True)
+class HeaderStack:
+    """Per-segment framing overhead of one network stack."""
+
+    name: str
+    link_bytes: int  #: link-layer header + trailer per frame
+    network_bytes: int  #: IP (or 0 for VIP)
+    transport_bytes: int  #: TCP
+
+    @property
+    def per_segment_overhead(self) -> int:
+        """Framing bytes added to every segment under this stack."""
+        return self.link_bytes + self.network_bytes + self.transport_bytes
+
+    def max_segment_payload(self, mtu: int = DEFAULT_MTU) -> int:
+        """Application bytes that fit in one frame of *mtu* IP bytes."""
+        payload = mtu - self.network_bytes - self.transport_bytes
+        if payload <= 0:
+            raise NetworkError(f"MTU {mtu} too small for {self.name} headers")
+        return payload
+
+
+#: Standard TCP/IP over Ethernet, as the paper's testbed ran.
+TCPIP = HeaderStack(
+    "tcp/ip",
+    link_bytes=ETHERNET_HEADER + ETHERNET_FCS,
+    network_bytes=IP_HEADER,
+    transport_bytes=TCP_HEADER,
+)
+
+#: x-kernel virtual-IP: the IP header omitted in non-routed deployments.
+VIP = HeaderStack(
+    "vip",
+    link_bytes=ETHERNET_HEADER + ETHERNET_FCS,
+    network_bytes=0,
+    transport_bytes=TCP_HEADER,
+)
+
+#: Bare frames, for synthetic load and ping packets whose size is given
+#: as the full on-wire size (the paper's "64 byte packets").
+RAW = HeaderStack("raw", link_bytes=0, network_bytes=0, transport_bytes=0)
+
+
+def segment(payload_bytes: int, stack: HeaderStack, mtu: int = DEFAULT_MTU) -> List[int]:
+    """On-wire frame sizes for one *payload_bytes* application message.
+
+    Zero-byte messages still cost one header-only frame (a bare protocol
+    message with no payload, e.g. a cache-swap notification is modelled by
+    its small positive size, but defensively we emit one frame).
+    """
+    if payload_bytes < 0:
+        raise NetworkError("negative payload")
+    mss = stack.max_segment_payload(mtu) if stack.per_segment_overhead else mtu
+    frames: List[int] = []
+    remaining = payload_bytes
+    while True:
+        chunk = min(remaining, mss)
+        frames.append(chunk + stack.per_segment_overhead)
+        remaining -= chunk
+        if remaining <= 0:
+            break
+    return frames
+
+
+def wire_bytes(payload_bytes: int, stack: HeaderStack, mtu: int = DEFAULT_MTU) -> int:
+    """Total on-wire bytes for one message under *stack*."""
+    return sum(segment(payload_bytes, stack, mtu))
+
+
+def framing_overhead_fraction(
+    payload_bytes: int, stack: HeaderStack = TCPIP, mtu: int = DEFAULT_MTU
+) -> float:
+    """Fraction of on-wire bytes that is framing, for one message size.
+
+    Danskin's conclusion, which the paper reaches too (§7): the small
+    message sizes of display protocols make TCP/IP an inefficient
+    substrate — a 64-byte keystroke message is ~48 % headers, while a
+    full segment is ~4 %.
+    """
+    wire = wire_bytes(payload_bytes, stack, mtu)
+    if wire == 0:
+        raise NetworkError("empty message")
+    return (wire - payload_bytes) / wire
+
+
+def vip_savings(payload_sizes: List[int], mtu: int = DEFAULT_MTU) -> float:
+    """Fractional byte savings of VIP over TCP/IP for a message trace.
+
+    This is the paper's VIP table: each segment saves the 20-byte IP
+    header, so chatty protocols with small messages (LBX) save the most.
+    """
+    normal = sum(wire_bytes(p, TCPIP, mtu) for p in payload_sizes)
+    vip = sum(wire_bytes(p, VIP, mtu) for p in payload_sizes)
+    if normal == 0:
+        raise NetworkError("empty message trace")
+    return (normal - vip) / normal

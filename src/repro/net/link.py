@@ -1,0 +1,100 @@
+"""A shared network link with a FIFO transmit queue.
+
+Models the paper's testbed medium: 10 Mbps shared Ethernet.  All traffic —
+both directions plus synthetic load — contends for the same wire, which is
+what makes Figures 8 and 9 interesting: as offered load approaches
+capacity, queueing delay (and its variance) explodes.
+
+The model is a single-server FIFO queue: each packet occupies the wire for
+``wire_bytes / bandwidth`` and is delivered ``propagation_ms`` after its
+transmission completes.  Collisions/backoff are folded into the queueing
+behaviour (a fine approximation for a switched hub, and the right *shape*
+for coax).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Callable, Deque, Optional, Tuple
+
+from ..errors import NetworkError
+from ..sim.engine import Simulator
+from ..sim.trace import ByteTrace
+from ..units import mbps_to_bytes_per_ms
+from .packet import Packet
+
+DeliveryCallback = Callable[[Packet], None]
+
+
+class Link:
+    """A shared, half-duplex link with unbounded FIFO queueing."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        bandwidth_mbps: float = 10.0,
+        propagation_ms: float = 0.05,
+        name: str = "ether0",
+    ) -> None:
+        if bandwidth_mbps <= 0:
+            raise NetworkError("bandwidth must be positive")
+        if propagation_ms < 0:
+            raise NetworkError("propagation delay cannot be negative")
+        self.sim = sim
+        self.bandwidth_mbps = bandwidth_mbps
+        self.bytes_per_ms = mbps_to_bytes_per_ms(bandwidth_mbps)
+        self.propagation_ms = propagation_ms
+        self.name = name
+
+        self._queue: Deque[Tuple[Packet, Optional[DeliveryCallback]]] = deque()
+        self._transmitting = False
+        self.trace = ByteTrace(name)  #: every packet, stamped at send-complete
+        self.packets_sent = 0
+        self.bytes_sent = 0
+
+    @property
+    def queue_depth(self) -> int:
+        """Packets waiting (not counting the one on the wire)."""
+        return len(self._queue)
+
+    def send(self, packet: Packet, on_delivered: Optional[DeliveryCallback] = None) -> None:
+        """Queue *packet* for transmission; *on_delivered* fires at arrival."""
+        packet.enqueued_at = self.sim.now
+        self._queue.append((packet, on_delivered))
+        if not self._transmitting:
+            self._transmit_next()
+
+    def _transmit_next(self) -> None:
+        if not self._queue:
+            self._transmitting = False
+            return
+        self._transmitting = True
+        packet, on_delivered = self._queue.popleft()
+        transmit_ms = packet.wire_bytes / self.bytes_per_ms
+
+        def done() -> None:
+            self.trace.record(self.sim.now, packet.wire_bytes)
+            self.packets_sent += 1
+            self.bytes_sent += packet.wire_bytes
+            if on_delivered is not None:
+                delivery_time = self.sim.now + self.propagation_ms
+
+                def deliver() -> None:
+                    packet.delivered_at = self.sim.now
+                    on_delivered(packet)
+
+                self.sim.schedule(self.propagation_ms, deliver)
+            self._transmit_next()
+
+        self.sim.schedule(transmit_ms, done)
+
+    def utilization(self, t0: float, t1: float) -> float:
+        """Fraction of link capacity used over ``[t0, t1)``."""
+        if t1 <= t0:
+            raise NetworkError("empty utilization window")
+        sent = sum(
+            size
+            for time, size in zip(self.trace.times, self.trace.sizes)
+            if t0 <= time < t1
+        )
+        return sent / (self.bytes_per_ms * (t1 - t0))

@@ -1,0 +1,71 @@
+"""Synthetic offered load (Figures 8–9's x-axis).
+
+A Poisson packet generator: exponential inter-arrivals at the rate that
+yields the requested offered load in Mbps, fixed-size frames.  The paper
+"produced synthetic TCP/IP network load on our experimental testbed"; the
+generator is the simulation equivalent.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Optional
+
+from ..errors import NetworkError
+from ..sim.engine import Event, Simulator
+from ..units import mbps_to_bytes_per_ms
+from .link import Link
+from .packet import Packet
+
+#: Full-size data frames, the natural choice for bulk synthetic load.
+DEFAULT_LOAD_PACKET_BYTES = 1500
+
+
+class PoissonLoadGenerator:
+    """Offers *mbps* of load to *link* until stopped."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        link: Link,
+        mbps: float,
+        rng: random.Random,
+        *,
+        packet_bytes: int = DEFAULT_LOAD_PACKET_BYTES,
+        channel: str = "load",
+    ) -> None:
+        if mbps < 0:
+            raise NetworkError("offered load cannot be negative")
+        if packet_bytes <= 0:
+            raise NetworkError("load packets must have positive size")
+        self.sim = sim
+        self.link = link
+        self.mbps = mbps
+        self.rng = rng
+        self.packet_bytes = packet_bytes
+        self.channel = channel
+        self.packets_offered = 0
+        self._stopped = False
+        self._next: Optional[Event] = None
+        if mbps > 0:
+            self._mean_interarrival_ms = packet_bytes / mbps_to_bytes_per_ms(mbps)
+            self._schedule_next()
+        else:
+            self._mean_interarrival_ms = float("inf")
+
+    def _schedule_next(self) -> None:
+        delay = self.rng.expovariate(1.0 / self._mean_interarrival_ms)
+        self._next = self.sim.schedule(delay, self._fire)
+
+    def _fire(self) -> None:
+        if self._stopped:
+            return
+        self.link.send(Packet(self.packet_bytes, channel=self.channel))
+        self.packets_offered += 1
+        self._schedule_next()
+
+    def stop(self) -> None:
+        """Stop offering load; any queued arrival is cancelled."""
+        self._stopped = True
+        if self._next is not None:
+            self._next.cancel()

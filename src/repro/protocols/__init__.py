@@ -1,0 +1,63 @@
+"""Remote display protocols: RDP (with bitmap cache), X, and LBX."""
+
+from typing import Dict, Type
+
+from ..errors import ProtocolError
+from .base import EncodedMessage, RemoteDisplayProtocol
+from .bitmapcache import (
+    DEFAULT_CACHE_BYTES,
+    CacheStats,
+    LoopAwareBitmapCache,
+    LRUBitmapCache,
+)
+from .compression import CompressionModel
+from .lbx import LBXProtocol
+from .rdp import RDPProtocol
+from .slim import SLIMProtocol
+from .vnc import VNCProtocol
+from .x11 import X_EVENT_BYTES, XProtocol, XRequestSizes
+
+_PROTOCOLS: Dict[str, Type[RemoteDisplayProtocol]] = {
+    "rdp": RDPProtocol,
+    "x": XProtocol,
+    "lbx": LBXProtocol,
+    "slim": SLIMProtocol,
+    "vnc": VNCProtocol,
+}
+
+#: The three protocols of the §6 comparison, in the paper's table order.
+PROTOCOL_NAMES = ("rdp", "x", "lbx")
+
+#: The §7 related-work protocols, available for the extended comparison.
+RELATED_PROTOCOL_NAMES = ("slim", "vnc")
+
+
+def make_protocol(name: str) -> RemoteDisplayProtocol:
+    """A fresh session encoder: rdp, x, lbx, slim, or vnc."""
+    try:
+        return _PROTOCOLS[name]()
+    except KeyError:
+        raise ProtocolError(
+            f"unknown protocol {name!r}; expected one of {PROTOCOL_NAMES}"
+        ) from None
+
+
+__all__ = [
+    "CacheStats",
+    "CompressionModel",
+    "DEFAULT_CACHE_BYTES",
+    "EncodedMessage",
+    "LBXProtocol",
+    "LoopAwareBitmapCache",
+    "LRUBitmapCache",
+    "PROTOCOL_NAMES",
+    "RDPProtocol",
+    "RELATED_PROTOCOL_NAMES",
+    "SLIMProtocol",
+    "VNCProtocol",
+    "RemoteDisplayProtocol",
+    "XProtocol",
+    "XRequestSizes",
+    "X_EVENT_BYTES",
+    "make_protocol",
+]

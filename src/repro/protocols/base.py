@@ -1,0 +1,90 @@
+"""The remote-display protocol interface.
+
+A protocol instance is **stateful, per session** (RDP's bitmap cache, input
+batching buffers, LBX's compressor context all live here).  The server
+composition feeds it *interaction steps*:
+
+* :meth:`encode_display_step` — the display operations one application
+  action produced, returned as encoded protocol messages for the display
+  channel;
+* :meth:`encode_input_step` — the input events the client produced in one
+  step, returned as input-channel messages (possibly empty: RDP coalesces
+  motion events across steps);
+* :meth:`flush_input` — drain any batching buffer at end of trace.
+
+Encoded message sizes are protocol payload bytes; TCP/IP framing is added
+by the network layer (:mod:`repro.net`).
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+from typing import List, Sequence
+
+from ..errors import ProtocolError
+from ..gui.drawing import DisplayOp
+from ..gui.input import InputEvent
+
+
+@dataclass(frozen=True)
+class EncodedMessage:
+    """One protocol message ready for the wire."""
+
+    channel: str  #: "input" or "display"
+    payload_bytes: int
+    kind: str = ""  #: e.g. "orders", "bitmap-update", "cache-hit", "events"
+
+    def __post_init__(self) -> None:
+        if self.payload_bytes <= 0:
+            raise ProtocolError("encoded message must have positive size")
+        if self.channel not in ("input", "display"):
+            raise ProtocolError(f"unknown channel {self.channel!r}")
+
+
+class RemoteDisplayProtocol(abc.ABC):
+    """One session's encoder for a remote-display wire protocol."""
+
+    name = "abstract"
+
+    #: Server-side CPU cost of encoding: per message and per payload byte.
+    #: Used by the Figure 6 CPU-utilization series and the server model.
+    encode_cost_per_message_ms = 0.05
+    encode_cost_per_kb_ms = 0.18
+
+    #: Whether this protocol's display writes from one flush share TCP
+    #: segments.  Xlib and RDP write whole buffers/PDUs; the LBX proxy
+    #: forwards each re-framed chunk immediately, so every chunk rides its
+    #: own packet (the paper's 87-byte LBX average message size).
+    packs_display_writes = True
+
+    @abc.abstractmethod
+    def encode_display_step(
+        self, ops: Sequence[DisplayOp]
+    ) -> List[EncodedMessage]:
+        """Encode one step's display operations into wire messages."""
+
+    @abc.abstractmethod
+    def encode_input_step(
+        self, events: Sequence[InputEvent]
+    ) -> List[EncodedMessage]:
+        """Encode one step's input events (may buffer and return [])."""
+
+    def flush_input(self) -> List[EncodedMessage]:
+        """Drain any input batching buffer (default: nothing buffered)."""
+        return []
+
+    def flush_display(self) -> List[EncodedMessage]:
+        """Drain any display batching buffer (default: nothing buffered)."""
+        return []
+
+    def reset(self) -> None:
+        """Forget per-session state (fresh connection)."""
+
+    def encode_cost_ms(self, messages: Sequence[EncodedMessage]) -> float:
+        """Server CPU time to produce *messages*."""
+        total_bytes = sum(m.payload_bytes for m in messages)
+        return (
+            len(messages) * self.encode_cost_per_message_ms
+            + total_bytes / 1024.0 * self.encode_cost_per_kb_ms
+        )

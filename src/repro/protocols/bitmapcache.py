@@ -1,0 +1,164 @@
+"""The client-side bitmap cache (§6.1.3).
+
+"According to Microsoft's product literature, the TSE client reserves, by
+default, 1.5MB of memory for a bitmap cache using an LRU eviction policy."
+The cache is what lets RDP display a looping animation at ~0.01 Mbps while
+X retransmits every frame — and also what produces the pathological cliff
+of Figure 7: "Looping animations defeat LRU bitmap caches in the same way
+that sequential byte range accesses defeat LRU disk caches."
+
+Two implementations:
+
+* :class:`LRUBitmapCache` — the TSE client's documented behaviour;
+* :class:`LoopAwareBitmapCache` — the paper's suggested fix ("a more
+  intelligent scheme capable of dealing with such animations might somehow
+  detect loop patterns and adjust its eviction behavior"): on detecting a
+  cyclic re-reference pattern it switches to MRU-style eviction, which
+  pins a stable prefix of the loop in cache instead of thrashing all of it.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Dict, List, Optional, Tuple
+
+from ..errors import ProtocolError
+from ..gui.drawing import Bitmap
+from ..units import mb
+
+#: The TSE client's default cache reservation.
+DEFAULT_CACHE_BYTES = mb(1.5)
+
+
+class CacheStats:
+    """Hit/miss counters with the cumulative ratio Figure 6 plots."""
+
+    def __init__(self) -> None:
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+        self.bytes_inserted = 0
+
+    @property
+    def accesses(self) -> int:
+        """Total bitmap draws observed (hits + misses)."""
+        return self.hits + self.misses
+
+    @property
+    def cumulative_hit_ratio(self) -> float:
+        """Hits over all accesses so far (the PerfMon 'Cache Hit Ratio')."""
+        if self.accesses == 0:
+            return 0.0
+        return self.hits / self.accesses
+
+
+class LRUBitmapCache:
+    """A byte-capacity-bounded LRU cache of bitmaps, keyed by bitmap id."""
+
+    def __init__(self, capacity_bytes: int = DEFAULT_CACHE_BYTES) -> None:
+        if capacity_bytes <= 0:
+            raise ProtocolError("cache capacity must be positive")
+        self.capacity_bytes = capacity_bytes
+        self.used_bytes = 0
+        self.stats = CacheStats()
+        self._entries: "OrderedDict[str, int]" = OrderedDict()  # id -> bytes
+
+    def __contains__(self, bitmap: Bitmap) -> bool:
+        return bitmap.bitmap_id in self._entries
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def access(self, bitmap: Bitmap) -> bool:
+        """Draw *bitmap*: True on hit; on miss, insert (evicting LRU).
+
+        Bitmaps larger than the whole cache are never cached (every access
+        misses without disturbing resident entries).
+        """
+        size = bitmap.compressed_bytes
+        key = bitmap.bitmap_id
+        if key in self._entries:
+            self.stats.hits += 1
+            self._touch(key)
+            return True
+        self.stats.misses += 1
+        if size > self.capacity_bytes:
+            return False
+        self._make_room(size)
+        self._entries[key] = size
+        self.used_bytes += size
+        self.stats.bytes_inserted += size
+        return False
+
+    def _touch(self, key: str) -> None:
+        self._entries.move_to_end(key)
+
+    def _make_room(self, size: int) -> None:
+        while self.used_bytes + size > self.capacity_bytes:
+            self._evict_one()
+
+    def _evict_one(self) -> None:
+        key, evicted_size = self._select_victim()
+        del self._entries[key]
+        self.used_bytes -= evicted_size
+        self.stats.evictions += 1
+
+    def _select_victim(self) -> Tuple[str, int]:
+        """LRU order: the head of the OrderedDict."""
+        if not self._entries:
+            raise ProtocolError("eviction from empty cache")
+        return next(iter(self._entries.items()))
+
+    def clear(self) -> None:
+        """Empty the cache (stats are kept)."""
+        self._entries.clear()
+        self.used_bytes = 0
+
+
+class LoopAwareBitmapCache(LRUBitmapCache):
+    """LRU that detects re-reference loops and flips to MRU eviction.
+
+    Loop detection: if a miss is for a bitmap id we *recently evicted*
+    (i.e. the working loop is bigger than the cache), thrashing is
+    underway — evicting the most-recently-inserted entry instead keeps a
+    stable subset of the loop resident, so a loop of N frames with a cache
+    of C bytes hits at roughly ``C/N_bytes`` instead of 0.
+    """
+
+    #: How many recently evicted ids to remember for loop detection.
+    EVICTION_MEMORY = 4096
+
+    def __init__(self, capacity_bytes: int = DEFAULT_CACHE_BYTES) -> None:
+        super().__init__(capacity_bytes)
+        self._recently_evicted: "OrderedDict[str, None]" = OrderedDict()
+        self.loop_mode = False
+
+    def access(self, bitmap: Bitmap) -> bool:
+        key = bitmap.bitmap_id
+        if key not in self._entries and key in self._recently_evicted:
+            # A re-reference of something we threw away: a loop larger
+            # than the cache.  Switch to MRU-style victim selection.
+            self.loop_mode = True
+        return super().access(bitmap)
+
+    def _select_victim(self) -> Tuple[str, int]:
+        if not self._entries:
+            raise ProtocolError("eviction from empty cache")
+        if self.loop_mode:
+            key, size = next(reversed(self._entries.items()))
+        else:
+            key, size = next(iter(self._entries.items()))
+        self._remember_eviction(key)
+        return key, size
+
+    def _remember_eviction(self, key: str) -> None:
+        self._recently_evicted[key] = None
+        self._recently_evicted.move_to_end(key)
+        while len(self._recently_evicted) > self.EVICTION_MEMORY:
+            self._recently_evicted.popitem(last=False)
+
+    def clear(self) -> None:
+        """Empty the cache and forget any detected loop."""
+        super().clear()
+        self._recently_evicted.clear()
+        self.loop_mode = False

@@ -1,0 +1,35 @@
+"""Modeled stream compression for LBX.
+
+LBX "takes normal X traffic and applies various compression techniques to
+reduce the bandwidth usage of X applications" (Fulton & Kantarjiev).  We
+model it as deterministic per-kind ratios: protocol/geometry traffic
+compresses well (delta encoding, GC caching, motion-event squishing);
+image data less so (a byte-oriented quick compressor).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import ProtocolError
+
+
+@dataclass(frozen=True)
+class CompressionModel:
+    """Per-kind compression ratios (compressed/original, smaller is better)."""
+
+    protocol_ratio: float = 0.40  #: requests, replies, events
+    image_ratio: float = 0.55  #: PutImage pixel data
+    min_bytes: int = 4  #: nothing compresses below a frame's floor
+
+    def __post_init__(self) -> None:
+        for ratio in (self.protocol_ratio, self.image_ratio):
+            if not 0.0 < ratio <= 1.0:
+                raise ProtocolError("compression ratio must be in (0, 1]")
+
+    def compress(self, nbytes: int, *, image: bool = False) -> int:
+        """Compressed size of *nbytes* of protocol or image data."""
+        if nbytes < 0:
+            raise ProtocolError("negative size")
+        ratio = self.image_ratio if image else self.protocol_ratio
+        return max(self.min_bytes, int(round(nbytes * ratio)))

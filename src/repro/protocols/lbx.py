@@ -1,0 +1,130 @@
+"""LBX: the Low Bandwidth X proxy (§2, §6.1.2).
+
+LBX "is implemented as a proxy server that lives on both ends of an X
+Windows connection.  It takes normal X traffic and applies various
+compression techniques to reduce the bandwidth usage of X applications."
+
+The model wraps an :class:`~repro.protocols.x11.XProtocol` encoder:
+
+* every X display message is compressed (per-kind ratios from
+  :class:`~repro.protocols.compression.CompressionModel`) and then
+  **re-framed into small proxy chunks** — which is why the paper measures
+  LBX with an ~80 % *higher* display message count than X but the smallest
+  average message size of the three protocols (87 bytes);
+* input events are delta-compressed (32 → ~14 bytes) and occasionally
+  squished together (motion coalescing), giving slightly *fewer* input
+  messages than X.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from ..errors import ProtocolError
+from ..gui.drawing import DisplayOp
+from ..gui.input import InputEvent, MouseMove
+from .base import EncodedMessage, RemoteDisplayProtocol
+from .compression import CompressionModel
+from .x11 import XProtocol
+
+#: Proxy chunk framing: payload ceiling and per-chunk header.
+LBX_CHUNK_BYTES = 120
+LBX_CHUNK_HEADER = 4
+#: Delta-compressed input event size.
+LBX_EVENT_BYTES = 14
+#: Every Nth motion event is squished into its predecessor.
+MOTION_SQUISH_PERIOD = 10
+
+
+class LBXProtocol(RemoteDisplayProtocol):
+    """One LBX session: an X stream through compressing proxies."""
+
+    name = "lbx"
+    #: The proxy forwards each chunk as its own write/packet.
+    packs_display_writes = False
+
+    def __init__(
+        self,
+        x: Optional[XProtocol] = None,
+        compression: CompressionModel = CompressionModel(),
+        chunk_bytes: int = LBX_CHUNK_BYTES,
+    ) -> None:
+        if chunk_bytes <= LBX_CHUNK_HEADER:
+            raise ProtocolError("chunk size must exceed the chunk header")
+        self.x = x or XProtocol()
+        self.compression = compression
+        self.chunk_bytes = chunk_bytes
+        self._motion_counter = 0
+
+    def reset(self) -> None:
+        self._motion_counter = 0
+
+    # -- display --------------------------------------------------------------
+
+    def _chunk(self, payload: int, kind: str) -> List[EncodedMessage]:
+        """Split compressed payload into proxy frames of <= chunk_bytes."""
+        messages: List[EncodedMessage] = []
+        remaining = payload
+        body = self.chunk_bytes - LBX_CHUNK_HEADER
+        while remaining > 0:
+            take = min(remaining, body)
+            messages.append(
+                EncodedMessage("display", take + LBX_CHUNK_HEADER, kind)
+            )
+            remaining -= take
+        return messages
+
+    def encode_display_step(
+        self, ops: Sequence[DisplayOp]
+    ) -> List[EncodedMessage]:
+        """Re-encode the X request stream through the proxy.
+
+        The proxy works *per X request* — each request is individually
+        squished/delta-compressed and re-framed with a small proxy header,
+        so LBX emits **more, smaller** display messages than Xlib's packed
+        writes (the paper's +80 % display message count and 87-byte average
+        message size), while the bytes shrink.  Bulk image data travels as
+        one compressed message, chunked only at the proxy's frame ceiling.
+        """
+        messages: List[EncodedMessage] = []
+        for op in ops:
+            for request in self.x.request_sizes_for(op):
+                image = request >= self.x.flush_bytes
+                compressed = self.compression.compress(request, image=image)
+                if image:
+                    # Bulk image data: one compressed proxy message.
+                    messages.append(
+                        EncodedMessage(
+                            "display",
+                            compressed + LBX_CHUNK_HEADER,
+                            "lbx-image",
+                        )
+                    )
+                else:
+                    messages.extend(self._chunk(compressed, "lbx-request"))
+        return messages
+
+    # -- input ------------------------------------------------------------------
+
+    def encode_input_step(
+        self, events: Sequence[InputEvent]
+    ) -> List[EncodedMessage]:
+        messages: List[EncodedMessage] = []
+        for event in events:
+            if isinstance(event, MouseMove):
+                self._motion_counter += 1
+                if self._motion_counter % MOTION_SQUISH_PERIOD == 0:
+                    if messages:
+                        # Squish into this step's previous message: a few
+                        # delta bytes, no new message.
+                        prev = messages[-1]
+                        messages[-1] = EncodedMessage(
+                            "input", prev.payload_bytes + 6, prev.kind
+                        )
+                    # Else the proxy coalesced it into the *last* packet it
+                    # already forwarded; the event costs nothing new.
+                    continue
+            messages.append(
+                EncodedMessage("input", LBX_EVENT_BYTES, "delta-event")
+            )
+        return messages

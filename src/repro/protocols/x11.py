@@ -1,0 +1,123 @@
+"""The X core protocol encoder.
+
+X encodes display updates as a stream of fixed-format requests: text via
+``ImageText8``, fills via ``PolyFillRectangle``, scrolls via ``CopyArea``,
+widget chrome via many small primitives, and raster images via ``PutImage``
+carrying **uncompressed** pixel data — "X, and consequently LBX, does not
+support bitmap caching" (§6.1.3), so every animation frame ships in full.
+
+Xlib buffers requests and flushes the buffer to the wire; we pack each
+step's requests into messages up to :data:`XLIB_FLUSH_BYTES`.  Input events
+(keys, motion) are fixed 32-byte X events, one message each — the source of
+X's enormous input-channel message count (§6.1.2).
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from ..errors import ProtocolError
+from ..gui.drawing import (
+    CopyArea,
+    DisplayOp,
+    DrawBitmap,
+    DrawText,
+    DrawWidget,
+    FillRect,
+    RestoreRegion,
+)
+from ..gui.input import InputEvent
+from .base import EncodedMessage, RemoteDisplayProtocol
+
+#: X events are a fixed 32 bytes on the wire.
+X_EVENT_BYTES = 32
+#: Xlib's output buffer flush threshold for our model.
+XLIB_FLUSH_BYTES = 1024
+
+
+def _pad4(n: int) -> int:
+    """X requests are padded to 4-byte boundaries."""
+    return (n + 3) & ~3
+
+
+class XRequestSizes:
+    """Core-protocol request sizes (header + fixed fields + data, padded)."""
+
+    @staticmethod
+    def image_text(chars: int) -> int:
+        """ImageText8: header plus one byte per character, padded."""
+        return _pad4(16 + chars)
+
+    POLY_FILL_RECTANGLE = 20
+    COPY_AREA = 28
+    CHANGE_GC = 16
+    WIDGET_PRIMITIVE = 24  #: average of the line/rect/text mix widgets use
+
+    @staticmethod
+    def put_image(raw_bytes: int) -> int:
+        """PutImage: header plus uncompressed pixel data, padded."""
+        return _pad4(24 + raw_bytes)
+
+
+class XProtocol(RemoteDisplayProtocol):
+    """One X session's encoder (stateless beyond the Xlib buffer model)."""
+
+    name = "x"
+
+    def __init__(self, flush_bytes: int = XLIB_FLUSH_BYTES) -> None:
+        if flush_bytes <= 0:
+            raise ProtocolError("flush threshold must be positive")
+        self.flush_bytes = flush_bytes
+
+    # -- display ------------------------------------------------------------
+
+    def request_sizes_for(self, op: DisplayOp) -> List[int]:
+        """The X request byte sizes one display op generates."""
+        if isinstance(op, DrawText):
+            # Apps typically touch the GC (font/colors) around text runs.
+            return [XRequestSizes.CHANGE_GC, XRequestSizes.image_text(op.chars)]
+        if isinstance(op, FillRect):
+            return [XRequestSizes.POLY_FILL_RECTANGLE]
+        if isinstance(op, CopyArea):
+            return [XRequestSizes.COPY_AREA]
+        if isinstance(op, DrawWidget):
+            return [XRequestSizes.WIDGET_PRIMITIVE] * op.elements
+        if isinstance(op, DrawBitmap):
+            # No cache, no compression: full pixels every time (§6.1.3).
+            return [XRequestSizes.put_image(op.bitmap.raw_bytes)]
+        if isinstance(op, RestoreRegion):
+            # No server-side screen state: the application re-renders the
+            # uncovered region primitive by primitive.
+            return [XRequestSizes.WIDGET_PRIMITIVE] * op.complexity
+        raise ProtocolError(f"unknown display op {op!r}")
+
+    def encode_display_step(
+        self, ops: Sequence[DisplayOp]
+    ) -> List[EncodedMessage]:
+        messages: List[EncodedMessage] = []
+        buffered = 0
+        for op in ops:
+            for request in self.request_sizes_for(op):
+                if buffered and buffered + request > self.flush_bytes:
+                    messages.append(
+                        EncodedMessage("display", buffered, "requests")
+                    )
+                    buffered = 0
+                if request >= self.flush_bytes:
+                    # Big requests (PutImage) flush straight through.
+                    messages.append(EncodedMessage("display", request, "put-image"))
+                else:
+                    buffered += request
+        if buffered:
+            messages.append(EncodedMessage("display", buffered, "requests"))
+        return messages
+
+    # -- input ---------------------------------------------------------------
+
+    def encode_input_step(
+        self, events: Sequence[InputEvent]
+    ) -> List[EncodedMessage]:
+        """One fixed 32-byte event message per input event."""
+        return [
+            EncodedMessage("input", X_EVENT_BYTES, "event") for __ in events
+        ]

@@ -1,0 +1,338 @@
+"""Deterministic discrete-event simulation kernel.
+
+This is the substrate under every experiment in the package.  It provides:
+
+* :class:`Simulator` — a clock plus a priority queue of timestamped events.
+* :class:`Event` — a cancellable handle for a scheduled callback.
+* :class:`Signal` — a one-shot condition that coroutine processes can wait on.
+* :class:`Process` — a lightweight generator-based process: the generator
+  yields either a delay in milliseconds (float/int) or a :class:`Signal`.
+
+Determinism
+-----------
+Events at equal timestamps fire in FIFO scheduling order (a monotonically
+increasing sequence number breaks ties), so a run is a pure function of its
+inputs and seeds.  No wall-clock time or global state is consulted anywhere.
+
+Time is in **milliseconds** (see :mod:`repro.units`).
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable, Generator, Iterable, List, Optional, Tuple
+
+from ..errors import SimulationError
+
+Action = Callable[[], Any]
+
+
+class Event:
+    """A handle for a scheduled callback.
+
+    Instances are created by :meth:`Simulator.schedule` /
+    :meth:`Simulator.schedule_at`; user code only ever calls :meth:`cancel`
+    and reads :attr:`time`.
+    """
+
+    __slots__ = ("time", "seq", "action", "canceled")
+
+    def __init__(self, time: float, seq: int, action: Action) -> None:
+        self.time = time
+        self.seq = seq
+        self.action = action
+        self.canceled = False
+
+    def cancel(self) -> None:
+        """Prevent the callback from running.  Idempotent; safe after firing."""
+        self.canceled = True
+
+    def __lt__(self, other: "Event") -> bool:
+        return (self.time, self.seq) < (other.time, other.seq)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "canceled" if self.canceled else "pending"
+        return f"<Event t={self.time:.3f} seq={self.seq} {state}>"
+
+
+class Signal:
+    """A one-shot, many-waiter condition variable for simulated processes.
+
+    A signal starts *pending*; :meth:`succeed` fires it exactly once with an
+    optional value.  Processes that ``yield`` a signal are resumed (in FIFO
+    order) when it fires; waiting on an already-fired signal resumes the
+    process immediately.
+    """
+
+    __slots__ = ("sim", "fired", "value", "_waiters")
+
+    def __init__(self, sim: "Simulator") -> None:
+        self.sim = sim
+        self.fired = False
+        self.value: Any = None
+        self._waiters: List[Callable[[Any], None]] = []
+
+    def succeed(self, value: Any = None) -> None:
+        """Fire the signal, waking every waiter at the current sim time."""
+        if self.fired:
+            raise SimulationError("Signal.succeed() called twice")
+        self.fired = True
+        self.value = value
+        waiters, self._waiters = self._waiters, []
+        for resume in waiters:
+            self.sim.schedule(0.0, lambda r=resume: r(self.value))
+
+    def add_waiter(self, resume: Callable[[Any], None]) -> None:
+        """Register *resume* to be called with the signal's value on fire."""
+        if self.fired:
+            self.sim.schedule(0.0, lambda: resume(self.value))
+        else:
+            self._waiters.append(resume)
+
+
+ProcessGen = Generator[Any, Any, Any]
+
+
+class Process:
+    """A generator-based simulated process.
+
+    The generator may yield:
+
+    * a non-negative ``float``/``int`` — sleep for that many milliseconds;
+    * a :class:`Signal` — suspend until the signal fires; the signal's value
+      is sent back into the generator.
+
+    When the generator returns, :attr:`done` fires with its return value, so
+    processes can wait on each other.
+    """
+
+    def __init__(self, sim: "Simulator", gen: ProcessGen, name: str = "") -> None:
+        self.sim = sim
+        self.gen = gen
+        self.name = name or getattr(gen, "__name__", "process")
+        self.done = Signal(sim)
+        sim.schedule(0.0, lambda: self._step(None))
+
+    def _step(self, value: Any) -> None:
+        try:
+            yielded = self.gen.send(value)
+        except StopIteration as stop:
+            self.done.succeed(stop.value)
+            return
+        if isinstance(yielded, Signal):
+            yielded.add_waiter(self._step)
+        elif isinstance(yielded, (int, float)):
+            if yielded < 0:
+                raise SimulationError(
+                    f"process {self.name!r} yielded a negative delay: {yielded}"
+                )
+            self.sim.schedule(float(yielded), lambda: self._step(None))
+        else:
+            raise SimulationError(
+                f"process {self.name!r} yielded {yielded!r}; "
+                "expected a delay (ms) or a Signal"
+            )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Process {self.name!r}>"
+
+
+class Simulator:
+    """The discrete-event clock and event queue.
+
+    Typical use::
+
+        sim = Simulator()
+        sim.schedule(10.0, lambda: print("at t=10ms"))
+        sim.run_until(1000.0)
+    """
+
+    def __init__(self) -> None:
+        self._now = 0.0
+        self._seq = 0
+        self._queue: List[Event] = []
+        self._running = False
+
+    # -- clock ---------------------------------------------------------------
+
+    @property
+    def now(self) -> float:
+        """Current simulation time in milliseconds."""
+        return self._now
+
+    # -- scheduling ------------------------------------------------------------
+
+    def schedule(self, delay: float, action: Action) -> Event:
+        """Run *action* ``delay`` ms from now.  Returns a cancellable handle."""
+        if delay < 0:
+            raise SimulationError(f"cannot schedule {delay} ms in the past")
+        return self.schedule_at(self._now + delay, action)
+
+    def schedule_at(self, time: float, action: Action) -> Event:
+        """Run *action* at absolute simulation time *time* (ms)."""
+        if time < self._now:
+            raise SimulationError(
+                f"cannot schedule at t={time} (now is t={self._now})"
+            )
+        event = Event(time, self._seq, action)
+        self._seq += 1
+        heapq.heappush(self._queue, event)
+        return event
+
+    def every(
+        self,
+        interval: float,
+        action: Action,
+        *,
+        start: Optional[float] = None,
+        jitter: Callable[[], float] = lambda: 0.0,
+    ) -> "PeriodicTask":
+        """Run *action* every *interval* ms until the returned task is stopped.
+
+        ``start`` defaults to one interval from now.  ``jitter`` is called
+        before each firing and its result (ms) is added to that firing's
+        delay — pass a seeded RNG-backed callable for noisy periodic work.
+        """
+        if interval <= 0:
+            raise SimulationError("periodic interval must be positive")
+        return PeriodicTask(self, interval, action, start=start, jitter=jitter)
+
+    def signal(self) -> Signal:
+        """Create a fresh one-shot :class:`Signal` bound to this simulator."""
+        return Signal(self)
+
+    def spawn(self, gen: ProcessGen, name: str = "") -> Process:
+        """Start a generator-based :class:`Process` at the current time."""
+        return Process(self, gen, name=name)
+
+    def timeout(self, delay: float) -> Signal:
+        """A signal that fires *delay* ms from now (for use inside processes)."""
+        sig = Signal(self)
+        self.schedule(delay, sig.succeed)
+        return sig
+
+    # -- execution ---------------------------------------------------------------
+
+    def step(self) -> bool:
+        """Fire the single next pending event.  Returns False if queue empty."""
+        while self._queue:
+            event = heapq.heappop(self._queue)
+            if event.canceled:
+                continue
+            self._now = event.time
+            event.action()
+            return True
+        return False
+
+    def run_until(self, time: float) -> None:
+        """Run all events with timestamp ``<= time``, then set the clock there.
+
+        The clock always ends exactly at *time* even if the queue drains
+        early, so back-to-back ``run_until`` calls measure wall-clock-like
+        windows.
+        """
+        if time < self._now:
+            raise SimulationError(
+                f"run_until({time}) is in the past (now={self._now})"
+            )
+        if self._running:
+            raise SimulationError("Simulator.run_until() is not reentrant")
+        self._running = True
+        try:
+            while self._queue:
+                event = self._queue[0]
+                if event.time > time:
+                    break
+                heapq.heappop(self._queue)
+                if event.canceled:
+                    continue
+                self._now = event.time
+                event.action()
+            self._now = time
+        finally:
+            self._running = False
+
+    def run(self, duration: float) -> None:
+        """Run for *duration* ms from the current time."""
+        self.run_until(self._now + duration)
+
+    def drain(self, limit: int = 1_000_000) -> int:
+        """Fire events until the queue is empty.  Returns the count fired.
+
+        ``limit`` guards against accidental infinite self-scheduling loops.
+        """
+        fired = 0
+        while self.step():
+            fired += 1
+            if fired >= limit:
+                raise SimulationError(f"drain() exceeded {limit} events")
+        return fired
+
+    @property
+    def pending(self) -> int:
+        """Number of queued (possibly canceled) events — a debugging aid."""
+        return sum(1 for e in self._queue if not e.canceled)
+
+
+class PeriodicTask:
+    """A repeating action created by :meth:`Simulator.every`."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        interval: float,
+        action: Action,
+        *,
+        start: Optional[float] = None,
+        jitter: Callable[[], float] = lambda: 0.0,
+    ) -> None:
+        self.sim = sim
+        self.interval = interval
+        self.action = action
+        self.jitter = jitter
+        self._stopped = False
+        first_delay = interval if start is None else max(0.0, start - sim.now)
+        self._event = sim.schedule(first_delay + max(0.0, jitter()), self._fire)
+
+    def _fire(self) -> None:
+        if self._stopped:
+            return
+        self.action()
+        if not self._stopped:
+            delay = self.interval + max(0.0, self.jitter())
+            self._event = self.sim.schedule(delay, self._fire)
+
+    def stop(self) -> None:
+        """Stop the task; any queued firing is canceled."""
+        self._stopped = True
+        self._event.cancel()
+
+
+def all_of(sim: Simulator, signals: Iterable[Signal]) -> Signal:
+    """A signal that fires once every signal in *signals* has fired.
+
+    The combined signal's value is the list of individual values, in the
+    order the signals were given.
+    """
+    sigs: Tuple[Signal, ...] = tuple(signals)
+    combined = Signal(sim)
+    remaining = len(sigs)
+    if remaining == 0:
+        combined.fired = True
+        combined.value = []
+        return combined
+    values: List[Any] = [None] * remaining
+    state = {"left": remaining}
+
+    def make_waiter(i: int) -> Callable[[Any], None]:
+        def waiter(value: Any) -> None:
+            values[i] = value
+            state["left"] -= 1
+            if state["left"] == 0:
+                combined.succeed(values)
+
+        return waiter
+
+    for i, sig in enumerate(sigs):
+        sig.add_waiter(make_waiter(i))
+    return combined

@@ -1,0 +1,59 @@
+"""Named, independently seeded random-number streams.
+
+Every stochastic component of the simulator (idle-activity generators, disk
+service times, Poisson load generators, …) draws from its **own** named
+stream, derived deterministically from the experiment's master seed.  Adding
+or removing one consumer therefore never perturbs the variates any other
+consumer sees — runs stay comparable across code changes, which is essential
+when calibrating figures against the paper.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import random
+from typing import Dict
+
+
+def derive_seed(master_seed: int, name: str) -> int:
+    """Derive a 64-bit child seed from *master_seed* and a stream *name*.
+
+    Uses SHA-256 over the pair, so child streams are statistically
+    independent for all practical purposes and stable across Python versions
+    (unlike ``hash()``, which is salted per-process).
+    """
+    digest = hashlib.sha256(f"{master_seed}:{name}".encode("utf-8")).digest()
+    return int.from_bytes(digest[:8], "big")
+
+
+class RngRegistry:
+    """A factory for named :class:`random.Random` streams.
+
+    >>> rngs = RngRegistry(seed=42)
+    >>> a = rngs.stream("disk")
+    >>> b = rngs.stream("link")
+    >>> a is rngs.stream("disk")
+    True
+    """
+
+    def __init__(self, seed: int = 0) -> None:
+        self.seed = seed
+        self._streams: Dict[str, random.Random] = {}
+
+    def stream(self, name: str) -> random.Random:
+        """Return the stream for *name*, creating it on first use."""
+        stream = self._streams.get(name)
+        if stream is None:
+            stream = random.Random(derive_seed(self.seed, name))
+            self._streams[name] = stream
+        return stream
+
+    def fork(self, name: str) -> "RngRegistry":
+        """A child registry whose master seed is derived from *name*.
+
+        Useful when a component owns several sub-streams of its own.
+        """
+        return RngRegistry(derive_seed(self.seed, name))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<RngRegistry seed={self.seed} streams={sorted(self._streams)}>"

@@ -1,0 +1,177 @@
+"""Trace recording: time series, busy intervals, and byte-rate traces.
+
+Three recorders cover everything the paper's figures need:
+
+* :class:`TimeSeries` — sampled ``(time, value)`` pairs (e.g. cache hit ratio).
+* :class:`IntervalTrace` — closed busy intervals ``[start, end)``; can be
+  rendered as a per-bin **utilization trace** (Figure 1) or reduced to a
+  distribution of interval durations (Figure 2).
+* :class:`ByteTrace` — timestamped byte counts (packets on a wire); can be
+  rendered as a windowed **Mbps load trace** (Figures 4, 5, 7).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Sequence, Tuple
+
+from ..units import bytes_over_ms_to_mbps
+from ..errors import SimulationError
+
+
+class TimeSeries:
+    """An append-only series of ``(time_ms, value)`` samples."""
+
+    def __init__(self, name: str = "") -> None:
+        self.name = name
+        self.times: List[float] = []
+        self.values: List[float] = []
+
+    def record(self, time: float, value: float) -> None:
+        """Append one sample.  Times must be non-decreasing."""
+        if self.times and time < self.times[-1]:
+            raise SimulationError(
+                f"TimeSeries {self.name!r}: time went backwards "
+                f"({time} < {self.times[-1]})"
+            )
+        self.times.append(time)
+        self.values.append(value)
+
+    def __len__(self) -> int:
+        return len(self.times)
+
+    def __iter__(self):
+        return iter(zip(self.times, self.values))
+
+    def last(self) -> Tuple[float, float]:
+        """The most recent sample."""
+        if not self.times:
+            raise SimulationError(f"TimeSeries {self.name!r} is empty")
+        return self.times[-1], self.values[-1]
+
+
+class IntervalTrace:
+    """Closed busy intervals, e.g. 'the CPU was handling work from t0 to t1'.
+
+    Intervals may be recorded out of order and may overlap (overlap is merged
+    when computing utilization).
+    """
+
+    def __init__(self, name: str = "") -> None:
+        self.name = name
+        self.intervals: List[Tuple[float, float]] = []
+
+    def record(self, start: float, end: float) -> None:
+        """Record one busy interval ``[start, end)``."""
+        if end < start:
+            raise SimulationError(
+                f"IntervalTrace {self.name!r}: end {end} before start {start}"
+            )
+        if end > start:
+            self.intervals.append((start, end))
+
+    def durations(self) -> List[float]:
+        """Durations of all recorded intervals, in ms."""
+        return [end - start for start, end in self.intervals]
+
+    def total_busy(self) -> float:
+        """Total busy time in ms, with overlapping intervals merged."""
+        merged = self.merged()
+        return sum(end - start for start, end in merged)
+
+    def merged(self) -> List[Tuple[float, float]]:
+        """The recorded intervals, sorted and with overlaps coalesced."""
+        out: List[Tuple[float, float]] = []
+        for start, end in sorted(self.intervals):
+            if out and start <= out[-1][1]:
+                prev_start, prev_end = out[-1]
+                out[-1] = (prev_start, max(prev_end, end))
+            else:
+                out.append((start, end))
+        return out
+
+    def utilization(
+        self, t0: float, t1: float, bin_ms: float
+    ) -> Tuple[List[float], List[float]]:
+        """Per-bin utilization over ``[t0, t1)``.
+
+        Returns ``(bin_start_times, utilizations)`` where each utilization is
+        the fraction of that bin covered by (merged) busy intervals — exactly
+        the quantity plotted in the paper's Figure 1.
+        """
+        if bin_ms <= 0:
+            raise SimulationError("bin width must be positive")
+        if t1 <= t0:
+            raise SimulationError("empty utilization window")
+        nbins = int((t1 - t0) / bin_ms + 0.5)
+        busy = [0.0] * nbins
+        for start, end in self.merged():
+            start = max(start, t0)
+            end = min(end, t1)
+            if end <= start:
+                continue
+            first = int((start - t0) / bin_ms)
+            last = min(int((end - t0) / bin_ms), nbins - 1)
+            for i in range(first, last + 1):
+                bin_start = t0 + i * bin_ms
+                bin_end = bin_start + bin_ms
+                busy[i] += max(0.0, min(end, bin_end) - max(start, bin_start))
+        times = [t0 + i * bin_ms for i in range(nbins)]
+        utils = [b / bin_ms for b in busy]
+        return times, utils
+
+
+class ByteTrace:
+    """Timestamped byte counts — typically one record per packet on a wire."""
+
+    def __init__(self, name: str = "") -> None:
+        self.name = name
+        self.times: List[float] = []
+        self.sizes: List[int] = []
+
+    def record(self, time: float, nbytes: int) -> None:
+        """Record *nbytes* observed at *time* (ms)."""
+        if nbytes < 0:
+            raise SimulationError("negative byte count")
+        self.times.append(time)
+        self.sizes.append(nbytes)
+
+    @property
+    def total_bytes(self) -> int:
+        """Sum of all recorded byte counts."""
+        return sum(self.sizes)
+
+    @property
+    def count(self) -> int:
+        """Number of records (e.g. packets) observed."""
+        return len(self.sizes)
+
+    def load_series(
+        self, t0: float, t1: float, window_ms: float
+    ) -> Tuple[List[float], List[float]]:
+        """Windowed network load in Mbps over ``[t0, t1)``.
+
+        Returns ``(window_start_times, mbps)`` — the series the paper plots in
+        Figures 4, 5, and 7.
+        """
+        if window_ms <= 0:
+            raise SimulationError("window width must be positive")
+        if t1 <= t0:
+            raise SimulationError("empty load window")
+        nbins = int((t1 - t0) / window_ms + 0.5)
+        per_bin = [0] * nbins
+        for time, size in zip(self.times, self.sizes):
+            if t0 <= time < t1:
+                i = int((time - t0) / window_ms)
+                if i >= nbins:
+                    i = nbins - 1
+                per_bin[i] += size
+        times = [t0 + i * window_ms for i in range(nbins)]
+        mbps = [bytes_over_ms_to_mbps(b, window_ms) for b in per_bin]
+        return times, mbps
+
+    def average_mbps(self, t0: float, t1: float) -> float:
+        """Average load in Mbps over ``[t0, t1)``."""
+        total = sum(
+            size for time, size in zip(self.times, self.sizes) if t0 <= time < t1
+        )
+        return bytes_over_ms_to_mbps(total, t1 - t0)

@@ -1,0 +1,73 @@
+"""Units and conversions used throughout the simulator.
+
+The simulation clock counts **milliseconds** (as floats).  The paper reasons
+about latency in milliseconds, about memory in kilobytes and megabytes, and
+about network load in megabits per second; this module centralizes those
+conversions so that magic numbers never appear inline.
+
+Conventions
+-----------
+* time:      milliseconds (float).  ``SEC`` converts seconds to ms.
+* sizes:     bytes (int).  ``KB``/``MB`` are binary (1024-based), matching the
+             way the paper reports process and cache sizes.
+* bandwidth: helper functions convert between Mbps (decimal, as network
+             vendors and the paper use) and bytes-per-millisecond, the unit
+             the link simulator computes with.
+"""
+
+from __future__ import annotations
+
+# --- time ------------------------------------------------------------------
+
+US = 1e-3  #: one microsecond, in milliseconds
+MS = 1.0  #: one millisecond
+SEC = 1000.0  #: one second, in milliseconds
+MINUTE = 60 * SEC  #: one minute, in milliseconds
+
+# --- sizes -----------------------------------------------------------------
+
+BYTE = 1
+KB = 1024  #: one kibibyte, in bytes
+MB = 1024 * 1024  #: one mebibyte, in bytes
+
+
+def kb(n: float) -> int:
+    """Return *n* kibibytes as a byte count (rounded to an int)."""
+    return int(round(n * KB))
+
+
+def mb(n: float) -> int:
+    """Return *n* mebibytes as a byte count (rounded to an int)."""
+    return int(round(n * MB))
+
+
+# --- bandwidth ---------------------------------------------------------------
+
+BITS_PER_BYTE = 8
+
+
+def mbps_to_bytes_per_ms(mbps: float) -> float:
+    """Convert a decimal megabits-per-second rate to bytes per millisecond.
+
+    ``10 Mbps`` (classic shared Ethernet) is ``1250`` bytes/ms.
+    """
+    return mbps * 1e6 / BITS_PER_BYTE / 1000.0
+
+
+def bytes_per_ms_to_mbps(bpm: float) -> float:
+    """Convert bytes per millisecond back to decimal megabits per second."""
+    return bpm * 1000.0 * BITS_PER_BYTE / 1e6
+
+
+def bytes_over_ms_to_mbps(nbytes: float, duration_ms: float) -> float:
+    """Average rate, in Mbps, of *nbytes* transferred over *duration_ms*."""
+    if duration_ms <= 0:
+        raise ValueError("duration must be positive")
+    return bytes_per_ms_to_mbps(nbytes / duration_ms)
+
+
+def transmit_time_ms(nbytes: float, mbps: float) -> float:
+    """Time to clock *nbytes* onto a link of *mbps* capacity, in ms."""
+    if mbps <= 0:
+        raise ValueError("bandwidth must be positive")
+    return nbytes / mbps_to_bytes_per_ms(mbps)

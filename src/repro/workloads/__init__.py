@@ -1,0 +1,93 @@
+"""User-behaviour generators: sinks, typing, hogs, animations, app scripts."""
+
+from .animation import (
+    AnimationPlayer,
+    AnimationRunResult,
+    AnimationSpec,
+    CacheOverflowResult,
+    DisplayLoadRecorder,
+    banner_ad,
+    dateline_animation,
+    gif_10_frame,
+    marquee,
+    run_animations_over_protocol,
+    run_cache_overflow_experiment,
+    run_frame_count_sweep,
+    run_gif_protocol_comparison,
+    run_webpage_experiment,
+)
+from .apps import (
+    InteractionStep,
+    application_workload,
+    control_panel,
+    gimp_painting,
+    replay_workload,
+    run_protocol_comparison,
+    wordperfect_editing,
+)
+from .behavior import (
+    KNOWLEDGE_WORKER,
+    PROFILES,
+    TASK_WORKER,
+    WEB_BROWSER_USER,
+    BehaviorProfile,
+    behavior_profile,
+)
+from .maximize import (
+    MAXIMIZE_DEMAND_MS,
+    MaximizeResult,
+    run_maximize_experiment,
+)
+from .memhog import MemoryHog
+from .sink import SinkFleet
+from .sizing import SizingResult, max_users_under_sla, run_sizing_experiment
+from .typing import (
+    ECHO_BURST_MS,
+    KEY_REPEAT_INTERVAL_MS,
+    StallResult,
+    TypingSession,
+    run_stall_experiment,
+)
+
+__all__ = [
+    "AnimationPlayer",
+    "AnimationRunResult",
+    "AnimationSpec",
+    "BehaviorProfile",
+    "CacheOverflowResult",
+    "DisplayLoadRecorder",
+    "ECHO_BURST_MS",
+    "InteractionStep",
+    "KEY_REPEAT_INTERVAL_MS",
+    "KNOWLEDGE_WORKER",
+    "MAXIMIZE_DEMAND_MS",
+    "MaximizeResult",
+    "MemoryHog",
+    "PROFILES",
+    "SinkFleet",
+    "SizingResult",
+    "StallResult",
+    "TASK_WORKER",
+    "TypingSession",
+    "WEB_BROWSER_USER",
+    "application_workload",
+    "banner_ad",
+    "behavior_profile",
+    "control_panel",
+    "dateline_animation",
+    "gif_10_frame",
+    "gimp_painting",
+    "marquee",
+    "replay_workload",
+    "run_animations_over_protocol",
+    "run_cache_overflow_experiment",
+    "run_frame_count_sweep",
+    "run_gif_protocol_comparison",
+    "run_maximize_experiment",
+    "max_users_under_sla",
+    "run_protocol_comparison",
+    "run_sizing_experiment",
+    "run_stall_experiment",
+    "run_webpage_experiment",
+    "wordperfect_editing",
+]

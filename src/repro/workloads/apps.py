@@ -1,0 +1,239 @@
+"""Scripted application sessions: the §6.1.2 protocol-comparison workload.
+
+"For each network protocol, we performed a predefined set of user
+interactions: editing a WordPerfect document, creating a simple bitmap in
+the Gimp, and configuring a network interface in the control panel."
+
+Each script below renders one of those interactions as a sequence of
+:class:`InteractionStep` — the input events the user produced and the
+display operations the application drew in response.  The same step
+sequence is replayed against each protocol encoder, and
+:func:`run_protocol_comparison` reduces the resulting message streams to
+the paper's table via prototap.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence, Tuple
+
+from ..gui.drawing import (
+    Bitmap,
+    CopyArea,
+    DisplayOp,
+    DrawBitmap,
+    DrawText,
+    DrawWidget,
+    FillRect,
+    RestoreRegion,
+)
+from ..gui.input import InputEvent, KeyPress, KeyRelease, MouseButton, MouseMove
+from ..net.prototap import ProtoTap
+from ..protocols import PROTOCOL_NAMES, make_protocol
+from ..sim.rng import RngRegistry
+
+
+@dataclass(frozen=True)
+class InteractionStep:
+    """One user action and the drawing it triggered."""
+
+    events: Tuple[InputEvent, ...] = ()
+    ops: Tuple[DisplayOp, ...] = ()
+
+
+def _icon(name: str, size: int = 24) -> DrawBitmap:
+    """A small cacheable UI icon (toolbar buttons, glyphs)."""
+    return DrawBitmap(Bitmap(f"icon:{name}", size, size, 8, compressed_ratio=0.9))
+
+
+def _keystroke(key: int, *ops: DisplayOp) -> InteractionStep:
+    return InteractionStep((KeyPress(key), KeyRelease(key)), tuple(ops))
+
+
+def _motion(*ops: DisplayOp) -> InteractionStep:
+    return InteractionStep((MouseMove(4, 2),), tuple(ops))
+
+
+def _click(*ops: DisplayOp) -> InteractionStep:
+    return InteractionStep(
+        (MouseButton(1, True), MouseButton(1, False)), tuple(ops)
+    )
+
+
+def wordperfect_editing(rng: random.Random) -> List[InteractionStep]:
+    """Editing a WordPerfect document: mostly typing, some menu work."""
+    steps: List[InteractionStep] = []
+
+    # Application open: window chrome, toolbar icons, document paint.
+    steps.append(
+        InteractionStep(
+            (MouseButton(1, True), MouseButton(1, False)),
+            (
+                FillRect(800, 600),
+                DrawWidget(48),
+                *[_icon(f"wp-tool{i}") for i in range(12)],
+                DrawText(1800),
+            ),
+        )
+    )
+
+    chars_since_wrap = 0
+    for i in range(1800):
+        ops: List[DisplayOp] = [DrawText(1)]
+        chars_since_wrap += 1
+        if chars_since_wrap >= rng.randint(55, 80):
+            # Word wrap: scroll the line and repaint the tail.
+            ops.append(CopyArea(600, 14))
+            ops.append(DrawText(rng.randint(4, 12)))
+            chars_since_wrap = 0
+        steps.append(_keystroke(65 + i % 26, *ops))
+
+        if i % 400 == 399:
+            # Reach for the menu: pointer travel, open, pick, close.
+            for __ in range(rng.randint(8, 14)):
+                steps.append(_motion())
+            steps.append(
+                _click(
+                    DrawWidget(26),
+                    *[_icon(f"wp-menuicon{k}") for k in range(8)],
+                )
+            )
+            for __ in range(rng.randint(3, 6)):
+                steps.append(_motion(DrawWidget(2)))
+            # Menu close: the document region underneath is re-exposed.
+            steps.append(
+                _click(RestoreRegion(220, 260, "wp-body", complexity=60))
+            )
+    return steps
+
+
+def gimp_painting(rng: random.Random) -> List[InteractionStep]:
+    """Creating a simple bitmap in the Gimp: brush strokes on a canvas."""
+    steps: List[InteractionStep] = []
+
+    # Toolbox and a fresh canvas.
+    steps.append(
+        InteractionStep(
+            (MouseButton(1, True), MouseButton(1, False)),
+            (
+                DrawWidget(40),
+                *[_icon(f"gimp-tool{i}") for i in range(24)],
+                FillRect(400, 400),
+            ),
+        )
+    )
+
+    stamp_serial = 0
+    for stroke in range(12):
+        # Pick a tool now and then (cached icons re-highlight).
+        if stroke % 3 == 0:
+            for __ in range(rng.randint(6, 12)):
+                steps.append(_motion())
+            steps.append(_click(_icon(f"gimp-tool{stroke % 24}"), DrawWidget(3)))
+
+        steps.append(InteractionStep((MouseButton(1, True),), ()))
+        for __ in range(rng.randint(140, 220)):
+            # Each motion repaints the ~48x48 canvas region the brush
+            # composite touched: fresh pixels every time, so no cache
+            # helps — but the region is mostly flat canvas color, so
+            # run-length encoders (RDP) crush it while X ships it raw.
+            stamp_serial += 1
+            stamp = Bitmap(
+                f"stamp:{stamp_serial}", 48, 48, 8, compressed_ratio=0.12
+            )
+            steps.append(_motion(DrawBitmap(stamp)))
+        steps.append(InteractionStep((MouseButton(1, False),), ()))
+
+    # A few full-tile refreshes (zoom, window expose): fresh canvas pixels.
+    for i in range(6):
+        tile = Bitmap(f"canvas:{i}", 128, 128, 8, compressed_ratio=0.3)
+        steps.append(_click(DrawBitmap(tile)))
+    return steps
+
+
+def control_panel(rng: random.Random) -> List[InteractionStep]:
+    """Configuring a network interface in the control panel applet."""
+    steps: List[InteractionStep] = []
+
+    steps.append(
+        InteractionStep(
+            (MouseButton(1, True), MouseButton(1, False)),
+            (
+                FillRect(520, 420),
+                DrawWidget(64),
+                *[_icon(f"cpl-{i}", 32) for i in range(16)],
+            ),
+        )
+    )
+
+    for dialog in range(6):
+        # Pointer travel to the next control.
+        for __ in range(rng.randint(18, 30)):
+            highlight = (DrawWidget(2),) if rng.random() < 0.25 else ()
+            steps.append(_motion(*highlight))
+        # Open a properties dialog.
+        steps.append(
+            _click(DrawWidget(44), _icon(f"cpl-dlg{dialog}", 32), FillRect(380, 300))
+        )
+        # Type an address into a field.
+        for i in range(rng.randint(8, 14)):
+            steps.append(_keystroke(48 + i % 10, DrawText(1)))
+        # Toggle a couple of checkboxes.
+        for __ in range(rng.randint(2, 4)):
+            for __ in range(rng.randint(4, 8)):
+                steps.append(_motion())
+            steps.append(_click(DrawWidget(2)))
+        # OK button: dialog closes, the parent underneath is re-exposed.
+        steps.append(
+            _click(
+                RestoreRegion(380, 300, "cpl-main", complexity=80),
+                *[_icon(f"cpl-{i}", 32) for i in range(16)],
+            )
+        )
+    return steps
+
+
+def application_workload(seed: int = 0) -> List[InteractionStep]:
+    """The full §6.1.2 trace: WordPerfect, then the Gimp, then the applet."""
+    rngs = RngRegistry(seed)
+    steps: List[InteractionStep] = []
+    steps.extend(wordperfect_editing(rngs.stream("apps:wordperfect")))
+    steps.extend(gimp_painting(rngs.stream("apps:gimp")))
+    steps.extend(control_panel(rngs.stream("apps:control-panel")))
+    return steps
+
+
+def replay_workload(protocol_name: str, steps: Sequence[InteractionStep]) -> ProtoTap:
+    """Replay *steps* against a fresh protocol session; return its tap."""
+    protocol = make_protocol(protocol_name)
+    tap = ProtoTap(protocol_name)
+
+    def record(messages) -> None:
+        if not messages:
+            return
+        if protocol.packs_display_writes:
+            tap.observe_step(messages)
+        else:
+            # Proxy-style protocols write each display chunk immediately:
+            # every chunk is its own packet.  Input still groups per step.
+            tap.observe_step([m for m in messages if m.channel == "input"])
+            for message in messages:
+                if message.channel == "display":
+                    tap.observe(message)
+
+    for step in steps:
+        flushed = []
+        if step.events:
+            flushed.extend(protocol.encode_input_step(step.events))
+        if step.ops:
+            flushed.extend(protocol.encode_display_step(step.ops))
+        record(flushed)
+    record(protocol.flush_input() + protocol.flush_display())
+    return tap
+
+
+def run_protocol_comparison(seed: int = 0) -> Dict[str, ProtoTap]:
+    """The §6.1.2 experiment: the same workload over RDP, X, and LBX."""
+    steps = application_workload(seed)
+    return {name: replay_workload(name, steps) for name in PROTOCOL_NAMES}

@@ -1,0 +1,84 @@
+"""User-behaviour profiles (§3.2.3, §4.1.2).
+
+"Two classes of users running different application mixes will consume
+resources at different per-user rates.  As concurrent use increases, the
+class of users with greater per-user resource demands will approach
+saturation conditions and potential increases in latency more quickly."
+
+A :class:`BehaviorProfile` quantifies one user class's per-user demand on
+each resource — the inputs to capacity planning
+(:mod:`repro.core.capacity`).  The stock profiles follow the paper's
+narrative: a task-worker typing into one application, a knowledge worker
+with richer interaction, and a web user whose animated pages dominate the
+network (§6.1.3's warning that "if just five users open their browsers to
+a page like this, the network link becomes saturated").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+from ..errors import WorkloadError
+from ..units import kb, mb
+
+
+@dataclass(frozen=True)
+class BehaviorProfile:
+    """Per-user steady-state resource demand for one class of users."""
+
+    name: str
+    cpu_load: float  #: average fraction of one reference CPU consumed
+    memory_bytes: int  #: dynamic working set beyond the compulsory login
+    network_mbps: float  #: average display+input traffic
+    interactions_per_sec: float  #: latency-sensitive ops per second
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.cpu_load <= 1.0:
+            raise WorkloadError("cpu_load must be in [0, 1]")
+        if self.memory_bytes < 0 or self.network_mbps < 0:
+            raise WorkloadError("resource demands cannot be negative")
+
+
+#: A data-entry user: steady typing into one form/editor.
+TASK_WORKER = BehaviorProfile(
+    name="task-worker",
+    cpu_load=0.04,  # 2 ms echo per 50 ms keystroke
+    memory_bytes=mb(2),
+    network_mbps=0.02,
+    interactions_per_sec=20.0,
+)
+
+#: An office user: editing, menus, window management, occasional images.
+KNOWLEDGE_WORKER = BehaviorProfile(
+    name="knowledge-worker",
+    cpu_load=0.08,
+    memory_bytes=mb(6),
+    network_mbps=0.15,
+    interactions_per_sec=8.0,
+)
+
+#: A browser user on animated pages: the Figure 4 web page sustained
+#: ~1.6 Mbps of display traffic by itself.
+WEB_BROWSER_USER = BehaviorProfile(
+    name="web-browser",
+    cpu_load=0.12,
+    memory_bytes=mb(10),
+    network_mbps=1.6,
+    interactions_per_sec=2.0,
+)
+
+PROFILES: Dict[str, BehaviorProfile] = {
+    p.name: p for p in (TASK_WORKER, KNOWLEDGE_WORKER, WEB_BROWSER_USER)
+}
+
+
+def behavior_profile(name: str) -> BehaviorProfile:
+    """Look up a stock profile by name."""
+    try:
+        return PROFILES[name]
+    except KeyError:
+        raise WorkloadError(
+            f"unknown behaviour profile {name!r}; expected one of "
+            f"{sorted(PROFILES)}"
+        ) from None

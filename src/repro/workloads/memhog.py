@@ -1,0 +1,71 @@
+"""The streaming memory hog (§5.2).
+
+"We then started and let run for 30 seconds on the server a process that
+sequentially touches each byte in a region whose total size exceeds the
+available physical memory, causing the pages of the edit application's
+memory to be swapped to disk."
+
+:class:`MemoryHog` drives that behaviour against a
+:class:`~repro.memory.vm.VirtualMemory` instance, either in one synchronous
+sweep (as the table experiment uses) or paced on a simulator clock for
+integration scenarios.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..errors import WorkloadError
+from ..memory.pagetable import AddressSpace
+from ..memory.vm import VirtualMemory
+from ..sim.engine import PeriodicTask, Simulator
+
+
+class MemoryHog:
+    """A non-interactive process streaming through its address space."""
+
+    def __init__(
+        self,
+        vm: VirtualMemory,
+        size_bytes: int,
+        *,
+        name: str = "memhog",
+        write: bool = True,
+    ) -> None:
+        if size_bytes <= 0:
+            raise WorkloadError("hog size must be positive")
+        self.vm = vm
+        self.write = write
+        self.space: AddressSpace = vm.create_process(
+            name, size_bytes, interactive=False
+        )
+        self._next_vpn = 0
+
+    @property
+    def pages(self) -> int:
+        """Size of the hog's address space, in pages."""
+        return self.space.num_pages
+
+    def run_to_completion(self) -> float:
+        """Touch every page once, in order; returns total latency (ms)."""
+        return self.vm.touch_sequential(
+            self.space, 0, self.space.num_pages, write=self.write
+        )
+
+    def touch_next(self, npages: int = 1) -> float:
+        """Touch the next *npages* pages (wrapping); returns latency (ms)."""
+        if npages <= 0:
+            raise WorkloadError("must touch at least one page")
+        latency = self.vm.touch_sequential(
+            self.space, self._next_vpn, npages, write=self.write
+        )
+        self._next_vpn = (self._next_vpn + npages) % self.space.num_pages
+        return latency
+
+    def run_paced(
+        self, sim: Simulator, pages_per_tick: int, tick_ms: float = 10.0
+    ) -> PeriodicTask:
+        """Stream on the simulator clock: *pages_per_tick* every *tick_ms*."""
+        if pages_per_tick <= 0:
+            raise WorkloadError("pages per tick must be positive")
+        return sim.every(tick_ms, lambda: self.touch_next(pages_per_tick))

@@ -1,0 +1,79 @@
+"""Tests for the command-line experiment runner and CSV export."""
+
+import csv
+import io
+import os
+
+import pytest
+
+from repro.cli import EXPERIMENTS, main
+from repro.core.report import write_csv
+
+
+def run_cli(*argv):
+    out = io.StringIO()
+    code = main(list(argv), out=out)
+    return code, out.getvalue()
+
+
+class TestList:
+    def test_list_names_every_experiment(self):
+        code, text = run_cli("list")
+        assert code == 0
+        for name in EXPERIMENTS:
+            assert name in text
+
+    def test_registry_covers_all_figures_and_tables(self):
+        figs = {f"fig{i}" for i in range(1, 10)}
+        tabs = {"tab-mem", "tab-sessions", "tab-proto", "tab-setup"}
+        assert figs | tabs == set(EXPERIMENTS)
+
+
+class TestRun:
+    def test_unknown_experiment_exits_2(self):
+        code, text = run_cli("run", "nope")
+        assert code == 2
+        assert "unknown experiment" in text
+
+    def test_run_tab_sessions(self):
+        code, text = run_cli("run", "tab-sessions")
+        assert code == 0
+        assert "752 KB" in text
+        assert "3,244 KB" in text
+
+    def test_run_tab_setup(self):
+        code, text = run_cli("run", "tab-setup")
+        assert code == 0
+        assert "45,328" in text and "16,312" in text
+
+    def test_run_fig7_with_csv(self, tmp_path):
+        code, text = run_cli(
+            "run", "fig7", "--csv", str(tmp_path / "out")
+        )
+        assert code == 0
+        assert "Figure 7" in text
+        with open(tmp_path / "out" / "fig7.csv") as f:
+            rows = list(csv.reader(f))
+        assert rows[0] == ["frames", "mbps"]
+        assert len(rows) > 5
+
+    def test_seed_changes_stochastic_output(self):
+        __, a = run_cli("run", "fig8", "--seed", "1")
+        __, b = run_cli("run", "fig8", "--seed", "2")
+        assert a != b
+        __, a2 = run_cli("run", "fig8", "--seed", "1")
+        assert a == a2
+
+
+class TestWriteCsv:
+    def test_writes_headers_and_rows(self, tmp_path):
+        path = tmp_path / "nested" / "dir" / "t.csv"
+        write_csv(str(path), ["a", "b"], [(1, 2), (3, 4)])
+        with open(path) as f:
+            rows = list(csv.reader(f))
+        assert rows == [["a", "b"], ["1", "2"], ["3", "4"]]
+
+    def test_relative_path_without_parent(self, tmp_path, monkeypatch):
+        monkeypatch.chdir(tmp_path)
+        write_csv("flat.csv", ["x"], [(1,)])
+        assert os.path.exists(tmp_path / "flat.csv")

@@ -1,0 +1,233 @@
+"""Tests for the composed thin-client server and client."""
+
+import pytest
+
+from repro.core import ServerConfig, ThinClient, ThinClientServer
+from repro.errors import ExperimentError
+from repro.net.tcpstream import Message
+from repro.sim import Simulator
+
+
+class TestConfig:
+    def test_presets(self):
+        assert ServerConfig.tse().protocol_name == "rdp"
+        assert ServerConfig.linux().protocol_name == "x"
+        assert ServerConfig.linux_lbx().protocol_name == "lbx"
+
+    def test_overrides(self):
+        cfg = ServerConfig.tse(cpu_speed=4.0, bandwidth_mbps=100.0)
+        assert cfg.cpu_speed == 4.0
+        assert cfg.bandwidth_mbps == 100.0
+
+
+class TestThinClient:
+    def test_latency_measured_input_to_display(self):
+        sim = Simulator()
+        client = ThinClient(sim)
+        client.input_sent()
+        sim.run_until(42.0)
+        client.display_received(Message("display", 100))
+        assert client.latencies_ms == [42.0]
+
+    def test_unsolicited_display_not_a_latency_sample(self):
+        sim = Simulator()
+        client = ThinClient(sim)
+        client.display_received(Message("display", 100))
+        assert client.latencies_ms == []
+        assert client.display_messages_received == 1
+
+    def test_one_input_one_sample(self):
+        sim = Simulator()
+        client = ThinClient(sim)
+        client.input_sent()
+        client.display_received(Message("display", 10))
+        client.display_received(Message("display", 10))
+        assert len(client.latencies_ms) == 1
+
+
+class TestServer:
+    def test_connect_creates_session_state(self):
+        server = ThinClientServer(ServerConfig.tse(), seed=1)
+        session = server.connect("alice")
+        assert server.session_count == 1
+        assert session.memory.resident_pages > 0
+        assert session.echo_thread.name == "alice:app"
+        # Session setup bytes went over the wire (§6.1.1).
+        server.run(2_000.0)
+        assert server.link.bytes_sent > 40_000
+
+    def test_duplicate_session_rejected(self):
+        server = ThinClientServer(ServerConfig.tse(), seed=1)
+        server.connect("alice")
+        with pytest.raises(ExperimentError):
+            server.connect("alice")
+
+    def test_keystroke_round_trip_measures_latency(self):
+        server = ThinClientServer(ServerConfig.linux(), seed=1)
+        session = server.connect("bob")
+        server.run(1_000.0)
+        session.press_key()
+        server.run(1_000.0)
+        assert len(session.client.latencies_ms) == 1
+        # Unloaded: network transit + 2ms echo burst, well under perception.
+        assert session.client.latencies_ms[0] < 20.0
+
+    def test_sustained_typing(self):
+        server = ThinClientServer(ServerConfig.tse(), seed=1)
+        session = server.connect("carol")
+        server.run(500.0)
+        session.start_typing()
+        with pytest.raises(ExperimentError):
+            session.start_typing()
+        server.run(3_000.0)
+        session.stop_typing()
+        assert len(session.client.latencies_ms) > 40
+        assessment = session.client.assessment()
+        assert assessment.summary.average < 100.0
+
+    def test_all_three_protocol_stacks_work(self):
+        for config in (
+            ServerConfig.tse(),
+            ServerConfig.linux(),
+            ServerConfig.linux_lbx(),
+        ):
+            server = ThinClientServer(config, seed=2)
+            session = server.connect("u")
+            server.run(500.0)
+            session.press_key()
+            server.run(500.0)
+            assert session.client.latencies_ms, config.protocol_name
+
+    def test_faster_cpu_does_not_hurt(self):
+        slow = ThinClientServer(ServerConfig.tse(cpu_speed=1.0), seed=3)
+        fast = ThinClientServer(ServerConfig.tse(cpu_speed=4.0), seed=3)
+        lat = {}
+        for name, server in (("slow", slow), ("fast", fast)):
+            session = server.connect("u")
+            server.run(500.0)
+            session.press_key()
+            server.run(500.0)
+            lat[name] = session.client.latencies_ms[0]
+        assert lat["fast"] <= lat["slow"]
+
+    def test_idle_activity_can_be_disabled(self):
+        server = ThinClientServer(
+            ServerConfig.tse(include_idle_activity=False), seed=1
+        )
+        server.run(5_000.0)
+        assert server.cpu.busy_trace.total_busy() == 0.0
+
+
+class TestWebBrowsing:
+    def test_open_webpage_streams_display_traffic(self):
+        server = ThinClientServer(ServerConfig.tse(), seed=3)
+        session = server.connect("web")
+        baseline = server.link.bytes_sent
+        session.open_webpage()
+        server.run(10_000.0)
+        assert server.link.bytes_sent > baseline + 100_000
+
+    def test_double_open_rejected(self):
+        server = ThinClientServer(ServerConfig.tse(), seed=3)
+        session = server.connect("web")
+        session.open_webpage()
+        with pytest.raises(ExperimentError):
+            session.open_webpage()
+
+    def test_unknown_variant_rejected(self):
+        server = ThinClientServer(ServerConfig.tse(), seed=3)
+        session = server.connect("web")
+        with pytest.raises(ExperimentError):
+            session.open_webpage("popup")
+
+    def test_close_webpage_stops_traffic(self):
+        server = ThinClientServer(ServerConfig.tse(), seed=3)
+        session = server.connect("web")
+        session.open_webpage()
+        server.run(5_000.0)
+        session.close_webpage()
+        server.run(1_000.0)  # drain the transmit queue
+        before = server.link.bytes_sent
+        server.run(10_000.0)
+        assert server.link.bytes_sent == before
+
+    def test_browsers_degrade_a_typist(self):
+        loaded = ThinClientServer(ServerConfig.tse(), seed=3)
+        typer = loaded.connect("typist")
+        for i in range(6):
+            loaded.connect(f"web{i}").open_webpage()
+        loaded.run(2_000.0)
+        typer.start_typing()
+        loaded.run(15_000.0)
+        typer.stop_typing()
+        loaded.run(3_000.0)
+        assert typer.client.assessment().summary.average > 25.0
+
+
+class TestServerReport:
+    def test_report_fields(self):
+        server = ThinClientServer(ServerConfig.tse(), seed=8)
+        session = server.connect("u")
+        server.run(1_000.0)
+        session.press_key()
+        server.run(1_000.0)
+        report = server.report()
+        assert report["os"] == "nt_tse"
+        assert report["protocol"] == "rdp"
+        assert 0.0 <= report["cpu_utilization"] <= 1.0
+        assert 0.0 <= report["link_utilization"] <= 1.0
+        assert report["page_faults"] > 0  # login working set faulted in
+        assert report["sessions"]["u"] is not None
+        assert report["sessions"]["u"].summary.count == 1
+
+    def test_report_window(self):
+        server = ThinClientServer(ServerConfig.linux(), seed=8)
+        server.run(1_000.0)
+        report = server.report(500.0, 1_000.0)
+        assert report["window_ms"] == (500.0, 1_000.0)
+        with pytest.raises(ExperimentError):
+            server.report(1_000.0, 1_000.0)
+
+    def test_sessions_without_interaction_report_none(self):
+        server = ThinClientServer(ServerConfig.linux(), seed=8)
+        server.connect("idle-user")
+        server.run(1_000.0)
+        assert server.report()["sessions"]["idle-user"] is None
+
+
+class TestDisconnect:
+    def test_disconnect_frees_memory_and_threads(self):
+        server = ThinClientServer(ServerConfig.tse(), seed=10)
+        used_before = server.vm.pool.used_frames
+        session = server.connect("u")
+        server.run(500.0)
+        session.start_typing()
+        session.open_webpage()
+        server.run(1_000.0)
+        server.disconnect("u")
+        assert server.session_count == 0
+        assert server.vm.pool.used_frames == used_before
+        from repro.cpu import ThreadState
+
+        assert session.echo_thread.state is ThreadState.TERMINATED
+        # No further display traffic after the queue drains.
+        server.run(1_000.0)
+        sent = server.link.bytes_sent
+        server.run(5_000.0)
+        assert server.link.bytes_sent == sent
+
+    def test_disconnect_unknown_rejected(self):
+        server = ThinClientServer(ServerConfig.tse(), seed=10)
+        with pytest.raises(ExperimentError):
+            server.disconnect("ghost")
+
+    def test_reconnect_after_disconnect(self):
+        server = ThinClientServer(ServerConfig.tse(), seed=10)
+        server.connect("u")
+        server.run(500.0)
+        server.disconnect("u")
+        session = server.connect("u")
+        server.run(500.0)
+        session.press_key()
+        server.run(500.0)
+        assert session.client.latencies_ms

@@ -1,0 +1,281 @@
+"""Unit tests for the CPU dispatch engine (using the Linux scheduler as a
+simple round-robin policy and NT where priorities matter)."""
+
+import math
+
+import pytest
+
+from repro.cpu import (
+    CPU,
+    Burst,
+    LinuxScheduler,
+    NTConfig,
+    NTScheduler,
+    Thread,
+    ThreadState,
+    sink_thread,
+)
+from repro.errors import SchedulerError
+from repro.sim import Simulator
+
+
+def make_cpu(scheduler=None, **kwargs):
+    sim = Simulator()
+    cpu = CPU(sim, scheduler or LinuxScheduler(), **kwargs)
+    return sim, cpu
+
+
+def test_single_burst_runs_to_completion():
+    sim, cpu = make_cpu()
+    done = []
+    t = Thread("t")
+    t.push_burst(Burst(25.0, on_complete=done.append))
+    cpu.add_thread(t)
+    sim.run_until(100.0)
+    assert done == [25.0]
+    assert t.state is ThreadState.BLOCKED
+    assert t.cpu_time == pytest.approx(25.0)
+
+
+def test_round_robin_interleaves_equal_threads():
+    sim, cpu = make_cpu()
+    done = []
+    a = Thread("a")
+    a.push_burst(Burst(20.0, on_complete=lambda t: done.append(("a", t))))
+    b = Thread("b")
+    b.push_burst(Burst(20.0, on_complete=lambda t: done.append(("b", t))))
+    cpu.add_thread(a)
+    cpu.add_thread(b)
+    sim.run_until(100.0)
+    # 10ms quanta: a(10) b(10) a(10) b(10) -> a done at 30, b at 40.
+    assert done == [("a", 30.0), ("b", 40.0)]
+
+
+def test_idle_cpu_runs_submitted_burst_immediately():
+    sim, cpu = make_cpu()
+    t = Thread("t")
+    cpu.add_thread(t)
+    assert t.state is ThreadState.BLOCKED
+    sim.run_until(50.0)
+    done = []
+    cpu.submit(t, Burst(5.0, on_complete=done.append))
+    sim.run_until(100.0)
+    assert done == [55.0]
+
+
+def test_sink_never_completes_and_monopolizes():
+    sim, cpu = make_cpu()
+    s = sink_thread()
+    cpu.add_thread(s)
+    sim.run_until(500.0)
+    assert s.cpu_time == pytest.approx(500.0)
+    assert cpu.utilization(0.0, 500.0) == pytest.approx(1.0)
+
+
+def test_utilization_idle_is_zero():
+    sim, cpu = make_cpu()
+    sim.run_until(100.0)
+    assert cpu.utilization(0.0, 100.0) == 0.0
+
+
+def test_utilization_window_validation():
+    sim, cpu = make_cpu()
+    with pytest.raises(SchedulerError):
+        cpu.utilization(10.0, 10.0)
+
+
+def test_speed_scales_demand():
+    sim, cpu = make_cpu(speed=2.0)
+    done = []
+    t = Thread("t")
+    t.push_burst(Burst(20.0, on_complete=done.append))
+    cpu.add_thread(t)
+    sim.run_until(100.0)
+    assert done == [10.0]  # 20ms of demand retires in 10ms wall time
+
+
+def test_priority_preemption_with_nt():
+    sim, cpu = make_cpu(NTScheduler(NTConfig.workstation()))
+    low = sink_thread("low", base_priority=4)
+    cpu.add_thread(low)
+    hi = Thread("hi", base_priority=12)
+    cpu.add_thread(hi)
+    done = []
+    sim.run_until(100.0)
+    cpu.submit(hi, Burst(5.0, on_complete=done.append))
+    sim.run_until(200.0)
+    # hi preempts low immediately at t=100 and finishes at 105.
+    assert done == [105.0]
+
+
+def test_preempted_thread_resumes_and_finishes():
+    sim, cpu = make_cpu(NTScheduler(NTConfig.workstation()))
+    work = Thread("work", base_priority=4)
+    done = []
+    work.push_burst(Burst(50.0, on_complete=done.append))
+    cpu.add_thread(work)
+    hi = Thread("hi", base_priority=12)
+    cpu.add_thread(hi)
+    sim.run_until(20.0)
+    cpu.submit(hi, Burst(10.0))
+    sim.run_until(200.0)
+    # work ran 20ms, was preempted for 10ms, then ran its final 30ms.
+    assert done == [60.0]
+    assert work.cpu_time == pytest.approx(50.0)
+
+
+def test_queued_bursts_run_back_to_back():
+    sim, cpu = make_cpu()
+    done = []
+    t = Thread("t")
+    t.push_burst(Burst(3.0, on_complete=lambda w: done.append(("1", w))))
+    t.push_burst(Burst(4.0, on_complete=lambda w: done.append(("2", w))))
+    cpu.add_thread(t)
+    sim.run_until(100.0)
+    assert done == [("1", 3.0), ("2", 7.0)]
+
+
+def test_completion_callback_can_submit_more_work():
+    sim, cpu = make_cpu()
+    t = Thread("t")
+    done = []
+
+    def chain(when):
+        done.append(when)
+        if len(done) < 3:
+            cpu.submit(t, Burst(5.0, on_complete=chain))
+
+    t.push_burst(Burst(5.0, on_complete=chain))
+    cpu.add_thread(t)
+    sim.run_until(100.0)
+    assert done == [5.0, 10.0, 15.0]
+
+
+def test_kill_running_thread_frees_cpu():
+    sim, cpu = make_cpu()
+    s = sink_thread()
+    cpu.add_thread(s)
+    t = Thread("t")
+    done = []
+    t.push_burst(Burst(5.0, on_complete=done.append))
+    cpu.add_thread(t)
+    sim.run_until(7.0)
+    cpu.kill(s)
+    sim.run_until(100.0)
+    assert s.state is ThreadState.TERMINATED
+    assert done  # t eventually ran
+    assert s.cpu_time == pytest.approx(7.0)
+
+
+def test_kill_ready_thread_removed_from_queue():
+    sim, cpu = make_cpu()
+    a = sink_thread("a")
+    b = sink_thread("b")
+    cpu.add_thread(a)
+    cpu.add_thread(b)
+    sim.run_until(5.0)
+    cpu.kill(b)
+    sim.run_until(110.0)  # quantum boundary, so the last slice is charged
+    assert b.cpu_time == 0.0  # b never ran: killed while waiting in queue
+    assert a.cpu_time == pytest.approx(110.0)
+    assert b.state is ThreadState.TERMINATED
+
+
+def test_kill_is_idempotent():
+    sim, cpu = make_cpu()
+    t = Thread("t")
+    cpu.add_thread(t)
+    cpu.kill(t)
+    cpu.kill(t)
+    assert t.state is ThreadState.TERMINATED
+
+
+def test_run_queue_length_counts_waiting_threads():
+    sim, cpu = make_cpu()
+    for i in range(5):
+        cpu.add_thread(sink_thread(f"s{i}"))
+    sim.run_until(1.0)
+    assert cpu.load == 5
+    assert cpu.run_queue_length == 4  # one is on the CPU
+
+
+def test_add_thread_twice_raises():
+    sim, cpu = make_cpu()
+    t = Thread("t")
+    cpu.add_thread(t)
+    with pytest.raises(SchedulerError):
+        cpu.add_thread(t)
+
+
+def test_negative_speed_raises():
+    sim = Simulator()
+    with pytest.raises(SchedulerError):
+        CPU(sim, LinuxScheduler(), speed=0.0)
+
+
+def test_busy_trace_accounts_all_cpu_time():
+    sim, cpu = make_cpu()
+    a = Thread("a")
+    a.push_burst(Burst(30.0))
+    b = Thread("b")
+    b.push_burst(Burst(20.0))
+    cpu.add_thread(a)
+    cpu.add_thread(b)
+    sim.run_until(200.0)
+    assert cpu.busy_trace.total_busy() == pytest.approx(50.0)
+
+
+def test_work_conservation_under_load():
+    """The CPU never idles while any thread is runnable."""
+    sim, cpu = make_cpu()
+    for i in range(3):
+        t = Thread(f"t{i}")
+        t.push_burst(Burst(40.0))
+        cpu.add_thread(t)
+    sim.run_until(120.0)
+    assert cpu.utilization(0.0, 120.0) == pytest.approx(1.0)
+    total = sum(t.cpu_time for t in cpu.threads)
+    assert total == pytest.approx(120.0)
+
+
+class TestContextSwitchCost:
+    def test_switch_cost_slows_progress(self):
+        sim, cpu = make_cpu()
+        cpu_cs_sim = Simulator()
+        cpu_cs = CPU(cpu_cs_sim, LinuxScheduler(), context_switch_ms=1.0)
+        for s, c in ((sim, cpu), (cpu_cs_sim, cpu_cs)):
+            a = Thread("a")
+            a.push_burst(Burst(50.0))
+            b = Thread("b")
+            b.push_burst(Burst(50.0))
+            c.add_thread(a)
+            c.add_thread(b)
+            s.run_until(300.0)
+        done_free = max(t.last_ran_at for t in cpu.threads)
+        done_cs = max(t.last_ran_at for t in cpu_cs.threads)
+        assert done_cs > done_free
+
+    def test_switches_counted(self):
+        sim = Simulator()
+        cpu = CPU(sim, LinuxScheduler(), context_switch_ms=0.5)
+        cpu.add_thread(sink_thread("a"))
+        cpu.add_thread(sink_thread("b"))
+        sim.run_until(100.0)
+        assert cpu.context_switches >= 8  # alternating every 10ms quantum
+
+    def test_no_switch_cost_for_continuing_thread(self):
+        sim = Simulator()
+        cpu = CPU(sim, LinuxScheduler(), context_switch_ms=2.0)
+        t = Thread("t")
+        done = []
+        t.push_burst(Burst(4.0, on_complete=done.append))
+        t.push_burst(Burst(4.0, on_complete=done.append))
+        cpu.add_thread(t)
+        sim.run_until(100.0)
+        # One switch charge at first dispatch; none between queued bursts.
+        assert done == [pytest.approx(6.0), pytest.approx(10.0)]
+
+    def test_negative_cost_rejected(self):
+        sim = Simulator()
+        with pytest.raises(SchedulerError):
+            CPU(sim, LinuxScheduler(), context_switch_ms=-1.0)

@@ -1,0 +1,114 @@
+"""Tests for the Linux 2.0 counter/epoch ("goodness") scheduler."""
+
+import pytest
+
+from repro.cpu import CPU, Burst, Thread, sink_thread
+from repro.cpu.goodness import DEFAULT_PRIORITY_MS, LinuxGoodnessScheduler
+from repro.errors import SchedulerError
+from repro.sim import Simulator
+
+
+def make(**kwargs):
+    sim = Simulator()
+    cpu = CPU(sim, LinuxGoodnessScheduler(**kwargs))
+    return sim, cpu
+
+
+def test_bad_priority_rejected():
+    with pytest.raises(SchedulerError):
+        LinuxGoodnessScheduler(priority_ms=0.0)
+
+
+def test_hog_runs_a_full_entitlement_per_epoch():
+    sim, cpu = make()
+    a = sink_thread("a")
+    b = sink_thread("b")
+    cpu.add_thread(a)
+    cpu.add_thread(b)
+    sim.run_until(DEFAULT_PRIORITY_MS * 2)
+    # Each ran one entitlement; counters exhausted -> new epoch begins.
+    assert a.cpu_time == pytest.approx(DEFAULT_PRIORITY_MS)
+    assert b.cpu_time == pytest.approx(DEFAULT_PRIORITY_MS)
+
+
+def test_epochs_counted():
+    sim, cpu = make()
+    cpu.add_thread(sink_thread("a"))
+    sim.run_until(DEFAULT_PRIORITY_MS * 3 + 1.0)
+    assert cpu.scheduler.epochs >= 3
+
+
+def test_sleeper_accumulates_credit():
+    sim, cpu = make()
+    hog = sink_thread("hog")
+    cpu.add_thread(hog)
+    sleeper = Thread("sleeper")
+    cpu.add_thread(sleeper)
+    # Let several epochs pass while the sleeper sleeps.
+    sim.run_until(DEFAULT_PRIORITY_MS * 6)
+    counter = sleeper.sched_data["counter"]
+    assert counter > DEFAULT_PRIORITY_MS
+    assert counter <= 2 * DEFAULT_PRIORITY_MS  # capped
+
+
+def test_woken_sleeper_selected_before_hog_at_next_point():
+    sim, cpu = make()
+    hog = sink_thread("hog")
+    cpu.add_thread(hog)
+    sleeper = Thread("sleeper")
+    cpu.add_thread(sleeper)
+    sim.run_until(900.0)
+    done = []
+    cpu.submit(sleeper, Burst(2.0, on_complete=done.append))
+    # No preempt-on-wake in 2.0: waits for the hog's counter to drain,
+    # then wins on goodness.
+    sim.run_until(1_500.0)
+    assert done
+    assert done[0] - 900.0 <= DEFAULT_PRIORITY_MS + 5.0
+
+
+def test_preempt_on_wake_variant_is_immediate():
+    sim, cpu = make(preempt_on_wake=True)
+    hog = sink_thread("hog")
+    cpu.add_thread(hog)
+    sleeper = Thread("sleeper")
+    cpu.add_thread(sleeper)
+    sim.run_until(900.0)  # sleeper banks ~2x credit over epochs
+    done = []
+    cpu.submit(sleeper, Burst(2.0, on_complete=done.append))
+    sim.run_until(910.0)
+    assert done == [pytest.approx(902.0)]
+
+
+def test_sustained_interaction_erodes_credit_under_heavy_load():
+    """The epoch pathology: with many hogs, an interactive thread that
+    consumes its credit mid-epoch starves until the epoch turns over."""
+    sim, cpu = make()
+    for i in range(25):
+        cpu.add_thread(sink_thread(f"s{i}"))
+    echo = Thread("echo")
+    cpu.add_thread(echo)
+    latencies = []
+
+    def key():
+        t0 = sim.now
+        cpu.submit(
+            echo, Burst(2.0, on_complete=lambda w, t0=t0: latencies.append(w - t0))
+        )
+
+    sim.every(50.0, key)
+    sim.run_until(20_000.0)
+    assert max(latencies) > 1_000.0  # epoch-length stalls appear
+
+
+def test_remove_from_ready_and_registry():
+    sim, cpu = make()
+    a = sink_thread("a")
+    b = sink_thread("b")
+    cpu.add_thread(a)
+    cpu.add_thread(b)
+    sim.run_until(5.0)
+    cpu.kill(b)
+    sim.run_until(DEFAULT_PRIORITY_MS * 3)
+    assert b.cpu_time < DEFAULT_PRIORITY_MS
+    assert a.cpu_time > DEFAULT_PRIORITY_MS

@@ -1,0 +1,155 @@
+"""Tests for the Linux 2.0 scheduler model."""
+
+import pytest
+
+from repro.cpu import CPU, Burst, LinuxScheduler, Thread, sink_thread
+from repro.errors import SchedulerError
+from repro.sim import Simulator
+
+
+def make(**kwargs):
+    sim = Simulator()
+    cpu = CPU(sim, LinuxScheduler(**kwargs))
+    return sim, cpu
+
+
+def test_default_class_is_other():
+    sim, cpu = make()
+    t = Thread("t")
+    cpu.add_thread(t)
+    assert t.sched_class == "other"
+
+
+def test_unknown_class_rejected():
+    sim, cpu = make()
+    with pytest.raises(SchedulerError):
+        cpu.add_thread(Thread("t", sched_class="deadline"))
+
+
+def test_nice_range_enforced():
+    sim, cpu = make()
+    with pytest.raises(SchedulerError):
+        cpu.add_thread(Thread("t", base_priority=21))
+
+
+def test_rt_priority_range_enforced():
+    sim, cpu = make()
+    with pytest.raises(SchedulerError):
+        cpu.add_thread(Thread("t", sched_class="fifo", base_priority=100))
+
+
+def test_ten_ms_round_robin():
+    sim, cpu = make()
+    a = sink_thread("a")
+    b = sink_thread("b")
+    cpu.add_thread(a)
+    cpu.add_thread(b)
+    sim.run_until(40.0)
+    # a: [0,10) [20,30), b: [10,20) [30,40)
+    assert a.cpu_time == pytest.approx(20.0)
+    assert b.cpu_time == pytest.approx(20.0)
+
+
+def test_no_preemption_among_other_threads():
+    """§4.2.1: no boosting — a woken interactive thread waits its turn."""
+    sim, cpu = make()
+    hog = sink_thread("hog")
+    cpu.add_thread(hog)
+    vim = Thread("vim", gui=True)
+    cpu.add_thread(vim)
+    sim.run_until(5.0)
+    done = []
+    cpu.submit(vim, Burst(2.0, on_complete=done.append))
+    sim.run_until(9.0)
+    assert done == []  # still waiting for the hog's quantum to end
+    sim.run_until(20.0)
+    assert done == [12.0]  # ran at the 10ms quantum boundary
+
+
+def test_woken_thread_queues_at_tail():
+    sim, cpu = make()
+    sinks = [sink_thread(f"s{i}") for i in range(3)]
+    for s in sinks:
+        cpu.add_thread(s)
+    echo = Thread("echo")
+    cpu.add_thread(echo)
+    sim.run_until(2.0)
+    done = []
+    cpu.submit(echo, Burst(1.0, on_complete=done.append))
+    sim.run_until(100.0)
+    # Wakes at t=2: the running sink finishes its slice (t=10), then the
+    # two queued sinks run 10ms each -> echo starts at 30.
+    assert done == [31.0]
+
+
+def test_fifo_preempts_other():
+    sim, cpu = make()
+    hog = sink_thread("hog")
+    cpu.add_thread(hog)
+    irq = Thread("irq", sched_class="fifo", base_priority=99)
+    cpu.add_thread(irq)
+    sim.run_until(3.0)
+    done = []
+    cpu.submit(irq, Burst(0.5, on_complete=done.append))
+    sim.run_until(4.0)
+    assert done == [3.5]
+
+
+def test_fifo_runs_to_completion_without_quantum_expiry():
+    sim, cpu = make()
+    long_rt = Thread("rt", sched_class="fifo", base_priority=50)
+    done = []
+    long_rt.push_burst(Burst(250.0, on_complete=done.append))
+    cpu.add_thread(long_rt)
+    other = sink_thread("other")
+    cpu.add_thread(other)
+    sim.run_until(300.0)
+    assert done == [250.0]
+    assert other.cpu_time == pytest.approx(50.0)
+
+
+def test_higher_rt_priority_preempts_lower():
+    sim, cpu = make()
+    low_rt = Thread("low", sched_class="fifo", base_priority=10)
+    low_rt.push_burst(Burst(100.0))
+    cpu.add_thread(low_rt)
+    hi_rt = Thread("hi", sched_class="fifo", base_priority=90)
+    cpu.add_thread(hi_rt)
+    sim.run_until(10.0)
+    done = []
+    cpu.submit(hi_rt, Burst(5.0, on_complete=done.append))
+    sim.run_until(20.0)
+    assert done == [15.0]
+
+
+def test_preempted_other_thread_resumes_at_queue_head():
+    sim, cpu = make()
+    a = sink_thread("a")
+    b = sink_thread("b")
+    cpu.add_thread(a)
+    cpu.add_thread(b)
+    irq = Thread("irq", sched_class="fifo", base_priority=99)
+    cpu.add_thread(irq)
+    sim.run_until(5.0)
+    cpu.submit(irq, Burst(1.0))
+    sim.run_until(11.0)
+    # a was preempted at t=5 for 1ms, resumed at 6, and kept the CPU until
+    # its quantum's remaining 5ms elapsed (t=11); b must not sneak in early.
+    assert a.cpu_time == pytest.approx(10.0)
+    assert b.cpu_time == pytest.approx(0.0)
+
+
+def test_custom_quantum():
+    sim, cpu = make(quantum_ms=20.0)
+    a = sink_thread("a")
+    b = sink_thread("b")
+    cpu.add_thread(a)
+    cpu.add_thread(b)
+    sim.run_until(20.0)
+    assert a.cpu_time == pytest.approx(20.0)
+    assert b.cpu_time == pytest.approx(0.0)
+
+
+def test_bad_quantum_rejected():
+    with pytest.raises(SchedulerError):
+        LinuxScheduler(quantum_ms=0.0)

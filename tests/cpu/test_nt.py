@@ -1,0 +1,195 @@
+"""Tests for the NT/TSE scheduler model."""
+
+import pytest
+
+from repro.cpu import (
+    CPU,
+    Burst,
+    NTConfig,
+    NTScheduler,
+    NT_BOOST_PRIORITY,
+    Thread,
+    sink_thread,
+)
+from repro.errors import SchedulerError
+from repro.sim import Simulator
+
+
+def make(config=None):
+    sim = Simulator()
+    cpu = CPU(sim, NTScheduler(config or NTConfig.workstation()))
+    return sim, cpu
+
+
+class TestConfig:
+    def test_workstation_defaults(self):
+        cfg = NTConfig.workstation()
+        assert cfg.quantum_ms == 30.0
+        assert cfg.gui_wake_boost is True
+
+    def test_tse_boost_cancelled(self):
+        cfg = NTConfig.tse()
+        assert cfg.quantum_ms == 30.0
+        assert cfg.gui_wake_boost is False
+
+    def test_server_long_quantum(self):
+        cfg = NTConfig.server()
+        assert cfg.quantum_ms == 180.0
+        assert cfg.foreground_stretch == 1
+
+    def test_invalid_stretch_rejected(self):
+        with pytest.raises(SchedulerError):
+            NTConfig(foreground_stretch=4)
+
+    def test_with_stretch(self):
+        cfg = NTConfig.workstation().with_stretch(3)
+        assert cfg.foreground_stretch == 3
+
+
+class TestPriorities:
+    def test_foreground_default_base_9(self):
+        sim, cpu = make()
+        t = Thread("fg", foreground=True)
+        cpu.add_thread(t)
+        assert t.base_priority == 9
+
+    def test_background_default_base_8(self):
+        sim, cpu = make()
+        t = Thread("bg")
+        cpu.add_thread(t)
+        assert t.base_priority == 8
+
+    def test_explicit_priority_kept(self):
+        sim, cpu = make()
+        t = Thread("smss", base_priority=13)
+        cpu.add_thread(t)
+        assert t.base_priority == 13
+
+    def test_out_of_range_priority_rejected(self):
+        sim, cpu = make()
+        with pytest.raises(SchedulerError):
+            cpu.add_thread(Thread("bad", base_priority=40))
+
+
+class TestQuantumStretching:
+    def test_foreground_quantum_stretched(self):
+        sched = NTScheduler(NTConfig.workstation().with_stretch(3))
+        sim = Simulator()
+        cpu = CPU(sim, sched)
+        fg = Thread("fg", foreground=True)
+        bg = Thread("bg")
+        cpu.add_thread(fg)
+        cpu.add_thread(bg)
+        assert sched.quantum_for(fg) == 90.0
+        assert sched.quantum_for(bg) == 30.0
+
+    def test_stretched_quantum_lengthens_turns(self):
+        # Two foreground sinks with stretch 2: each turn is 60ms.
+        sim, cpu = make(NTConfig.workstation().with_stretch(2))
+        a = sink_thread("a", foreground=True)
+        b = sink_thread("b", foreground=True)
+        cpu.add_thread(a)
+        cpu.add_thread(b)
+        sim.run_until(60.0)
+        assert a.cpu_time == pytest.approx(60.0)
+        assert b.cpu_time == pytest.approx(0.0)
+
+
+class TestGuiBoost:
+    def test_gui_wake_boosted_to_15(self):
+        sim, cpu = make()
+        hog = sink_thread("hog", base_priority=13)
+        cpu.add_thread(hog)
+        gui = Thread("gui", gui=True, foreground=True)
+        cpu.add_thread(gui)
+        sim.run_until(100.0)
+        done = []
+        cpu.submit(gui, Burst(5.0, on_complete=done.append))
+        sim.run_until(100.1)
+        # Boost to 15 preempts the priority-13 hog immediately.
+        assert gui.priority == NT_BOOST_PRIORITY
+        sim.run_until(200.0)
+        assert done == [105.0]
+
+    def test_boost_expires_after_two_quanta(self):
+        sim, cpu = make()
+        gui = Thread("gui", gui=True, foreground=True)
+        cpu.add_thread(gui)
+        hog = sink_thread("hog", base_priority=13)
+        cpu.add_thread(hog)
+        sim.run_until(10.0)
+        # Long GUI operation: the 500ms window-maximize of §4.2.1.
+        cpu.submit(gui, Burst(500.0))
+        # Boost grace: 2 quanta * 30ms stretch 2 = 120ms of priority 15,
+        # then the thread drops to base 9 < 13 and starves behind the hog.
+        sim.run_until(500.0)
+        assert gui.priority == gui.base_priority
+        assert gui.cpu_time < 500.0
+        assert hog.cpu_time > 0.0
+
+    def test_tse_config_gets_no_gui_boost(self):
+        sim, cpu = make(NTConfig.tse())
+        hog = sink_thread("hog", base_priority=9, foreground=True)
+        cpu.add_thread(hog)
+        gui = Thread("gui", gui=True, foreground=True)
+        cpu.add_thread(gui)
+        sim.run_until(100.0)
+        done = []
+        cpu.submit(gui, Burst(2.0, on_complete=done.append))
+        sim.run_until(101.0)
+        # No boost: the echo thread waits for the hog's quantum to end.
+        assert done == []
+        sim.run_until(300.0)
+        assert done  # it does run once the hog's turn expires
+
+    def test_non_gui_wake_gets_small_boost(self):
+        sim, cpu = make()
+        t = Thread("t", foreground=True)
+        cpu.add_thread(t)
+        cpu.submit(t, Burst(1.0))
+        assert t.priority == 10  # base 9 + 1 wake boost
+        sim.run_until(50.0)
+
+
+class TestBalanceSetSweep:
+    def test_starved_thread_eventually_boosted(self):
+        sim, cpu = make()
+        hog = sink_thread("hog", base_priority=12)
+        cpu.add_thread(hog)
+        starved = Thread("starved", base_priority=4)
+        done = []
+        starved.push_burst(Burst(5.0, on_complete=done.append))
+        cpu.add_thread(starved)
+        # Without the sweep, 'starved' would never run under the 12-hog.
+        sim.run_until(10_000.0)
+        assert done, "balance-set sweep failed to rescue the starved thread"
+
+    def test_sweep_disabled_means_starvation(self):
+        cfg = NTConfig(balance_interval_ms=0.0)
+        sim, cpu = make(cfg)
+        hog = sink_thread("hog", base_priority=12)
+        cpu.add_thread(hog)
+        starved = Thread("starved", base_priority=4)
+        done = []
+        starved.push_burst(Burst(5.0, on_complete=done.append))
+        cpu.add_thread(starved)
+        sim.run_until(10_000.0)
+        assert not done
+
+
+def test_woken_thread_joins_tail_of_its_level():
+    """Equal-priority RR: a woken thread waits behind queued peers."""
+    sim, cpu = make(NTConfig.tse())
+    sinks = [sink_thread(f"s{i}", foreground=True) for i in range(3)]
+    for s in sinks:
+        cpu.add_thread(s)
+    echo = Thread("echo", gui=True, foreground=True)
+    cpu.add_thread(echo)
+    sim.run_until(100.0)
+    done = []
+    cpu.submit(echo, Burst(2.0, on_complete=done.append))
+    # Stretch 2 -> 60ms quanta; echo waits for the running sink's remaining
+    # quantum plus the two queued sinks' quanta.
+    sim.run_until(1000.0)
+    assert done
+    assert done[0] > 100.0 + 60.0  # waited behind at least one full quantum

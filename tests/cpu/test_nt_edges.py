@@ -1,0 +1,107 @@
+"""Edge-case tests for NT scheduler mechanics the main suite skims."""
+
+import pytest
+
+from repro.cpu import (
+    CPU,
+    Burst,
+    NTConfig,
+    NTScheduler,
+    NT_BOOST_PRIORITY,
+    Thread,
+    sink_thread,
+)
+from repro.sim import Simulator
+
+
+def make(config=None):
+    sim = Simulator()
+    cpu = CPU(sim, NTScheduler(config or NTConfig.workstation()))
+    return sim, cpu
+
+
+def test_boost_not_stacked_by_repeated_wakes():
+    """A re-wake while already boosted never exceeds priority 15."""
+    sim, cpu = make()
+    gui = Thread("gui", gui=True, foreground=True)
+    cpu.add_thread(gui)
+    hog = sink_thread("hog", base_priority=13)
+    cpu.add_thread(hog)
+    sim.run_until(10.0)
+    for __ in range(5):
+        cpu.submit(gui, Burst(1.0))
+        sim.run_until(sim.now + 5.0)
+        assert gui.priority <= NT_BOOST_PRIORITY
+
+
+def test_boost_decays_through_generic_boost_levels():
+    """Generic +1 wake boost decays back to base after one quantum."""
+    sim, cpu = make()
+    worker = Thread("worker", foreground=True)
+    cpu.add_thread(worker)
+    competitor = sink_thread("competitor", foreground=True)
+    cpu.add_thread(competitor)
+    sim.run_until(5.0)
+    cpu.submit(worker, Burst(200.0))  # long: will expire quanta
+    assert worker.priority == 10  # base 9 + 1
+    sim.run_until(400.0)
+    assert worker.priority == worker.base_priority
+
+
+def test_preempted_thread_resumes_before_equal_priority_peers():
+    """Head-of-queue reinsertion after preemption (NT semantics)."""
+    sim, cpu = make()
+    a = sink_thread("a", base_priority=8)
+    b = sink_thread("b", base_priority=8)
+    cpu.add_thread(a)
+    cpu.add_thread(b)
+    hi = Thread("hi", base_priority=12)
+    cpu.add_thread(hi)
+    sim.run_until(10.0)  # a is mid-quantum
+    cpu.submit(hi, Burst(5.0))
+    # a was preempted at t=10 with 20ms of quantum left; after hi's 5ms it
+    # resumes at the head of its level and finishes that quantum at t=35.
+    sim.run_until(35.0)
+    assert a.cpu_time == pytest.approx(30.0)
+    assert b.cpu_time == 0.0
+
+
+def test_balance_sweep_ignores_already_boosted_threads():
+    cfg = NTConfig(starvation_ms=100.0, balance_interval_ms=200.0)
+    sim, cpu = make(cfg)
+    hog = sink_thread("hog", base_priority=14)
+    cpu.add_thread(hog)
+    starved = Thread("starved", base_priority=4)
+    starved.push_burst(Burst(1_000.0))
+    cpu.add_thread(starved)
+    sim.run_until(5_000.0)
+    # The starved thread receives periodic one-quantum rescues: it makes
+    # slow progress rather than none, and never exceeds the boost ceiling.
+    assert 0.0 < starved.cpu_time < 2_000.0
+    assert starved.priority <= NT_BOOST_PRIORITY
+
+
+def test_server_config_long_quantum_changes_rr_granularity():
+    sim, cpu = make(NTConfig.server())
+    a = sink_thread("a")
+    b = sink_thread("b")
+    cpu.add_thread(a)
+    cpu.add_thread(b)
+    sim.run_until(180.0)
+    assert a.cpu_time == pytest.approx(180.0)
+    assert b.cpu_time == 0.0
+
+
+def test_realtime_priority_threads_preempt_everything():
+    sim, cpu = make()
+    gui = Thread("gui", gui=True, foreground=True)
+    cpu.add_thread(gui)
+    rt = Thread("rt", base_priority=31)
+    cpu.add_thread(rt)
+    sim.run_until(5.0)
+    cpu.submit(gui, Burst(50.0))  # boosted to 15
+    sim.run_until(6.0)
+    done = []
+    cpu.submit(rt, Burst(2.0, on_complete=done.append))
+    sim.run_until(10.0)
+    assert done == [pytest.approx(8.0)]

@@ -1,0 +1,122 @@
+"""Tests for the SMP composition."""
+
+import pytest
+
+from repro.cpu import Burst, LinuxScheduler, SMPSystem, Thread, sink_thread
+from repro.errors import SchedulerError
+from repro.sim import Simulator
+
+
+def make(cpu_count=2, **kwargs):
+    sim = Simulator()
+    smp = SMPSystem(sim, LinuxScheduler, cpu_count, **kwargs)
+    return sim, smp
+
+
+def test_needs_at_least_one_cpu():
+    sim = Simulator()
+    with pytest.raises(SchedulerError):
+        SMPSystem(sim, LinuxScheduler, 0)
+
+
+def test_threads_spread_across_cpus():
+    sim, smp = make(cpu_count=2)
+    a, b = sink_thread("a"), sink_thread("b")
+    smp.add_thread(a)
+    smp.add_thread(b)
+    assert smp.cpu_of(a) is not smp.cpu_of(b)
+    sim.run_until(100.0)
+    # Perfect parallelism: both hogs get a full CPU.
+    assert a.cpu_time == pytest.approx(100.0)
+    assert b.cpu_time == pytest.approx(100.0)
+    assert smp.utilization(0.0, 100.0) == pytest.approx(1.0)
+
+
+def test_two_cpus_double_throughput():
+    lone_sim, lone = make(cpu_count=1)
+    dual_sim, dual = make(cpu_count=2)
+    for sim, system in ((lone_sim, lone), (dual_sim, dual)):
+        done = []
+        for i in range(4):
+            t = Thread(f"t{i}")
+            t.push_burst(Burst(100.0, on_complete=done.append))
+            system.add_thread(t)
+        sim.run_until(1_000.0)
+        system.last_done = max(done)  # type: ignore[attr-defined]
+    assert dual.last_done == pytest.approx(lone.last_done / 2)
+
+
+def test_explicit_placement():
+    sim, smp = make(cpu_count=2)
+    t = Thread("pinned")
+    smp.add_thread(t, cpu_index=1)
+    assert smp.cpu_of(t) is smp.cpus[1]
+    with pytest.raises(SchedulerError):
+        smp.add_thread(Thread("x"), cpu_index=9)
+
+
+def test_double_placement_rejected():
+    sim, smp = make()
+    t = sink_thread("t")
+    smp.add_thread(t)
+    with pytest.raises(SchedulerError):
+        smp.add_thread(t)
+
+
+def test_submit_routes_by_affinity():
+    sim, smp = make(cpu_count=2)
+    hog = sink_thread("hog")
+    smp.add_thread(hog, cpu_index=0)
+    quiet = Thread("quiet")
+    smp.add_thread(quiet, cpu_index=1)
+    done = []
+    sim.run_until(10.0)
+    smp.submit(quiet, Burst(5.0, on_complete=done.append))
+    sim.run_until(16.0)
+    # quiet's CPU is idle: the burst runs immediately despite the hog.
+    assert done == [pytest.approx(15.0)]
+
+
+def test_kill_frees_placement():
+    sim, smp = make()
+    t = sink_thread("t")
+    smp.add_thread(t)
+    sim.run_until(5.0)
+    smp.kill(t)
+    with pytest.raises(SchedulerError):
+        smp.cpu_of(t)
+
+
+def test_load_and_queue_aggregate():
+    sim, smp = make(cpu_count=2)
+    for i in range(6):
+        smp.add_thread(sink_thread(f"s{i}"))
+    sim.run_until(1.0)
+    assert smp.load == 6
+    assert smp.run_queue_length == 4  # two running, four queued
+    assert smp.cpu_count == 2
+
+
+def test_unplaced_thread_lookup_rejected():
+    sim, smp = make()
+    with pytest.raises(SchedulerError):
+        smp.cpu_of(Thread("ghost"))
+
+
+def test_interactive_latency_improves_with_more_cpus():
+    """The sizing story: the same sink load hurts less on more processors."""
+    latencies = {}
+    for cpus in (1, 2, 4):
+        sim, smp = make(cpu_count=cpus)
+        for i in range(4):
+            smp.add_thread(sink_thread(f"s{i}"))
+        echo = Thread("echo")
+        smp.add_thread(echo)
+        sim.run_until(100.0)
+        done = []
+        smp.submit(echo, Burst(2.0, on_complete=done.append))
+        sim.run_until(500.0)
+        latencies[cpus] = done[0] - 100.0
+    assert latencies[4] <= latencies[2] <= latencies[1]
+    # On 4 CPUs the echo shares with at most one sink: one quantum's wait.
+    assert latencies[4] < 15.0

@@ -1,0 +1,104 @@
+"""Tests for the SVR4 TS/IA scheduler (the Evans et al. baseline)."""
+
+import pytest
+
+from repro.cpu import CPU, Burst, DispatchTable, SVR4Scheduler, Thread, sink_thread
+from repro.errors import SchedulerError
+from repro.sim import Simulator
+
+
+def make(table=None):
+    sim = Simulator()
+    cpu = CPU(sim, SVR4Scheduler(table))
+    return sim, cpu
+
+
+class TestDispatchTable:
+    def test_quantum_shrinks_with_priority(self):
+        table = DispatchTable()
+        assert table.quantum(0) > table.quantum(30) > table.quantum(59)
+
+    def test_tqexp_drops_priority(self):
+        table = DispatchTable()
+        assert table.tqexp(30) == 20
+        assert table.tqexp(5) == 0  # clamped at the bottom
+
+    def test_slpret_raises_priority(self):
+        table = DispatchTable()
+        assert table.slpret(20) == 45
+        assert table.slpret(50) == 59  # clamped at the top
+
+
+class TestClasses:
+    def test_gui_threads_default_to_ia(self):
+        sim, cpu = make()
+        t = Thread("xterm", gui=True)
+        cpu.add_thread(t)
+        assert t.sched_class == "ia"
+
+    def test_plain_threads_default_to_ts(self):
+        sim, cpu = make()
+        t = Thread("cc1")
+        cpu.add_thread(t)
+        assert t.sched_class == "ts"
+
+    def test_unknown_class_rejected(self):
+        sim, cpu = make()
+        with pytest.raises(SchedulerError):
+            cpu.add_thread(Thread("t", sched_class="rt"))
+
+    def test_ia_boost_applied(self):
+        sim, cpu = make()
+        ia = Thread("ia", gui=True, base_priority=29)
+        ts = Thread("ts", base_priority=29)
+        cpu.add_thread(ia)
+        cpu.add_thread(ts)
+        assert ia.priority == 39  # 29 + ia_boost 10
+        assert ts.priority == 29
+
+    def test_sys_class_above_ts(self):
+        sim, cpu = make()
+        sys_t = Thread("pageout", sched_class="sys", base_priority=5)
+        cpu.add_thread(sys_t)
+        assert sys_t.priority == 65
+
+
+class TestInteractiveProtection:
+    """Evans et al.: keystroke latency stays small under CPU load."""
+
+    def test_hog_priority_decays(self):
+        sim, cpu = make()
+        hog = sink_thread("hog")
+        cpu.add_thread(hog)
+        sim.run_until(5_000.0)
+        assert hog.priority == 0  # quantum expiries drove it to the floor
+
+    def test_interactive_thread_preempts_decayed_hogs(self):
+        sim, cpu = make()
+        for i in range(10):
+            cpu.add_thread(sink_thread(f"hog{i}"))
+        vim = Thread("vim", gui=True)
+        cpu.add_thread(vim)
+        sim.run_until(5_000.0)  # let hog priorities decay
+        done = []
+        cpu.submit(vim, Burst(2.0, on_complete=done.append))
+        sim.run_until(5_010.0)
+        # Sleep return + IA boost puts vim far above the floor-priority
+        # hogs: it preempts immediately, latency ~= its own burst.
+        assert done == [pytest.approx(5_002.0)]
+
+    def test_latency_flat_as_load_grows(self):
+        """The shape of Evans et al.'s result: stall independent of load."""
+        stalls = {}
+        for nhogs in (1, 10, 20):
+            sim, cpu = make()
+            for i in range(nhogs):
+                cpu.add_thread(sink_thread(f"hog{i}"))
+            vim = Thread("vim", gui=True)
+            cpu.add_thread(vim)
+            sim.run_until(3_000.0)
+            done = []
+            cpu.submit(vim, Burst(2.0, on_complete=done.append))
+            sim.run_until(4_000.0)
+            stalls[nhogs] = done[0] - 3_000.0
+        assert stalls[20] == pytest.approx(stalls[1], abs=1.0)

@@ -1,0 +1,79 @@
+"""Edge-case tests for SVR4 TS/IA dynamics."""
+
+import pytest
+
+from repro.cpu import CPU, Burst, DispatchTable, SVR4Scheduler, Thread, sink_thread
+from repro.sim import Simulator
+
+
+def make(table=None):
+    sim = Simulator()
+    cpu = CPU(sim, SVR4Scheduler(table))
+    return sim, cpu
+
+
+def test_quantum_grows_as_priority_decays():
+    """A decayed hog gets longer slices — SVR4 trades latency for
+    throughput at the bottom of the TS range."""
+    sim, cpu = make()
+    hog = sink_thread("hog")
+    cpu.add_thread(hog)
+    other = sink_thread("other")
+    cpu.add_thread(other)
+    table = cpu.scheduler.table
+    # Both decay to the floor; their slices approach the longest quantum.
+    sim.run_until(10_000.0)
+    assert hog.priority == 0
+    assert cpu.scheduler.table.quantum(0) > table.quantum(59)
+
+
+def test_sleep_return_climbs_the_ladder():
+    sim, cpu = make()
+    sleeper = Thread("sleeper")  # plain TS, base 29
+    cpu.add_thread(sleeper)
+    cpu.add_thread(sink_thread("hog"))
+    # One short burst, then sleep: slpret rewards it.
+    cpu.submit(sleeper, Burst(1.0))
+    sim.run_until(500.0)
+    cpu.submit(sleeper, Burst(1.0))
+    sim.run_until(1_000.0)
+    assert sleeper.sched_data["user_priority"] > 29
+
+
+def test_ia_class_beats_equal_ts_sleeper():
+    """The IA boost is precisely what separates Evans et al.'s scheduler
+    from vanilla TS for identically behaving threads."""
+    sim, cpu = make()
+    ia = Thread("ia", gui=True)
+    ts = Thread("ts")
+    cpu.add_thread(ia)
+    cpu.add_thread(ts)
+    cpu.add_thread(sink_thread("hog"))
+    sim.run_until(1_000.0)
+    done = []
+    cpu.submit(ts, Burst(5.0, on_complete=lambda w: done.append(("ts", w))))
+    cpu.submit(ia, Burst(5.0, on_complete=lambda w: done.append(("ia", w))))
+    sim.run_until(2_000.0)
+    order = [name for name, __ in done]
+    assert order == ["ia", "ts"]
+
+
+def test_sys_class_never_decays():
+    sim, cpu = make()
+    daemon = Thread("pageout", sched_class="sys", base_priority=10)
+    cpu.add_thread(daemon)
+    cpu.add_thread(sink_thread("hog"))
+    for __ in range(5):
+        cpu.submit(daemon, Burst(50.0))
+    sim.run_until(2_000.0)
+    assert daemon.priority == 70  # SYS_BASE + 10, untouched by expiries
+
+
+def test_custom_dispatch_table():
+    table = DispatchTable(tqexp_drop=1, slpret_gain=1, ia_boost=0)
+    sim, cpu = make(table)
+    hog = sink_thread("hog")
+    cpu.add_thread(hog)
+    sim.run_until(2_000.0)
+    # Gentle decay: after ~2s the hog has lost only a few levels.
+    assert hog.priority > 0

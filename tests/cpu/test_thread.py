@@ -1,0 +1,67 @@
+"""Unit tests for threads and bursts."""
+
+import math
+
+import pytest
+
+from repro.cpu import Burst, Thread, ThreadState, sink_thread
+from repro.errors import SchedulerError
+
+
+def test_thread_starts_new_with_no_work():
+    t = Thread("t")
+    assert t.state is ThreadState.NEW
+    assert not t.has_work
+
+
+def test_thread_ids_are_unique():
+    a, b = Thread("a"), Thread("b")
+    assert a.tid != b.tid
+
+
+def test_push_and_take_burst():
+    t = Thread("t")
+    b = Burst(5.0)
+    t.push_burst(b)
+    assert t.has_work
+    assert t.take_next_burst() is b
+    assert t.current_burst is b
+    assert t.has_work
+
+
+def test_take_next_burst_empty_returns_none():
+    assert Thread("t").take_next_burst() is None
+
+
+def test_take_with_burst_in_progress_raises():
+    t = Thread("t")
+    t.push_burst(Burst(1.0))
+    t.take_next_burst()
+    t.push_burst(Burst(1.0))
+    with pytest.raises(SchedulerError):
+        t.take_next_burst()
+
+
+def test_negative_demand_raises():
+    with pytest.raises(SchedulerError):
+        Burst(-1.0)
+
+
+def test_infinite_burst():
+    b = Burst(math.inf)
+    assert b.is_infinite
+    assert not Burst(10.0).is_infinite
+
+
+def test_sink_thread_has_infinite_work():
+    s = sink_thread("s1", foreground=True)
+    assert s.foreground
+    assert s.has_work
+    assert s.bursts[0].is_infinite
+
+
+def test_push_to_terminated_thread_raises():
+    t = Thread("t")
+    t.state = ThreadState.TERMINATED
+    with pytest.raises(SchedulerError):
+        t.push_burst(Burst(1.0))

@@ -1,0 +1,75 @@
+"""Tests for display operations and input events."""
+
+import pytest
+
+from repro.errors import ProtocolError
+from repro.gui import (
+    Bitmap,
+    CopyArea,
+    DrawBitmap,
+    DrawText,
+    DrawWidget,
+    FillRect,
+    KeyPress,
+    KeyRelease,
+    MouseButton,
+    MouseMove,
+)
+from repro.gui.drawing import RestoreRegion
+
+
+class TestBitmap:
+    def test_raw_bytes(self):
+        assert Bitmap("b", 468, 60, 8).raw_bytes == 28_080
+        assert Bitmap("b", 468, 60, 4).raw_bytes == 14_040
+
+    def test_compressed_bytes(self):
+        b = Bitmap("b", 468, 60, 8, compressed_ratio=0.85)
+        assert b.compressed_bytes == 23_868
+
+    def test_compressed_bytes_at_least_one(self):
+        assert Bitmap("b", 1, 1, 8, compressed_ratio=0.01).compressed_bytes == 1
+
+    def test_validation(self):
+        with pytest.raises(ProtocolError):
+            Bitmap("b", 0, 10, 8)
+        with pytest.raises(ProtocolError):
+            Bitmap("b", 10, 10, 7)
+        with pytest.raises(ProtocolError):
+            Bitmap("b", 10, 10, 8, compressed_ratio=0.0)
+        with pytest.raises(ProtocolError):
+            Bitmap("b", 10, 10, 8, compressed_ratio=1.5)
+
+    def test_banner_frame_calibration(self):
+        """65 banner-class frames fit the 1.5 MB cache; 66 do not."""
+        frame = Bitmap("f", 468, 60, 8, compressed_ratio=0.85)
+        cache_bytes = int(1.5 * 1024 * 1024)
+        assert 65 * frame.compressed_bytes <= cache_bytes
+        assert 66 * frame.compressed_bytes > cache_bytes
+
+
+class TestOps:
+    def test_validation(self):
+        with pytest.raises(ProtocolError):
+            DrawText(0)
+        with pytest.raises(ProtocolError):
+            FillRect(0, 5)
+        with pytest.raises(ProtocolError):
+            CopyArea(5, 0)
+        with pytest.raises(ProtocolError):
+            DrawWidget(0)
+        with pytest.raises(ProtocolError):
+            RestoreRegion(0, 5, "k", 3)
+        with pytest.raises(ProtocolError):
+            RestoreRegion(5, 5, "k", 0)
+
+    def test_ops_are_frozen_values(self):
+        assert DrawText(3) == DrawText(3)
+        assert FillRect(2, 2) != FillRect(2, 3)
+
+
+def test_input_events_are_values():
+    assert KeyPress(65) == KeyPress(65)
+    assert KeyRelease(65) != KeyRelease(66)
+    assert MouseMove(1, 2) == MouseMove(1, 2)
+    assert MouseButton(1, True) != MouseButton(1, False)

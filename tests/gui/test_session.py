@@ -1,0 +1,31 @@
+"""Tests for session setup costs (§6.1.1)."""
+
+import pytest
+
+from repro.errors import ProtocolError
+from repro.gui import TO_CLIENT, TO_SERVER, TSE_SETUP, X_SETUP, session_setup
+
+
+def test_tse_setup_total_matches_paper():
+    """Paper: TSE session setup cost 45,328 bytes."""
+    assert TSE_SETUP.total_bytes == 45_328
+
+
+def test_x_setup_total_matches_paper():
+    """Paper: Linux/X session setup cost 16,312 bytes."""
+    assert X_SETUP.total_bytes == 16_312
+
+
+def test_setup_has_both_directions():
+    for setup in (TSE_SETUP, X_SETUP):
+        by_dir = setup.bytes_by_direction()
+        assert by_dir[TO_SERVER] > 0
+        assert by_dir[TO_CLIENT] > 0
+        assert by_dir[TO_SERVER] + by_dir[TO_CLIENT] == setup.total_bytes
+
+
+def test_lookup():
+    assert session_setup("nt_tse") is TSE_SETUP
+    assert session_setup("linux") is X_SETUP
+    with pytest.raises(ProtocolError):
+        session_setup("beos")

@@ -1,0 +1,135 @@
+"""Integration tests: the paper's findings reproduced through the full stack."""
+
+import pytest
+
+from repro.core import ServerConfig, ThinClientServer
+from repro.cpu import run_idle_experiment
+from repro.memory import run_memory_latency_experiment
+from repro.net import run_ping_experiment
+from repro.workloads import (
+    SinkFleet,
+    run_frame_count_sweep,
+    run_protocol_comparison,
+    run_stall_experiment,
+)
+
+
+class TestHeadlineFindings:
+    """Each of the paper's abstract claims, end to end."""
+
+    def test_latency_up_to_100x_threshold_under_load(self):
+        """'we observed user-perceived latencies up to 100 times beyond
+        the threshold of perception' — the memory pathology gets there."""
+        tse = run_memory_latency_experiment("nt_tse", 1.2, runs=10, seed=0)
+        worst_factor = tse.summary.maximum / 100.0
+        assert worst_factor > 20.0  # tens of times beyond perception
+
+    def test_tse_performs_particularly_poorly_under_cpu_load(self):
+        (tse,) = run_stall_experiment("nt_tse", [15], duration_ms=30_000.0)
+        (linux,) = run_stall_experiment("linux", [15], duration_ms=30_000.0)
+        assert tse.average_stall_ms > 3 * linux.average_stall_ms
+
+    def test_rdp_outperforms_x_by_up_to_six_times(self):
+        taps = run_protocol_comparison(seed=0)
+        ratio = taps["x"].trace().total_bytes / taps["rdp"].trace().total_bytes
+        assert ratio > 4.0  # paper: ~6x
+
+    def test_bitmap_cache_reduces_animation_load_over_an_order_of_magnitude(self):
+        """'can reduce network load in these cases by up to 2000%'"""
+        rows = dict(run_frame_count_sweep([60, 70], duration_ms=45_000.0))
+        assert rows[70] / rows[60] > 20.0
+
+    def test_idle_systems_induce_unnecessary_latency(self):
+        """'even in the idle state these systems induce unnecessary latency'"""
+        tse = run_idle_experiment("nt_tse", 60_000.0, seed=1)
+        assert any(d > 100.0 for d in tse.event_durations_ms)
+
+
+class TestMultiUserServer:
+    def test_ten_typing_users_on_one_server(self):
+        server = ThinClientServer(ServerConfig.tse(), seed=4)
+        sessions = [server.connect(f"user{i}") for i in range(10)]
+        server.run(1_000.0)
+        for session in sessions:
+            session.start_typing()
+        server.run(10_000.0)
+        for session in sessions:
+            session.stop_typing()
+        server.run(2_000.0)
+        for session in sessions:
+            assert len(session.client.latencies_ms) > 100
+        # 10 typing users don't saturate CPU; echoes stay fast on average.
+        all_lat = [
+            l for s in sessions for l in s.client.latencies_ms
+        ]
+        assert sum(all_lat) / len(all_lat) < 150.0
+
+    def test_cpu_load_degrades_interactive_latency_through_full_stack(self):
+        quiet = ThinClientServer(ServerConfig.tse(), seed=5)
+        loaded = ThinClientServer(ServerConfig.tse(), seed=5)
+        SinkFleet(loaded.cpu, 12, foreground=True)
+        results = {}
+        for name, server in (("quiet", quiet), ("loaded", loaded)):
+            session = server.connect("u")
+            server.run(1_000.0)
+            session.start_typing()
+            server.run(8_000.0)
+            session.stop_typing()
+            server.run(3_000.0)
+            results[name] = session.client.assessment()
+        assert (
+            results["loaded"].summary.average
+            > 3 * results["quiet"].summary.average
+        )
+        assert results["loaded"].perceptible_fraction > 0.3
+
+    def test_session_memory_accumulates_per_login(self):
+        server = ThinClientServer(ServerConfig.tse(), seed=6)
+        before = server.vm.pool.used_frames
+        server.connect("a")
+        server.connect("b")
+        after = server.vm.pool.used_frames
+        # Two TSE logins: 2 x 3,244 KB = ~1622 frames.
+        assert after - before == pytest.approx(2 * 811, abs=4)
+
+
+class TestNetworkSaturationEndToEnd:
+    def test_network_knee_confirms_figures_8_and_9(self):
+        results = run_ping_experiment(
+            [2.0, 9.6], duration_ms=30_000.0, seed=7
+        )
+        low, high = results
+        assert high.mean_rtt_ms > 10 * low.mean_rtt_ms
+        assert high.rtt_variance > 100 * low.rtt_variance
+
+
+class TestMemoryPathologyThroughFullStack:
+    def test_streamer_delays_the_next_keystroke_end_to_end(self):
+        """§5.2 through the composed server: page the session out, then
+        measure the user's next keystroke at the client."""
+        from repro.workloads import MemoryHog
+
+        server = ThinClientServer(
+            ServerConfig.tse(include_idle_activity=False), seed=9
+        )
+        session = server.connect("reader")
+        server.run(1_000.0)
+        # Warm interaction: fast echoes.
+        session.press_key()
+        server.run(1_000.0)
+        fast = session.client.latencies_ms[-1]
+
+        # The streaming hog pages everything (including the session) out.
+        hog = MemoryHog(server.vm, server.vm.pool.total_frames * 4096 * 2)
+        hog.run_to_completion()
+        assert session.memory.resident_pages == 0
+
+        session.press_key()
+        server.run(5_000.0)
+        slow = session.client.latencies_ms[-1]
+        # Four page-ins at ~13ms each dominate the echo.
+        assert slow > fast + 30.0
+        # The page-ins also brought the hot pages back: next echo is fast.
+        session.press_key()
+        server.run(5_000.0)
+        assert session.client.latencies_ms[-1] < slow / 2

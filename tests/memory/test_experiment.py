@@ -1,0 +1,75 @@
+"""Tests for the §5.2 memory-latency experiment."""
+
+import pytest
+
+from repro.errors import MemoryError_
+from repro.memory import (
+    BASELINE_RESPONSE_MS,
+    memory_profile,
+    run_memory_latency_experiment,
+)
+
+
+def test_profiles_exist_for_both_systems():
+    assert memory_profile("linux").respond_pages_mean < memory_profile(
+        "nt_tse"
+    ).respond_pages_mean
+    with pytest.raises(MemoryError_):
+        memory_profile("beos")
+
+
+def test_low_demand_keeps_baseline_latency():
+    """Paper '< 100%' column: every response at the 50 ms baseline."""
+    for os_name in ("linux", "nt_tse"):
+        result = run_memory_latency_experiment(os_name, 0.5, runs=5, seed=1)
+        assert all(l == BASELINE_RESPONSE_MS for l in result.latencies_ms)
+
+
+def test_high_demand_linux_around_paper_values():
+    """Paper: Linux >=100% — min 330, avg 1170, max 3000 ms."""
+    result = run_memory_latency_experiment("linux", 1.2, runs=10, seed=0)
+    s = result.summary
+    assert 100.0 < s.minimum < 1200.0
+    assert 600.0 < s.average < 2500.0
+    assert s.maximum > s.average * 1.3
+
+
+def test_high_demand_tse_worse_than_linux():
+    """Paper: TSE avg 4,026 ms ~= 3.4x Linux's 1,170 ms."""
+    linux = run_memory_latency_experiment("linux", 1.2, runs=10, seed=0)
+    tse = run_memory_latency_experiment("nt_tse", 1.2, runs=10, seed=0)
+    ratio = tse.summary.average / linux.summary.average
+    assert 2.0 < ratio < 6.0
+    # Both are 1-2 orders beyond the 100 ms perception threshold.
+    assert linux.summary.average > 500.0
+    assert tse.summary.average > 2000.0
+
+
+def test_deterministic_per_seed():
+    a = run_memory_latency_experiment("linux", 1.2, runs=3, seed=5)
+    b = run_memory_latency_experiment("linux", 1.2, runs=3, seed=5)
+    assert a.latencies_ms == b.latencies_ms
+    c = run_memory_latency_experiment("linux", 1.2, runs=3, seed=6)
+    assert a.latencies_ms != c.latencies_ms
+
+
+def test_throttling_eliminates_the_pathology():
+    """Evans et al.: throttling keeps the keystroke at baseline latency."""
+    plain = run_memory_latency_experiment("linux", 1.2, runs=5, seed=2)
+    throttled = run_memory_latency_experiment(
+        "linux", 1.2, runs=5, seed=2, throttled=True
+    )
+    assert plain.summary.average > 500.0
+    assert all(l == BASELINE_RESPONSE_MS for l in throttled.latencies_ms)
+
+
+def test_negative_demand_rejected():
+    with pytest.raises(MemoryError_):
+        run_memory_latency_experiment("linux", -0.1)
+
+
+def test_result_summary_fields():
+    result = run_memory_latency_experiment("linux", 1.2, runs=4, seed=3)
+    s = result.summary
+    assert s.count == 4
+    assert s.minimum <= s.average <= s.maximum

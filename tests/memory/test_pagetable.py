@@ -1,0 +1,72 @@
+"""Unit tests for address spaces and page tables."""
+
+import pytest
+
+from repro.errors import MemoryError_
+from repro.memory import AddressSpace
+from repro.memory.physical import Frame
+
+
+def test_empty_space():
+    space = AddressSpace("p", 10)
+    assert space.resident_pages == 0
+    assert space.lookup(0) is None
+
+
+def test_zero_pages_rejected():
+    with pytest.raises(MemoryError_):
+        AddressSpace("p", 0)
+
+
+def test_map_and_lookup():
+    space = AddressSpace("p", 10)
+    frame = Frame(0)
+    space.map(3, frame)
+    assert space.lookup(3) is frame
+    assert frame.owner is space
+    assert frame.vpn == 3
+    assert space.resident_pages == 1
+
+
+def test_map_out_of_range_rejected():
+    space = AddressSpace("p", 10)
+    with pytest.raises(MemoryError_):
+        space.map(10, Frame(0))
+    with pytest.raises(MemoryError_):
+        space.lookup(-1)
+
+
+def test_double_map_rejected():
+    space = AddressSpace("p", 10)
+    space.map(1, Frame(0))
+    with pytest.raises(MemoryError_):
+        space.map(1, Frame(1))
+
+
+def test_unmap_returns_frame_and_counts_eviction():
+    space = AddressSpace("p", 10)
+    frame = Frame(0)
+    space.map(2, frame)
+    out = space.unmap(2)
+    assert out is frame
+    assert frame.owner is None and frame.vpn is None
+    assert space.evicted_pages == 1
+    assert space.lookup(2) is None
+
+
+def test_unmap_nonresident_rejected():
+    space = AddressSpace("p", 10)
+    with pytest.raises(MemoryError_):
+        space.unmap(0)
+
+
+def test_resident_vpns_sorted():
+    space = AddressSpace("p", 10)
+    for vpn in (5, 1, 7):
+        space.map(vpn, Frame(vpn))
+    assert space.resident_vpns() == [1, 5, 7]
+
+
+def test_interactive_flag():
+    assert AddressSpace("e", 1, interactive=True).interactive
+    assert not AddressSpace("h", 1).interactive

@@ -1,0 +1,82 @@
+"""Unit tests for the physical frame pool."""
+
+import pytest
+
+from repro.errors import MemoryError_
+from repro.memory import DEFAULT_PAGE_SIZE, FramePool
+from repro.units import kb, mb
+
+
+def test_frame_count():
+    pool = FramePool(mb(1))
+    assert pool.total_frames == 256
+    assert pool.free_frames == 256
+    assert pool.used_frames == 0
+
+
+def test_page_size_default():
+    assert FramePool(mb(1)).page_size == DEFAULT_PAGE_SIZE == 4096
+
+
+def test_too_small_pool_rejected():
+    with pytest.raises(MemoryError_):
+        FramePool(100)
+    with pytest.raises(MemoryError_):
+        FramePool(mb(1), page_size=0)
+
+
+def test_allocate_and_release():
+    pool = FramePool(kb(8))
+    a = pool.allocate()
+    b = pool.allocate()
+    assert a is not None and b is not None
+    assert a.index != b.index
+    assert pool.allocate() is None  # exhausted
+    pool.release(a)
+    assert pool.free_frames == 1
+    assert pool.allocate() is a
+
+
+def test_release_clears_frame_state():
+    pool = FramePool(kb(8))
+    f = pool.allocate()
+    f.dirty = True
+    f.owner = object()
+    f.vpn = 3
+    pool.release(f)
+    assert f.owner is None and f.vpn is None and not f.dirty
+
+
+def test_double_free_rejected():
+    pool = FramePool(kb(8))
+    f = pool.allocate()
+    pool.release(f)
+    with pytest.raises(MemoryError_):
+        pool.release(f)
+
+
+def test_pin_reserves_frames():
+    pool = FramePool(mb(1))
+    pinned = pool.pin(kb(12))  # 3 pages
+    assert pinned == 3
+    assert pool.free_frames == 253
+    assert sum(1 for f in pool.frames if f.pinned) == 3
+
+
+def test_pin_rounds_up():
+    pool = FramePool(mb(1))
+    assert pool.pin(1) == 1
+
+
+def test_pin_beyond_capacity_rejected():
+    pool = FramePool(kb(8))
+    with pytest.raises(MemoryError_):
+        pool.pin(kb(12))
+
+
+def test_pinned_frame_cannot_be_released():
+    pool = FramePool(kb(8))
+    pool.pin(kb(4))
+    pinned = next(f for f in pool.frames if f.pinned)
+    with pytest.raises(MemoryError_):
+        pool.release(pinned)

@@ -1,0 +1,72 @@
+"""Tests for the §5.1.1 session-memory tables."""
+
+import pytest
+
+from repro.errors import MemoryError_
+from repro.memory import (
+    LINUX_SESSION,
+    TSE_SESSION_LIGHT,
+    TSE_SESSION_TYPICAL,
+    idle_memory_bytes,
+    session_profile,
+    sessions_that_fit,
+)
+from repro.units import mb
+
+
+def test_linux_session_total_is_752kb():
+    """Paper table (a): in.rshd 204 + xterm 372 + bash 176 = 752 KB."""
+    assert LINUX_SESSION.total_kb == 752
+
+
+def test_tse_typical_total_is_3244kb():
+    """Paper table (b): typical TSE login = 3,244 KB."""
+    assert TSE_SESSION_TYPICAL.total_kb == 3244
+
+
+def test_tse_light_total_is_2100kb():
+    """Paper table (b): DOS-prompt login = 2,100 KB."""
+    assert TSE_SESSION_LIGHT.total_kb == 2100
+
+
+def test_process_sets_match_paper():
+    assert {p.name for p in LINUX_SESSION.processes} == {
+        "in.rshd",
+        "xterm",
+        "bash",
+    }
+    assert "explorer.exe" in {p.name for p in TSE_SESSION_TYPICAL.processes}
+    assert "command.com" in {p.name for p in TSE_SESSION_LIGHT.processes}
+
+
+def test_idle_memory_figures():
+    assert idle_memory_bytes("linux") == mb(17)
+    assert idle_memory_bytes("nt_tse") == mb(19)
+    with pytest.raises(MemoryError_):
+        idle_memory_bytes("beos")
+
+
+def test_session_profile_lookup():
+    assert session_profile("linux") is LINUX_SESSION
+    assert session_profile("nt_tse", "light") is TSE_SESSION_LIGHT
+    with pytest.raises(MemoryError_):
+        session_profile("linux", "light")
+
+
+def test_sessions_that_fit_orders_linux_above_tse():
+    """Linux's smaller per-login footprint supports more users per MB."""
+    linux = sessions_that_fit("linux", mb(128))
+    tse = sessions_that_fit("nt_tse", mb(128))
+    assert linux > tse > 0
+    # 128MB - 17MB base over 752KB/user ~ 151 users.
+    assert linux == (mb(128) - mb(17)) // (752 * 1024)
+
+
+def test_sessions_that_fit_with_dynamic_load():
+    few = sessions_that_fit("linux", mb(128), per_user_dynamic_bytes=mb(4))
+    many = sessions_that_fit("linux", mb(128))
+    assert few < many
+
+
+def test_sessions_that_fit_tiny_server():
+    assert sessions_that_fit("nt_tse", mb(16)) == 0

@@ -1,0 +1,78 @@
+"""Tests for the Evans et al. throttling/protection extension."""
+
+import random
+
+import pytest
+
+from repro.memory import FramePool, PagingDisk, ThrottledVirtualMemory, make_policy
+from repro.units import kb
+
+
+def make_vm(pool_kb=128, **kwargs):
+    pool = FramePool(kb(pool_kb))
+    disk = PagingDisk(random.Random(0))
+    return ThrottledVirtualMemory(pool, disk, make_policy("lru"), **kwargs), pool
+
+
+def test_interactive_pages_protected_from_streamer():
+    vm, __ = make_vm()
+    editor = vm.create_process("editor", kb(32), interactive=True)
+    vm.touch_sequential(editor, 0, 8)
+    hog = vm.create_process("hog", kb(400))
+    vm.touch_sequential(hog, 0, 100)
+    # Unlike plain VM, the editor's working set survives the stream.
+    assert editor.resident_pages == 8
+    assert vm.protected_skips > 0
+
+
+def test_keystroke_fast_after_stream_with_protection():
+    vm, __ = make_vm()
+    editor = vm.create_process("editor", kb(32), interactive=True)
+    vm.touch_sequential(editor, 0, 8)
+    hog = vm.create_process("hog", kb(400))
+    vm.touch_sequential(hog, 0, 100)
+    latency = vm.touch_sequential(editor, 0, 8)
+    assert latency < 1.0  # all hits: no paging on the keystroke path
+
+
+def test_interactive_requester_not_constrained():
+    """Interactive faults may still evict anything (plain policy order)."""
+    vm, __ = make_vm(pool_kb=16)  # 4 frames
+    a = vm.create_process("a", kb(16), interactive=True)
+    vm.touch_sequential(a, 0, 4)
+    b = vm.create_process("b", kb(16), interactive=True)
+    vm.touch_sequential(b, 0, 4)
+    assert a.resident_pages == 0
+    assert b.resident_pages == 4
+
+
+def test_fallback_evicts_interactive_when_nothing_else():
+    vm, __ = make_vm(pool_kb=16)
+    editor = vm.create_process("editor", kb(16), interactive=True)
+    vm.touch_sequential(editor, 0, 4)
+    hog = vm.create_process("hog", kb(16))
+    r = vm.touch(hog, 0)  # only interactive frames exist: must fall back
+    assert r.faulted
+    assert editor.resident_pages == 3
+
+
+def test_throttle_penalty_under_pressure():
+    vm, pool = make_vm(pool_kb=64, pressure_threshold=0.5, throttle_ms=20.0)
+    hog = vm.create_process("hog", kb(128))
+    # First faults: plenty free, no penalty.
+    r = vm.touch(hog, 0)
+    no_penalty = r.latency_ms
+    # Drain free memory below the 50% threshold.
+    vm.touch_sequential(hog, 1, 12)
+    assert vm.under_pressure
+    r = vm.touch(hog, 20)
+    assert vm.throttled_faults >= 1
+    assert r.latency_ms > 20.0  # includes the throttle penalty
+
+
+def test_interactive_faults_never_throttled():
+    vm, __ = make_vm(pool_kb=64, pressure_threshold=1.0, throttle_ms=500.0)
+    editor = vm.create_process("editor", kb(16), interactive=True)
+    r = vm.touch(editor, 0)
+    assert r.latency_ms < 100.0
+    assert vm.throttled_faults == 0

@@ -1,0 +1,160 @@
+"""Unit tests for the virtual-memory manager."""
+
+import random
+
+import pytest
+
+from repro.errors import MemoryError_
+from repro.memory import (
+    FramePool,
+    LRUPolicy,
+    PagingDisk,
+    VirtualMemory,
+    make_policy,
+)
+from repro.units import kb, mb
+
+
+def make_vm(pool_kb=64, **kwargs):
+    pool = FramePool(kb(pool_kb))
+    disk = PagingDisk(random.Random(0))
+    vm = VirtualMemory(pool, disk, make_policy("lru"), **kwargs)
+    return vm, pool, disk
+
+
+def test_create_process_rounds_up_pages():
+    vm, pool, __ = make_vm()
+    space = vm.create_process("p", 4097)
+    assert space.num_pages == 2
+
+
+def test_first_touch_faults_then_hits():
+    vm, __, __ = make_vm()
+    p = vm.create_process("p", kb(16))
+    r1 = vm.touch(p, 0)
+    assert r1.faulted and r1.pages_read == 1
+    assert r1.latency_ms > 1.0  # disk service
+    r2 = vm.touch(p, 0)
+    assert not r2.faulted
+    assert r2.latency_ms < 0.01  # memory hierarchy hit
+    assert p.faults == 1 and p.hits == 1
+
+
+def test_eviction_when_pool_exhausted():
+    vm, pool, __ = make_vm(pool_kb=16)  # 4 frames
+    p = vm.create_process("p", kb(32))  # 8 pages
+    for vpn in range(8):
+        vm.touch(p, vpn)
+    assert p.resident_pages == 4
+    assert vm.total_evictions == 4
+    # LRU: oldest pages 0-3 went out; 4-7 are resident.
+    assert p.resident_vpns() == [4, 5, 6, 7]
+
+
+def test_lru_victims_come_from_coldest_process():
+    vm, __, __ = make_vm(pool_kb=16)
+    cold = vm.create_process("cold", kb(8))
+    vm.touch_sequential(cold, 0, 2)
+    hot = vm.create_process("hot", kb(16))
+    vm.touch_sequential(hot, 0, 4)  # evicts both cold pages
+    assert cold.resident_pages == 0
+    assert hot.resident_pages == 4
+
+
+def test_out_of_memory_with_nothing_evictable():
+    vm, pool, __ = make_vm(pool_kb=8)  # 2 frames
+    pool.pin(kb(8))
+    p = vm.create_process("p", kb(4))
+    with pytest.raises(MemoryError_):
+        vm.touch(p, 0)
+
+
+def test_read_cluster_prefetches_following_pages():
+    vm, __, __ = make_vm(read_cluster=4)
+    p = vm.create_process("p", kb(64))
+    r = vm.touch(p, 0)
+    assert r.pages_read == 4
+    assert p.resident_vpns() == [0, 1, 2, 3]
+    # The prefetched pages now hit.
+    assert not vm.touch(p, 1).faulted
+
+
+def test_read_cluster_stops_at_resident_page():
+    vm, __, __ = make_vm(read_cluster=4)
+    p = vm.create_process("p", kb(64))
+    vm.touch(p, 2)  # makes 2..5 resident
+    r = vm.touch(p, 0)  # cluster 0,1 then stops at resident 2
+    assert r.pages_read == 2
+
+
+def test_read_cluster_stops_at_space_end():
+    vm, __, __ = make_vm(read_cluster=4)
+    p = vm.create_process("p", kb(8))  # 2 pages
+    r = vm.touch(p, 1)
+    assert r.pages_read == 1
+
+
+def test_dirty_eviction_counts_writeback():
+    vm, __, disk = make_vm(pool_kb=16)
+    p = vm.create_process("p", kb(32))
+    vm.touch_sequential(p, 0, 4, write=True)
+    vm.touch_sequential(p, 4, 4)
+    assert vm.total_writebacks == 4
+    assert disk.writes == 4
+
+
+def test_synchronous_writeback_adds_latency():
+    vm_async, __, __ = make_vm(pool_kb=16)
+    vm_sync, __, __ = make_vm(pool_kb=16, synchronous_writeback=True)
+    for vm in (vm_async, vm_sync):
+        p = vm.create_process("p", kb(32))
+        vm.touch_sequential(p, 0, 4, write=True)
+    r_async = vm_async.touch(vm_async.spaces[0], 5)
+    r_sync = vm_sync.touch(vm_sync.spaces[0], 5)
+    assert r_sync.latency_ms > r_async.latency_ms
+
+
+def test_touch_sequential_wraps_around_space():
+    vm, __, __ = make_vm()
+    p = vm.create_process("p", kb(8))  # 2 pages
+    vm.touch_sequential(p, 0, 5)
+    assert p.resident_pages == 2
+    assert p.faults == 2
+    assert p.hits == 3
+
+
+def test_destroy_process_frees_frames():
+    vm, pool, __ = make_vm()
+    p = vm.create_process("p", kb(16))
+    vm.touch_sequential(p, 0, 4)
+    used = pool.used_frames
+    vm.destroy_process(p)
+    assert pool.used_frames == used - 4
+    assert p not in vm.spaces
+
+
+def test_resident_fraction():
+    vm, __, __ = make_vm()
+    p = vm.create_process("p", kb(16))
+    vm.touch_sequential(p, 0, 2)
+    assert vm.resident_fraction(p) == 0.5
+
+
+def test_bad_cluster_rejected():
+    pool = FramePool(kb(64))
+    disk = PagingDisk(random.Random(0))
+    with pytest.raises(MemoryError_):
+        VirtualMemory(pool, disk, LRUPolicy(), read_cluster=0)
+
+
+def test_streaming_hog_evicts_idle_interactive_process():
+    """The §5.2 pathology at the VM level."""
+    vm, pool, __ = make_vm(pool_kb=128)  # 32 frames
+    editor = vm.create_process("editor", kb(32), interactive=True)
+    vm.touch_sequential(editor, 0, 8)
+    hog = vm.create_process("hog", kb(200))
+    vm.touch_sequential(hog, 0, 50)
+    assert editor.resident_pages == 0  # fully paged out
+    # The next keystroke pays disk latency for every page it needs.
+    r = vm.touch(editor, 0)
+    assert r.faulted

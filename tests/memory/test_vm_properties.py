@@ -1,0 +1,125 @@
+"""Property-based tests: the VM against a reference LRU paging model.
+
+A dict-based reference model replays the same touch sequence and the two
+must agree exactly on: which pages are resident, per-space fault counts,
+and the eviction total.  Also checks global conservation invariants under
+arbitrary interleavings of touches across processes.
+"""
+
+import random
+from collections import OrderedDict
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.memory import FramePool, PagingDisk, VirtualMemory, make_policy
+from repro.units import kb
+
+POOL_FRAMES = 6
+SPACE_PAGES = 10
+
+
+class ReferenceLRU:
+    """Trivially correct global-LRU demand paging."""
+
+    def __init__(self, capacity):
+        self.capacity = capacity
+        self.resident = OrderedDict()  # (space, vpn) -> None
+        self.faults = 0
+        self.evictions = 0
+
+    def touch(self, space, vpn):
+        key = (space, vpn)
+        if key in self.resident:
+            self.resident.move_to_end(key)
+            return False
+        self.faults += 1
+        if len(self.resident) >= self.capacity:
+            self.resident.popitem(last=False)
+            self.evictions += 1
+        self.resident[key] = None
+        return True
+
+
+touch_sequences = st.lists(
+    st.tuples(
+        st.integers(min_value=0, max_value=2),  # which process
+        st.integers(min_value=0, max_value=SPACE_PAGES - 1),  # vpn
+    ),
+    max_size=120,
+)
+
+
+@settings(max_examples=60, deadline=None)
+@given(touch_sequences)
+def test_vm_matches_reference_lru(touches):
+    pool = FramePool(POOL_FRAMES * 4096)
+    vm = VirtualMemory(pool, PagingDisk(random.Random(0)), make_policy("lru"))
+    spaces = [
+        vm.create_process(f"p{i}", SPACE_PAGES * 4096) for i in range(3)
+    ]
+    reference = ReferenceLRU(POOL_FRAMES)
+
+    for which, vpn in touches:
+        result = vm.touch(spaces[which], vpn)
+        expected_fault = reference.touch(which, vpn)
+        assert result.faulted == expected_fault
+
+    # Final residency agrees exactly.
+    for i, space in enumerate(spaces):
+        expected = sorted(v for s, v in reference.resident if s == i)
+        assert space.resident_vpns() == expected
+    assert vm.total_faults == reference.faults
+    assert vm.total_evictions == reference.evictions
+
+
+@settings(max_examples=60, deadline=None)
+@given(touch_sequences)
+def test_vm_conservation_invariants(touches):
+    pool = FramePool(POOL_FRAMES * 4096)
+    vm = VirtualMemory(pool, PagingDisk(random.Random(0)), make_policy("lru"))
+    spaces = [
+        vm.create_process(f"p{i}", SPACE_PAGES * 4096) for i in range(3)
+    ]
+    for which, vpn in touches:
+        vm.touch(spaces[which], vpn)
+        # Frames are conserved.
+        resident = sum(s.resident_pages for s in spaces)
+        assert resident == pool.used_frames
+        assert resident <= POOL_FRAMES
+        # Accounting identities.
+        assert vm.total_hits + vm.total_faults == sum(
+            s.hits + s.faults for s in spaces
+        )
+        assert vm.total_faults - vm.total_evictions == pool.used_frames
+
+
+@settings(max_examples=40, deadline=None)
+@given(touch_sequences, st.sampled_from(["lru", "clock", "fifo"]))
+def test_all_policies_bound_residency(touches, policy):
+    pool = FramePool(POOL_FRAMES * 4096)
+    vm = VirtualMemory(pool, PagingDisk(random.Random(0)), make_policy(policy))
+    spaces = [
+        vm.create_process(f"p{i}", SPACE_PAGES * 4096) for i in range(3)
+    ]
+    for which, vpn in touches:
+        vm.touch(spaces[which], vpn)
+        assert pool.used_frames <= POOL_FRAMES
+    # Every touched page is either resident or was evicted.
+    for space in spaces:
+        assert space.resident_pages <= POOL_FRAMES
+
+
+@settings(max_examples=40, deadline=None)
+@given(touch_sequences)
+def test_hit_latency_always_below_fault_latency(touches):
+    pool = FramePool(POOL_FRAMES * 4096)
+    vm = VirtualMemory(pool, PagingDisk(random.Random(0)), make_policy("lru"))
+    space = vm.create_process("p", SPACE_PAGES * 4096)
+    for __, vpn in touches:
+        result = vm.touch(space, vpn)
+        if result.faulted:
+            assert result.latency_ms > 1.0  # disk service dominates
+        else:
+            assert result.latency_ms < 0.01  # memory hierarchy hit

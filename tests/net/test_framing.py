@@ -1,0 +1,89 @@
+"""Unit and property tests for header stacks and segmentation."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import NetworkError
+from repro.net import RAW, TCPIP, VIP, segment, vip_savings, wire_bytes
+
+
+def test_tcpip_overhead():
+    assert TCPIP.per_segment_overhead == 18 + 20 + 20
+
+
+def test_vip_elides_ip_header():
+    assert TCPIP.per_segment_overhead - VIP.per_segment_overhead == 20
+
+
+def test_max_segment_payload():
+    assert TCPIP.max_segment_payload(1500) == 1460
+    assert VIP.max_segment_payload(1500) == 1480
+
+
+def test_mtu_too_small_rejected():
+    with pytest.raises(NetworkError):
+        TCPIP.max_segment_payload(30)
+
+
+def test_small_message_is_one_frame():
+    frames = segment(100, TCPIP)
+    assert frames == [100 + 58]
+
+
+def test_large_message_segments_at_mss():
+    frames = segment(3000, TCPIP)
+    # 1460 + 1460 + 80
+    assert len(frames) == 3
+    assert frames[0] == frames[1] == 1460 + 58
+    assert frames[2] == 80 + 58
+
+
+def test_zero_byte_message_costs_one_header_frame():
+    assert segment(0, TCPIP) == [58]
+
+
+def test_negative_payload_rejected():
+    with pytest.raises(NetworkError):
+        segment(-1, TCPIP)
+
+
+def test_raw_stack_has_no_overhead():
+    assert segment(64, RAW) == [64]
+    assert wire_bytes(64, RAW) == 64
+
+
+def test_wire_bytes_sums_frames():
+    assert wire_bytes(3000, TCPIP) == sum(segment(3000, TCPIP))
+
+
+def test_vip_savings_small_messages_save_more():
+    small = vip_savings([64] * 100)
+    large = vip_savings([1400] * 100)
+    assert small > large
+    # One 64-byte message: 122 -> 102 on the wire, ~16% savings.
+    assert small == pytest.approx(20 / (64 + 58))
+
+
+def test_vip_savings_empty_trace_rejected():
+    with pytest.raises(NetworkError):
+        vip_savings([])
+
+
+@given(st.integers(min_value=0, max_value=100_000))
+def test_segmentation_conserves_payload(payload):
+    frames = segment(payload, TCPIP)
+    carried = sum(f - TCPIP.per_segment_overhead for f in frames)
+    assert carried == payload
+
+
+@given(st.integers(min_value=1, max_value=100_000))
+def test_vip_never_costs_more(payload):
+    assert wire_bytes(payload, VIP) <= wire_bytes(payload, TCPIP)
+
+
+@given(st.integers(min_value=1, max_value=100_000))
+def test_frames_respect_mtu(payload):
+    for frame in segment(payload, TCPIP):
+        # link header is outside the IP MTU
+        assert frame - TCPIP.link_bytes <= 1500

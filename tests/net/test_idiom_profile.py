@@ -1,0 +1,85 @@
+"""Tests for Danskin-style kind profiling and framing-overhead analysis."""
+
+import pytest
+
+from repro.errors import NetworkError
+from repro.net import (
+    DISPLAY_CHANNEL,
+    INPUT_CHANNEL,
+    KindStats,
+    Message,
+    ProtoTap,
+    RAW,
+    TCPIP,
+)
+from repro.net.framing import framing_overhead_fraction
+
+
+class TestKindBreakdown:
+    def make_tap(self):
+        tap = ProtoTap("x")
+        tap.observe(Message(DISPLAY_CHANNEL, 100, kind="requests"))
+        tap.observe(Message(DISPLAY_CHANNEL, 200, kind="requests"))
+        tap.observe(Message(DISPLAY_CHANNEL, 5000, kind="put-image"))
+        tap.observe(Message(INPUT_CHANNEL, 32, kind="event"))
+        return tap
+
+    def test_groups_by_kind(self):
+        breakdown = self.make_tap().kind_breakdown(DISPLAY_CHANNEL)
+        assert set(breakdown) == {"requests", "put-image"}
+        assert breakdown["requests"].messages == 2
+        assert breakdown["requests"].payload_bytes == 300
+        assert breakdown["put-image"].payload_bytes == 5000
+
+    def test_channel_isolation(self):
+        breakdown = self.make_tap().kind_breakdown(INPUT_CHANNEL)
+        assert set(breakdown) == {"event"}
+
+    def test_avg_payload(self):
+        breakdown = self.make_tap().kind_breakdown(DISPLAY_CHANNEL)
+        assert breakdown["requests"].avg_payload == 150.0
+
+    def test_empty_kind_avg_rejected(self):
+        with pytest.raises(NetworkError):
+            KindStats(kind="x").avg_payload
+
+    def test_step_observed_messages_keep_kinds(self):
+        tap = ProtoTap("rdp")
+        tap.observe_step(
+            [
+                Message(DISPLAY_CHANNEL, 10, kind="orders"),
+                Message(DISPLAY_CHANNEL, 20, kind="orders"),
+            ]
+        )
+        breakdown = tap.kind_breakdown(DISPLAY_CHANNEL)
+        assert breakdown["orders"].messages == 2
+
+    def test_image_bytes_dominate_x_display_channel(self):
+        """Danskin's shape on our workload: X is nearly all image bytes."""
+        from repro.workloads import run_protocol_comparison
+
+        tap = run_protocol_comparison(seed=0)["x"]
+        breakdown = tap.kind_breakdown(DISPLAY_CHANNEL)
+        total = sum(s.payload_bytes for s in breakdown.values())
+        assert breakdown["put-image"].payload_bytes > 0.8 * total
+
+
+class TestFramingOverhead:
+    def test_small_messages_mostly_headers(self):
+        """A 64-byte keystroke message is ~half framing on TCP/IP."""
+        assert framing_overhead_fraction(64) == pytest.approx(58 / 122)
+
+    def test_full_segment_cheap(self):
+        assert framing_overhead_fraction(1460) < 0.05
+
+    def test_monotone_decreasing_within_a_segment(self):
+        fracs = [framing_overhead_fraction(n) for n in (16, 64, 256, 1024)]
+        assert fracs == sorted(fracs, reverse=True)
+
+    def test_raw_stack_free(self):
+        assert framing_overhead_fraction(100, RAW) == 0.0
+
+    def test_paper_protocol_averages(self):
+        """At the paper's 267-byte average message, overhead is ~18%."""
+        frac = framing_overhead_fraction(267 - 58)  # payload of a 267B packet
+        assert 0.15 < frac < 0.25

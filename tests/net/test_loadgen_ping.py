@@ -1,0 +1,84 @@
+"""Tests for synthetic load and the RTT experiment (Figures 8–9)."""
+
+import random
+
+import pytest
+
+from repro.errors import NetworkError
+from repro.net import Link, Pinger, PoissonLoadGenerator, run_ping_experiment
+from repro.sim import Simulator
+
+
+def test_generator_validation():
+    sim = Simulator()
+    link = Link(sim)
+    with pytest.raises(NetworkError):
+        PoissonLoadGenerator(sim, link, -1.0, random.Random(0))
+    with pytest.raises(NetworkError):
+        PoissonLoadGenerator(sim, link, 1.0, random.Random(0), packet_bytes=0)
+
+
+def test_zero_load_sends_nothing():
+    sim = Simulator()
+    link = Link(sim)
+    gen = PoissonLoadGenerator(sim, link, 0.0, random.Random(0))
+    sim.run_until(1000.0)
+    assert gen.packets_offered == 0
+
+
+def test_offered_load_close_to_target():
+    sim = Simulator()
+    link = Link(sim, bandwidth_mbps=100.0)  # plenty of headroom
+    gen = PoissonLoadGenerator(sim, link, 5.0, random.Random(1))
+    sim.run_until(20_000.0)
+    achieved = link.utilization(0.0, 20_000.0) * 100.0
+    assert achieved == pytest.approx(5.0, rel=0.1)
+
+
+def test_generator_stop():
+    sim = Simulator()
+    link = Link(sim, bandwidth_mbps=100.0)
+    gen = PoissonLoadGenerator(sim, link, 5.0, random.Random(1))
+    sim.run_until(1000.0)
+    count = gen.packets_offered
+    gen.stop()
+    sim.run_until(5000.0)
+    assert gen.packets_offered == count
+
+
+def test_pinger_on_idle_link_sees_transmission_plus_propagation():
+    sim = Simulator()
+    link = Link(sim, bandwidth_mbps=10.0, propagation_ms=0.05)
+    pinger = Pinger(sim, link)
+    sim.run_until(10_000.0)
+    pinger.stop()
+    assert len(pinger.rtts_ms) == 9  # one per second after t=1000
+    # 64 bytes at 10Mbps = 0.0512ms each way, + 2 propagations.
+    expected = 2 * (64 / 1250.0) + 2 * 0.05
+    assert pinger.rtts_ms[0] == pytest.approx(expected, rel=1e-6)
+
+
+def test_rtt_grows_with_offered_load():
+    """Figure 8's shape: flat then a knee near saturation."""
+    results = run_ping_experiment(
+        [0.0, 6.0, 9.6], duration_ms=30_000.0, seed=4
+    )
+    r0, r6, r96 = results
+    assert r0.mean_rtt_ms < 1.0
+    assert r6.mean_rtt_ms > r0.mean_rtt_ms
+    assert r96.mean_rtt_ms > 10 * r6.mean_rtt_ms  # explosion near saturation
+
+
+def test_jitter_explodes_near_saturation():
+    """Figure 9's shape: variance flat, then explodes."""
+    results = run_ping_experiment(
+        [1.0, 9.6], duration_ms=30_000.0, seed=4
+    )
+    low, high = results
+    assert high.rtt_variance > 100 * max(low.rtt_variance, 1e-9)
+
+
+def test_ping_experiment_deterministic():
+    a = run_ping_experiment([5.0], duration_ms=5_000.0, seed=9)
+    b = run_ping_experiment([5.0], duration_ms=5_000.0, seed=9)
+    assert a[0].rtts_ms == b[0].rtts_ms

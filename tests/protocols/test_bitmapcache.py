@@ -1,0 +1,131 @@
+"""Tests for the client bitmap cache, including the loop pathology."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import ProtocolError
+from repro.gui import Bitmap
+from repro.protocols import (
+    DEFAULT_CACHE_BYTES,
+    LoopAwareBitmapCache,
+    LRUBitmapCache,
+)
+
+
+def frame(i, size_px=100):
+    """A bitmap of size_px*size_px bytes at 8bpp."""
+    return Bitmap(f"frame{i}", size_px, size_px, 8)
+
+
+def test_default_capacity_is_1_5mb():
+    assert DEFAULT_CACHE_BYTES == int(1.5 * 1024 * 1024)
+    assert LRUBitmapCache().capacity_bytes == DEFAULT_CACHE_BYTES
+
+
+def test_bad_capacity_rejected():
+    with pytest.raises(ProtocolError):
+        LRUBitmapCache(0)
+
+
+def test_first_access_misses_then_hits():
+    cache = LRUBitmapCache(100_000)
+    b = frame(0)
+    assert cache.access(b) is False
+    assert cache.access(b) is True
+    assert cache.stats.hits == 1
+    assert cache.stats.misses == 1
+    assert b in cache
+
+
+def test_lru_eviction_order():
+    cache = LRUBitmapCache(25_000)  # fits two 10KB frames
+    a, b, c = frame(0), frame(1), frame(2)
+    cache.access(a)
+    cache.access(b)
+    cache.access(a)  # a becomes MRU
+    cache.access(c)  # evicts b
+    assert a in cache and c in cache and b not in cache
+    assert cache.stats.evictions == 1
+
+
+def test_oversized_bitmap_never_cached():
+    cache = LRUBitmapCache(1_000)
+    big = frame(0)  # 10KB > capacity
+    assert cache.access(big) is False
+    assert cache.access(big) is False
+    assert len(cache) == 0
+
+
+def test_used_bytes_tracks_contents():
+    cache = LRUBitmapCache(100_000)
+    cache.access(frame(0))
+    assert cache.used_bytes == 10_000
+    cache.clear()
+    assert cache.used_bytes == 0
+    assert len(cache) == 0
+
+
+def test_cumulative_hit_ratio():
+    cache = LRUBitmapCache(100_000)
+    assert cache.stats.cumulative_hit_ratio == 0.0
+    b = frame(0)
+    cache.access(b)
+    cache.access(b)
+    cache.access(b)
+    assert cache.stats.cumulative_hit_ratio == pytest.approx(2 / 3)
+
+
+class TestLoopPathology:
+    """'Looping animations defeat LRU bitmap caches' (§6.1.3)."""
+
+    def loop(self, cache, nframes, cycles):
+        hits = 0
+        for __ in range(cycles):
+            for i in range(nframes):
+                if cache.access(frame(i)):
+                    hits += 1
+        return hits
+
+    def test_loop_fitting_cache_hits_after_warmup(self):
+        cache = LRUBitmapCache(100_000)  # holds 10 frames
+        hits = self.loop(cache, 8, cycles=5)
+        assert hits == 8 * 4  # all but the first cycle hit
+
+    def test_loop_exceeding_cache_never_hits_under_lru(self):
+        cache = LRUBitmapCache(100_000)
+        hits = self.loop(cache, 11, cycles=5)  # 11 frames > 10 capacity
+        assert hits == 0
+
+    def test_loop_aware_cache_recovers_hits(self):
+        """The paper's suggested smarter eviction keeps a stable subset."""
+        lru_hits = self.loop(LRUBitmapCache(100_000), 12, cycles=10)
+        aware = LoopAwareBitmapCache(100_000)
+        aware_hits = self.loop(aware, 12, cycles=10)
+        assert lru_hits == 0
+        assert aware.loop_mode
+        assert aware_hits > 12 * 10 * 0.5  # most accesses hit once stable
+
+    def test_loop_aware_behaves_like_lru_without_loops(self):
+        aware = LoopAwareBitmapCache(100_000)
+        hits = self.loop(aware, 8, cycles=5)
+        assert hits == 8 * 4
+        assert not aware.loop_mode
+
+    def test_clear_resets_loop_mode(self):
+        aware = LoopAwareBitmapCache(100_000)
+        self.loop(aware, 12, cycles=3)
+        assert aware.loop_mode
+        aware.clear()
+        assert not aware.loop_mode
+
+
+@given(st.lists(st.integers(min_value=0, max_value=30), max_size=200))
+def test_cache_capacity_invariant(accesses):
+    """used_bytes never exceeds capacity; counters always consistent."""
+    cache = LRUBitmapCache(50_000)
+    for i in accesses:
+        cache.access(frame(i))
+        assert cache.used_bytes <= cache.capacity_bytes
+        assert cache.used_bytes == len(cache) * 10_000
+    assert cache.stats.hits + cache.stats.misses == len(accesses)

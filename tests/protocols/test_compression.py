@@ -1,0 +1,41 @@
+"""Tests for the LBX compression model."""
+
+import pytest
+
+from repro.errors import ProtocolError
+from repro.protocols import CompressionModel
+
+
+def test_default_ratios():
+    model = CompressionModel()
+    assert model.protocol_ratio < model.image_ratio  # protocol squishes better
+
+
+def test_compress_applies_the_right_ratio():
+    model = CompressionModel(protocol_ratio=0.5, image_ratio=0.9)
+    assert model.compress(1000) == 500
+    assert model.compress(1000, image=True) == 900
+
+
+def test_floor_prevents_zero_byte_messages():
+    model = CompressionModel(min_bytes=4)
+    assert model.compress(1) == 4
+    assert model.compress(0) == 4
+
+
+def test_negative_size_rejected():
+    with pytest.raises(ProtocolError):
+        CompressionModel().compress(-1)
+
+
+def test_bad_ratio_rejected():
+    with pytest.raises(ProtocolError):
+        CompressionModel(protocol_ratio=0.0)
+    with pytest.raises(ProtocolError):
+        CompressionModel(image_ratio=1.5)
+
+
+def test_compression_never_expands_beyond_floor():
+    model = CompressionModel()
+    for size in (10, 100, 1000, 100_000):
+        assert model.compress(size) <= max(size, model.min_bytes)

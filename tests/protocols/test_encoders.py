@@ -1,0 +1,226 @@
+"""Tests for the RDP, X, and LBX encoders."""
+
+import pytest
+
+from repro.errors import ProtocolError
+from repro.gui import (
+    Bitmap,
+    CopyArea,
+    DrawBitmap,
+    DrawText,
+    DrawWidget,
+    FillRect,
+    KeyPress,
+    KeyRelease,
+    MouseMove,
+)
+from repro.gui.drawing import RestoreRegion
+from repro.protocols import (
+    LBXProtocol,
+    RDPProtocol,
+    XProtocol,
+    make_protocol,
+)
+from repro.protocols.base import EncodedMessage
+from repro.protocols.x11 import X_EVENT_BYTES
+
+
+def test_make_protocol():
+    assert make_protocol("rdp").name == "rdp"
+    assert make_protocol("x").name == "x"
+    assert make_protocol("lbx").name == "lbx"
+    with pytest.raises(ProtocolError):
+        make_protocol("ica")
+
+
+def test_encoded_message_validation():
+    with pytest.raises(ProtocolError):
+        EncodedMessage("display", 0)
+    with pytest.raises(ProtocolError):
+        EncodedMessage("sideband", 10)
+
+
+class TestX:
+    def test_one_event_one_32_byte_message(self):
+        x = XProtocol()
+        msgs = x.encode_input_step([KeyPress(65), KeyRelease(65), MouseMove()])
+        assert len(msgs) == 3
+        assert all(m.payload_bytes == X_EVENT_BYTES for m in msgs)
+        assert all(m.channel == "input" for m in msgs)
+
+    def test_text_includes_gc_churn(self):
+        x = XProtocol()
+        sizes = x.request_sizes_for(DrawText(1))
+        assert len(sizes) == 2  # ChangeGC + ImageText8
+
+    def test_requests_padded_to_4(self):
+        x = XProtocol()
+        for op in (DrawText(3), FillRect(5, 5), CopyArea(2, 2)):
+            for size in x.request_sizes_for(op):
+                assert size % 4 == 0
+
+    def test_widget_costs_one_request_per_element(self):
+        x = XProtocol()
+        assert len(x.request_sizes_for(DrawWidget(7))) == 7
+
+    def test_bitmap_ships_raw_pixels(self):
+        x = XProtocol()
+        bitmap = Bitmap("b", 100, 100, 8, compressed_ratio=0.1)
+        (size,) = x.request_sizes_for(DrawBitmap(bitmap))
+        assert size >= bitmap.raw_bytes  # no compression for X
+
+    def test_restore_region_rerenders_primitives(self):
+        x = XProtocol()
+        sizes = x.request_sizes_for(RestoreRegion(100, 100, "k", 40))
+        assert len(sizes) == 40
+
+    def test_small_requests_pack_into_buffered_messages(self):
+        x = XProtocol()
+        msgs = x.encode_display_step([DrawText(5), FillRect(3, 3)])
+        assert len(msgs) == 1  # all fit one Xlib flush
+
+    def test_large_image_flushes_through(self):
+        x = XProtocol()
+        msgs = x.encode_display_step(
+            [DrawText(5), DrawBitmap(Bitmap("b", 100, 100, 8))]
+        )
+        kinds = [m.kind for m in msgs]
+        assert "put-image" in kinds
+
+
+class TestRDP:
+    def test_input_batches_motion_events(self):
+        rdp = RDPProtocol()
+        out = []
+        for __ in range(30):
+            out.extend(rdp.encode_input_step([MouseMove()]))
+        # 30 motions with a 24-event flush threshold: exactly one PDU so far.
+        assert len(out) == 1
+        assert out[0].kind == "input-pdu"
+
+    def test_key_event_flushes_batch(self):
+        rdp = RDPProtocol()
+        rdp.encode_input_step([MouseMove()])
+        msgs = rdp.encode_input_step([KeyPress(65)])
+        assert len(msgs) == 1
+        # 16 header + 2 events * 12.
+        assert msgs[0].payload_bytes == 16 + 2 * 12
+
+    def test_flush_input_drains_buffer(self):
+        rdp = RDPProtocol()
+        rdp.encode_input_step([MouseMove()])
+        msgs = rdp.flush_input()
+        assert len(msgs) == 1
+        assert rdp.flush_input() == []
+
+    def test_display_batches_across_steps(self):
+        rdp = RDPProtocol(display_flush_steps=3)
+        assert rdp.encode_display_step([DrawText(1)]) == []
+        assert rdp.encode_display_step([DrawText(1)]) == []
+        msgs = rdp.encode_display_step([DrawText(1)])
+        assert len(msgs) == 1  # three steps' orders in one PDU
+
+    def test_flush_display_drains_orders(self):
+        rdp = RDPProtocol(display_flush_steps=10)
+        rdp.encode_display_step([FillRect(2, 2)])
+        msgs = rdp.flush_display()
+        assert len(msgs) == 1
+        assert rdp.flush_display() == []
+
+    def test_cached_bitmap_costs_one_small_order(self):
+        rdp = RDPProtocol(display_flush_steps=1)
+        bitmap = Bitmap("icon", 32, 32, 8)
+        first = rdp.encode_display_step([DrawBitmap(bitmap)])
+        second = rdp.encode_display_step([DrawBitmap(bitmap)])
+        assert sum(m.payload_bytes for m in second) < sum(
+            m.payload_bytes for m in first
+        )
+        assert rdp.cache.stats.hits == 1
+
+    def test_large_bitmap_spans_pdus(self):
+        rdp = RDPProtocol(display_flush_steps=1)
+        big = Bitmap("big", 200, 200, 8)  # 40KB
+        msgs = rdp.encode_display_step([DrawBitmap(big)])
+        assert len(msgs) > 2
+        assert all(m.payload_bytes <= rdp.pdu_bytes for m in msgs)
+
+    def test_restore_region_is_one_blit(self):
+        rdp = RDPProtocol()
+        sizes = rdp.order_sizes_for(RestoreRegion(380, 300, "k", 80))
+        assert sizes == [17]
+
+    def test_widget_is_one_high_level_order(self):
+        rdp = RDPProtocol()
+        assert len(rdp.order_sizes_for(DrawWidget(40))) == 1
+
+    def test_reset_clears_state(self):
+        rdp = RDPProtocol()
+        rdp.encode_input_step([MouseMove()])
+        rdp.encode_display_step([DrawText(1)])
+        rdp.cache.access(Bitmap("b", 10, 10, 8))
+        rdp.reset()
+        assert rdp.flush_input() == []
+        assert rdp.flush_display() == []
+        assert len(rdp.cache) == 0
+
+    def test_config_validation(self):
+        with pytest.raises(ProtocolError):
+            RDPProtocol(pdu_bytes=10)
+        with pytest.raises(ProtocolError):
+            RDPProtocol(display_flush_steps=0)
+
+
+class TestLBX:
+    def test_display_compressed_below_x(self):
+        ops = [DrawText(10), DrawWidget(20), FillRect(5, 5)]
+        x_bytes = sum(
+            m.payload_bytes for m in XProtocol().encode_display_step(ops)
+        )
+        lbx_bytes = sum(
+            m.payload_bytes for m in LBXProtocol().encode_display_step(ops)
+        )
+        assert lbx_bytes < x_bytes
+
+    def test_display_more_messages_than_x(self):
+        """LBX re-frames per request: more, smaller display messages."""
+        ops = [DrawWidget(30), DrawText(5)]
+        x_msgs = XProtocol().encode_display_step(ops)
+        lbx_msgs = LBXProtocol().encode_display_step(ops)
+        assert len(lbx_msgs) > len(x_msgs)
+
+    def test_image_single_compressed_message(self):
+        bitmap = Bitmap("b", 100, 100, 8)
+        msgs = LBXProtocol().encode_display_step([DrawBitmap(bitmap)])
+        assert len(msgs) == 1
+        assert msgs[0].payload_bytes < bitmap.raw_bytes
+
+    def test_input_delta_compressed(self):
+        lbx = LBXProtocol()
+        msgs = lbx.encode_input_step([KeyPress(65)])
+        assert len(msgs) == 1
+        assert msgs[0].payload_bytes < X_EVENT_BYTES
+
+    def test_motion_squishing_reduces_message_count(self):
+        lbx = LBXProtocol()
+        total = []
+        for __ in range(100):
+            total.extend(lbx.encode_input_step([MouseMove()]))
+        assert len(total) < 100
+
+    def test_does_not_pack_display_writes(self):
+        assert LBXProtocol.packs_display_writes is False
+        assert XProtocol.packs_display_writes is True
+        assert RDPProtocol.packs_display_writes is True
+
+    def test_chunk_validation(self):
+        with pytest.raises(ProtocolError):
+            LBXProtocol(chunk_bytes=4)
+
+
+def test_encode_cost_scales_with_messages_and_bytes():
+    rdp = RDPProtocol()
+    small = [EncodedMessage("display", 10)]
+    large = [EncodedMessage("display", 10_000)]
+    assert rdp.encode_cost_ms(large) > rdp.encode_cost_ms(small)
+    assert rdp.encode_cost_ms(small + small) > rdp.encode_cost_ms(small)
+    assert rdp.encode_cost_ms([]) == 0.0

@@ -1,0 +1,136 @@
+"""Tests for the §7 related-work protocols: SLIM and VNC."""
+
+import pytest
+
+from repro.errors import ProtocolError
+from repro.gui import (
+    Bitmap,
+    CopyArea,
+    DrawBitmap,
+    DrawText,
+    DrawWidget,
+    FillRect,
+    KeyPress,
+    MouseMove,
+)
+from repro.gui.drawing import RestoreRegion
+from repro.protocols import (
+    RELATED_PROTOCOL_NAMES,
+    SLIMProtocol,
+    VNCProtocol,
+    XProtocol,
+    make_protocol,
+)
+
+
+def test_registry_includes_related_protocols():
+    assert set(RELATED_PROTOCOL_NAMES) == {"slim", "vnc"}
+    assert make_protocol("slim").name == "slim"
+    assert make_protocol("vnc").name == "vnc"
+
+
+class TestSLIM:
+    def test_text_ships_glyph_pixels(self):
+        slim = SLIMProtocol()
+        (size,) = slim.command_sizes_for(DrawText(10))
+        # 10 glyphs at 8x16 1bpp = 160 bytes of pixel data + header.
+        assert size == 20 + 160
+
+    def test_fill_and_copy_are_tiny(self):
+        slim = SLIMProtocol()
+        assert slim.command_sizes_for(FillRect(500, 500)) == [20]
+        assert slim.command_sizes_for(CopyArea(500, 500)) == [20]
+
+    def test_bitmap_ships_raw_uncompressed(self):
+        slim = SLIMProtocol()
+        bitmap = Bitmap("b", 100, 100, 8, compressed_ratio=0.1)
+        (size,) = slim.command_sizes_for(DrawBitmap(bitmap))
+        assert size == 20 + bitmap.raw_bytes  # stateless: no compression
+
+    def test_restore_resends_region_pixels(self):
+        slim = SLIMProtocol()
+        (size,) = slim.command_sizes_for(RestoreRegion(100, 50, "k", 10))
+        assert size == 20 + 100 * 50
+
+    def test_large_commands_split(self):
+        slim = SLIMProtocol()
+        msgs = slim.encode_display_step(
+            [DrawBitmap(Bitmap("b", 100, 100, 8))]
+        )
+        assert len(msgs) > 1
+        assert all(m.payload_bytes <= 1460 for m in msgs)
+
+    def test_input_fixed_size_reports(self):
+        slim = SLIMProtocol()
+        msgs = slim.encode_input_step([KeyPress(65), MouseMove()])
+        assert [m.payload_bytes for m in msgs] == [22, 22]
+
+    def test_unknown_op_rejected(self):
+        class Weird:
+            pass
+
+        with pytest.raises(ProtocolError):
+            SLIMProtocol().command_sizes_for(Weird())
+
+
+class TestVNC:
+    def test_damage_coalesces_into_one_update_per_step(self):
+        vnc = VNCProtocol()
+        msgs = vnc.encode_display_step(
+            [DrawText(5), FillRect(10, 10), DrawWidget(8)]
+        )
+        assert len(msgs) == 1
+        assert msgs[0].kind == "fb-update"
+
+    def test_empty_step_sends_nothing(self):
+        assert VNCProtocol().encode_display_step([]) == []
+
+    def test_copyrect_is_cheap(self):
+        vnc = VNCProtocol()
+        (size,) = vnc.rect_sizes_for(CopyArea(640, 480))
+        assert size == 16
+
+    def test_hextile_compresses_ui_more_than_images(self):
+        vnc = VNCProtocol()
+        ui = vnc.rect_sizes_for(DrawWidget(10))[0]
+        image = vnc.rect_sizes_for(DrawBitmap(Bitmap("b", 76, 76, 8)))[0]
+        # Same raw pixel count (10*24*24 == 5760 ~= 76*76), but the photo
+        # compresses worse.
+        assert image > ui
+
+    def test_input_events_rfb_sized(self):
+        vnc = VNCProtocol()
+        msgs = vnc.encode_input_step([KeyPress(65), MouseMove()])
+        assert [m.payload_bytes for m in msgs] == [8, 6]
+
+
+class TestSection7Positioning:
+    """'roughly equivalent in performance to X, placing it still behind
+    RDP and LBX in network load efficiency' (§7 on SLIM)."""
+
+    @pytest.fixture(scope="class")
+    def totals(self):
+        from repro.workloads.apps import application_workload, replay_workload
+
+        steps = application_workload(0)
+        return {
+            name: replay_workload(name, steps).trace().total_bytes
+            for name in ("rdp", "x", "lbx", "slim", "vnc")
+        }
+
+    def test_slim_roughly_equivalent_to_x(self, totals):
+        assert 0.7 < totals["slim"] / totals["x"] < 1.5
+
+    def test_vnc_similar_to_slim(self, totals):
+        assert 0.5 < totals["vnc"] / totals["slim"] < 1.5
+
+    def test_both_behind_rdp_and_lbx(self, totals):
+        for name in ("slim", "vnc"):
+            assert totals[name] > 1.4 * totals["lbx"]
+            assert totals[name] > 4 * totals["rdp"]
+
+    def test_no_cache_text_rendering_dominates_slim_text(self):
+        """SLIM's server-side rendering: text costs pixels, not requests."""
+        slim_text = sum(SLIMProtocol().command_sizes_for(DrawText(100)))
+        x_text = sum(XProtocol().request_sizes_for(DrawText(100)))
+        assert slim_text > x_text

@@ -1,0 +1,287 @@
+"""Unit tests for the discrete-event kernel."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim import Simulator, all_of
+
+
+def test_clock_starts_at_zero():
+    assert Simulator().now == 0.0
+
+
+def test_schedule_and_run_until_fires_in_order():
+    sim = Simulator()
+    fired = []
+    sim.schedule(5.0, lambda: fired.append("b"))
+    sim.schedule(1.0, lambda: fired.append("a"))
+    sim.schedule(9.0, lambda: fired.append("c"))
+    sim.run_until(10.0)
+    assert fired == ["a", "b", "c"]
+    assert sim.now == 10.0
+
+
+def test_equal_timestamps_fire_fifo():
+    sim = Simulator()
+    fired = []
+    for i in range(10):
+        sim.schedule(3.0, lambda i=i: fired.append(i))
+    sim.run_until(3.0)
+    assert fired == list(range(10))
+
+
+def test_run_until_sets_clock_even_when_queue_empty():
+    sim = Simulator()
+    sim.run_until(123.5)
+    assert sim.now == 123.5
+
+
+def test_schedule_in_past_raises():
+    sim = Simulator()
+    sim.run_until(10.0)
+    with pytest.raises(SimulationError):
+        sim.schedule(-1.0, lambda: None)
+    with pytest.raises(SimulationError):
+        sim.schedule_at(5.0, lambda: None)
+
+
+def test_run_until_in_past_raises():
+    sim = Simulator()
+    sim.run_until(10.0)
+    with pytest.raises(SimulationError):
+        sim.run_until(5.0)
+
+
+def test_cancel_prevents_firing():
+    sim = Simulator()
+    fired = []
+    event = sim.schedule(1.0, lambda: fired.append(1))
+    event.cancel()
+    sim.run_until(2.0)
+    assert fired == []
+
+
+def test_cancel_is_idempotent():
+    sim = Simulator()
+    event = sim.schedule(1.0, lambda: None)
+    event.cancel()
+    event.cancel()
+    sim.run_until(2.0)
+
+
+def test_events_scheduled_during_run_fire_in_same_run():
+    sim = Simulator()
+    fired = []
+
+    def outer():
+        fired.append("outer")
+        sim.schedule(1.0, lambda: fired.append("inner"))
+
+    sim.schedule(1.0, outer)
+    sim.run_until(10.0)
+    assert fired == ["outer", "inner"]
+
+
+def test_run_is_relative():
+    sim = Simulator()
+    sim.run(50.0)
+    sim.run(50.0)
+    assert sim.now == 100.0
+
+
+def test_step_returns_false_when_empty():
+    sim = Simulator()
+    assert sim.step() is False
+    sim.schedule(1.0, lambda: None)
+    assert sim.step() is True
+    assert sim.now == 1.0
+
+
+def test_drain_counts_events():
+    sim = Simulator()
+    for _ in range(5):
+        sim.schedule(1.0, lambda: None)
+    assert sim.drain() == 5
+
+
+def test_drain_limit_guards_infinite_loops():
+    sim = Simulator()
+
+    def reschedule():
+        sim.schedule(1.0, reschedule)
+
+    sim.schedule(1.0, reschedule)
+    with pytest.raises(SimulationError):
+        sim.drain(limit=100)
+
+
+def test_pending_counts_only_live_events():
+    sim = Simulator()
+    keep = sim.schedule(1.0, lambda: None)
+    gone = sim.schedule(2.0, lambda: None)
+    gone.cancel()
+    assert sim.pending == 1
+    keep.cancel()
+    assert sim.pending == 0
+
+
+def test_periodic_task_fires_on_interval():
+    sim = Simulator()
+    fired = []
+    task = sim.every(10.0, lambda: fired.append(sim.now))
+    sim.run_until(35.0)
+    assert fired == [10.0, 20.0, 30.0]
+    task.stop()
+    sim.run_until(100.0)
+    assert len(fired) == 3
+
+
+def test_periodic_task_custom_start():
+    sim = Simulator()
+    fired = []
+    sim.every(10.0, lambda: fired.append(sim.now), start=0.0)
+    sim.run_until(25.0)
+    assert fired == [0.0, 10.0, 20.0]
+
+
+def test_periodic_task_jitter_applied():
+    sim = Simulator()
+    fired = []
+    sim.every(10.0, lambda: fired.append(sim.now), jitter=lambda: 1.0)
+    sim.run_until(25.0)
+    assert fired == [11.0, 22.0]
+
+
+def test_periodic_interval_must_be_positive():
+    sim = Simulator()
+    with pytest.raises(SimulationError):
+        sim.every(0.0, lambda: None)
+
+
+class TestSignal:
+    def test_succeed_wakes_waiters_with_value(self):
+        sim = Simulator()
+        got = []
+        sig = sim.signal()
+        sig.add_waiter(got.append)
+        sig.add_waiter(got.append)
+        sim.schedule(5.0, lambda: sig.succeed("v"))
+        sim.run_until(6.0)
+        assert got == ["v", "v"]
+
+    def test_waiting_on_fired_signal_resumes_immediately(self):
+        sim = Simulator()
+        sig = sim.signal()
+        sig.succeed(7)
+        got = []
+        sig.add_waiter(got.append)
+        sim.run_until(1.0)
+        assert got == [7]
+
+    def test_double_succeed_raises(self):
+        sim = Simulator()
+        sig = sim.signal()
+        sig.succeed()
+        with pytest.raises(SimulationError):
+            sig.succeed()
+
+
+class TestProcess:
+    def test_process_sleeps_on_yielded_delay(self):
+        sim = Simulator()
+        marks = []
+
+        def proc():
+            marks.append(sim.now)
+            yield 10.0
+            marks.append(sim.now)
+            yield 5.0
+            marks.append(sim.now)
+
+        sim.spawn(proc())
+        sim.run_until(100.0)
+        assert marks == [0.0, 10.0, 15.0]
+
+    def test_process_waits_on_signal_and_receives_value(self):
+        sim = Simulator()
+        sig = sim.signal()
+        got = []
+
+        def proc():
+            value = yield sig
+            got.append((sim.now, value))
+
+        sim.spawn(proc())
+        sim.schedule(42.0, lambda: sig.succeed("hello"))
+        sim.run_until(50.0)
+        assert got == [(42.0, "hello")]
+
+    def test_process_done_signal_carries_return_value(self):
+        sim = Simulator()
+
+        def child():
+            yield 5.0
+            return "result"
+
+        def parent(results):
+            proc = sim.spawn(child())
+            value = yield proc.done
+            results.append(value)
+
+        results = []
+        sim.spawn(parent(results))
+        sim.run_until(10.0)
+        assert results == ["result"]
+
+    def test_negative_delay_raises(self):
+        sim = Simulator()
+
+        def proc():
+            yield -1.0
+
+        sim.spawn(proc())
+        with pytest.raises(SimulationError):
+            sim.run_until(1.0)
+
+    def test_bad_yield_type_raises(self):
+        sim = Simulator()
+
+        def proc():
+            yield "nope"
+
+        sim.spawn(proc())
+        with pytest.raises(SimulationError):
+            sim.run_until(1.0)
+
+    def test_timeout_helper(self):
+        sim = Simulator()
+        marks = []
+
+        def proc():
+            yield sim.timeout(30.0)
+            marks.append(sim.now)
+
+        sim.spawn(proc())
+        sim.run_until(31.0)
+        assert marks == [30.0]
+
+
+def test_all_of_fires_after_every_signal():
+    sim = Simulator()
+    sigs = [sim.signal() for _ in range(3)]
+    got = []
+    all_of(sim, sigs).add_waiter(got.append)
+    sim.schedule(1.0, lambda: sigs[2].succeed("c"))
+    sim.schedule(2.0, lambda: sigs[0].succeed("a"))
+    sim.run_until(3.0)
+    assert got == []
+    sim.schedule(1.0, lambda: sigs[1].succeed("b"))
+    sim.run_until(10.0)
+    assert got == [["a", "b", "c"]]
+
+
+def test_all_of_empty_is_already_fired():
+    sim = Simulator()
+    combined = all_of(sim, [])
+    assert combined.fired
+    assert combined.value == []

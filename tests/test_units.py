@@ -1,0 +1,62 @@
+"""Tests for unit conversions (the constants everything else builds on)."""
+
+import pytest
+
+from repro import units
+from repro.errors import ReproError, SimulationError
+
+
+def test_time_constants():
+    assert units.SEC == 1000.0
+    assert units.MINUTE == 60_000.0
+    assert units.US == pytest.approx(0.001)
+
+
+def test_size_helpers():
+    assert units.kb(1) == 1024
+    assert units.mb(1) == 1024 * 1024
+    assert units.kb(1.5) == 1536
+    assert units.mb(1.5) == int(1.5 * 1024 * 1024)
+
+
+def test_bandwidth_round_trip():
+    bpm = units.mbps_to_bytes_per_ms(10.0)
+    assert bpm == pytest.approx(1250.0)
+    assert units.bytes_per_ms_to_mbps(bpm) == pytest.approx(10.0)
+
+
+def test_transmit_time():
+    # 1250 bytes at 10 Mbps = exactly 1 ms.
+    assert units.transmit_time_ms(1250, 10.0) == pytest.approx(1.0)
+    with pytest.raises(ValueError):
+        units.transmit_time_ms(100, 0.0)
+
+
+def test_average_rate():
+    assert units.bytes_over_ms_to_mbps(1250, 1.0) == pytest.approx(10.0)
+    with pytest.raises(ValueError):
+        units.bytes_over_ms_to_mbps(1, 0.0)
+
+
+def test_error_hierarchy():
+    """Every package error is catchable as ReproError."""
+    from repro.errors import (
+        ExperimentError,
+        MemoryError_,
+        NetworkError,
+        ProtocolError,
+        SchedulerError,
+        WorkloadError,
+    )
+
+    for exc_type in (
+        SimulationError,
+        SchedulerError,
+        MemoryError_,
+        NetworkError,
+        ProtocolError,
+        WorkloadError,
+        ExperimentError,
+    ):
+        assert issubclass(exc_type, ReproError)
+        assert not issubclass(exc_type, AssertionError)

@@ -1,0 +1,163 @@
+"""Tests for animation workloads and the Figures 4–7 experiments."""
+
+import pytest
+
+from repro.errors import WorkloadError
+from repro.sim import Simulator
+from repro.workloads import (
+    AnimationPlayer,
+    banner_ad,
+    dateline_animation,
+    gif_10_frame,
+    marquee,
+    run_cache_overflow_experiment,
+    run_frame_count_sweep,
+    run_gif_protocol_comparison,
+    run_webpage_experiment,
+)
+from repro.workloads.animation import AnimationSpec, FIG4_VARIANTS
+
+
+class TestSpecs:
+    def test_banner_frame_calibration(self):
+        """Banner-class frames cache at 23,868 bytes: the 65-frame cliff."""
+        assert banner_ad().frame_cached_bytes == 23_868
+
+    def test_fresh_frames_get_new_ids_each_cycle(self):
+        spec = marquee()
+        fresh0 = spec.frame_bitmap(0, cycle=0)
+        fresh1 = spec.frame_bitmap(0, cycle=1)
+        assert fresh0.bitmap_id != fresh1.bitmap_id
+        stable0 = spec.frame_bitmap(10, cycle=0)
+        stable1 = spec.frame_bitmap(10, cycle=1)
+        assert stable0.bitmap_id == stable1.bitmap_id
+
+    def test_cycle_time_includes_pause(self):
+        spec = marquee(phases=10, frame_interval_ms=100.0, pause_ms=500.0)
+        assert spec.cycle_ms == 1500.0
+
+    def test_validation(self):
+        with pytest.raises(WorkloadError):
+            AnimationSpec("a", 10, 10, 8, 1.0, 0, 100.0)
+        with pytest.raises(WorkloadError):
+            AnimationSpec("a", 10, 10, 8, 1.0, 5, 0.0)
+        with pytest.raises(WorkloadError):
+            AnimationSpec("a", 10, 10, 8, 1.0, 5, 100.0, fresh_frames_per_cycle=6)
+        with pytest.raises(WorkloadError):
+            marquee().frame_bitmap(1000, 0)
+
+
+class TestPlayer:
+    def test_plays_frames_at_interval(self):
+        sim = Simulator()
+        frames = []
+        spec = gif_10_frame()
+        player = AnimationPlayer(sim, spec, frames.append)
+        sim.run_until(499.0)  # 10 frames in [0, 500) at 20Hz
+        player.stop()
+        assert len(frames) == 10
+
+    def test_loops_with_pause(self):
+        sim = Simulator()
+        frames = []
+        spec = AnimationSpec("a", 10, 10, 8, 1.0, 2, 100.0, pause_ms=300.0)
+        AnimationPlayer(sim, spec, frames.append)
+        # cycle: f0@0, f1@100, pause, f0@500, f1@600 ...
+        sim.run_until(650.0)
+        assert len(frames) == 4
+
+    def test_non_looping_stops(self):
+        sim = Simulator()
+        frames = []
+        spec = AnimationSpec("a", 10, 10, 8, 1.0, 3, 50.0, loop=False)
+        AnimationPlayer(sim, spec, frames.append)
+        sim.run_until(5000.0)
+        assert len(frames) == 3
+
+    def test_stop_halts_playback(self):
+        sim = Simulator()
+        frames = []
+        player = AnimationPlayer(sim, gif_10_frame(), frames.append)
+        sim.run_until(200.0)
+        player.stop()
+        count = len(frames)
+        sim.run_until(1000.0)
+        assert len(frames) == count
+
+
+class TestFig4:
+    def test_each_element_alone_is_cheap(self):
+        m = run_webpage_experiment("marquee", duration_ms=120_000.0)
+        b = run_webpage_experiment("banner", duration_ms=120_000.0)
+        assert m.average_mbps() < 0.3
+        assert b.average_mbps() < 0.05
+
+    def test_combined_overflows_nonlinearly(self):
+        """The paper's headline: together they cost ~10-20x the sum."""
+        m = run_webpage_experiment("marquee", duration_ms=120_000.0)
+        b = run_webpage_experiment("banner", duration_ms=120_000.0)
+        both = run_webpage_experiment("both", duration_ms=120_000.0)
+        assert both.average_mbps() > 4 * (m.average_mbps() + b.average_mbps())
+        assert both.average_mbps() > 0.8  # paper: 1.60 Mbps sustained
+
+    def test_unknown_variant_rejected(self):
+        with pytest.raises(WorkloadError):
+            run_webpage_experiment("popup")
+        assert set(FIG4_VARIANTS) == {"both", "marquee", "banner"}
+
+
+class TestFig5:
+    def test_protocol_ordering(self):
+        """X retransmits every frame; LBX compresses; RDP's cache wins."""
+        results = run_gif_protocol_comparison(duration_ms=3_000.0)
+        x = results["x"].average_mbps(500.0)
+        lbx = results["lbx"].average_mbps(500.0)
+        rdp = results["rdp"].average_mbps(500.0)
+        assert x > lbx > rdp
+        assert x > 1.5  # full bitmaps at 20 Hz
+        assert rdp < 0.1  # swap messages only after warmup
+
+
+class TestFig6:
+    def test_hit_ratio_decays_and_cpu_stays_busy(self):
+        result = run_cache_overflow_experiment(
+            frame_count=66, duration_ms=45_000.0
+        )
+        # Cumulative ratio starts high during UI warmup...
+        early = result.cumulative_hit_ratio[4]
+        late = result.cumulative_hit_ratio[-1]
+        assert early > 0.5
+        # ...then decays asymptotically toward zero with each miss.
+        assert late < early / 2
+        ratios = result.cumulative_hit_ratio[5:]
+        assert all(b <= a + 1e-9 for a, b in zip(ratios, ratios[1:]))
+        # CPU never falls back to idle: it re-sends evicted frames forever.
+        assert result.cpu_utilization[-1] > 0.05
+
+
+class TestFig7:
+    def test_cliff_at_65_frames(self):
+        """Paper: 0.01 Mbps through 65 frames, ~0.96 Mbps above."""
+        rows = dict(run_frame_count_sweep([60, 65, 66, 70], duration_ms=45_000.0))
+        assert rows[60] < 0.02
+        assert rows[65] < 0.02
+        assert rows[66] > 0.5
+        assert rows[70] > 0.5
+
+    def test_loop_aware_cache_removes_the_cliff(self):
+        """The paper's suggested eviction scheme tames looping animations."""
+        lru = dict(run_frame_count_sweep([70], duration_ms=45_000.0))
+        aware = dict(
+            run_frame_count_sweep(
+                [70], duration_ms=45_000.0, loop_aware_cache=True
+            )
+        )
+        assert aware[70] < lru[70] / 2
+
+    def test_duration_must_cover_warmup(self):
+        with pytest.raises(WorkloadError):
+            run_frame_count_sweep([100], duration_ms=10_000.0)
+
+
+def test_dateline_spec_is_5fps():
+    assert dateline_animation(50).frame_interval_ms == 200.0

@@ -1,0 +1,125 @@
+"""Tests for the application scripts and behaviour profiles."""
+
+import pytest
+
+from repro.errors import WorkloadError
+from repro.sim import RngRegistry
+from repro.workloads import (
+    KNOWLEDGE_WORKER,
+    TASK_WORKER,
+    WEB_BROWSER_USER,
+    application_workload,
+    behavior_profile,
+    control_panel,
+    gimp_painting,
+    run_protocol_comparison,
+    wordperfect_editing,
+)
+
+
+class TestScripts:
+    def test_scripts_produce_steps(self):
+        rngs = RngRegistry(0)
+        for builder, stream in (
+            (wordperfect_editing, "wp"),
+            (gimp_painting, "gimp"),
+            (control_panel, "cpl"),
+        ):
+            steps = builder(rngs.stream(stream))
+            assert len(steps) > 50
+            assert any(step.events for step in steps)
+            assert any(step.ops for step in steps)
+
+    def test_workload_deterministic_per_seed(self):
+        assert application_workload(1) == application_workload(1)
+        assert application_workload(1) != application_workload(2)
+
+    def test_wordperfect_is_typing_heavy(self):
+        from repro.gui import KeyPress
+
+        steps = wordperfect_editing(RngRegistry(0).stream("wp"))
+        keys = sum(
+            1
+            for step in steps
+            for e in step.events
+            if isinstance(e, KeyPress)
+        )
+        assert keys >= 1800
+
+
+class TestProtocolComparison:
+    @pytest.fixture(scope="class")
+    def taps(self):
+        return run_protocol_comparison(seed=0)
+
+    def test_rdp_most_efficient_in_bytes(self, taps):
+        """Paper: RDP generates <30% of LBX's bytes and <15-20% of X's."""
+        rdp = taps["rdp"].trace().total_bytes
+        x = taps["x"].trace().total_bytes
+        lbx = taps["lbx"].trace().total_bytes
+        assert rdp < 0.25 * x
+        assert rdp < 0.35 * lbx
+        assert lbx < 0.75 * x
+
+    def test_rdp_fewest_messages(self, taps):
+        rdp = taps["rdp"].trace().total_messages
+        x = taps["x"].trace().total_messages
+        lbx = taps["lbx"].trace().total_messages
+        assert rdp < x < lbx
+
+    def test_lbx_more_display_messages_than_x(self, taps):
+        """Paper: LBX's compression costs an ~80% display-message increase."""
+        ratio = (
+            taps["lbx"].trace().display.messages
+            / taps["x"].trace().display.messages
+        )
+        assert 1.3 < ratio < 2.5
+
+    def test_lbx_smallest_average_message(self, taps):
+        assert (
+            taps["lbx"].trace().avg_message_size
+            < taps["x"].trace().avg_message_size
+        )
+        assert (
+            taps["lbx"].trace().avg_message_size
+            < taps["rdp"].trace().avg_message_size
+        )
+
+    def test_vip_savings_lbx_beats_rdp(self, taps):
+        """Small messages benefit most from eliding the IP header."""
+        lbx = taps["lbx"].vip_table_row()["savings"]
+        rdp = taps["rdp"].vip_table_row()["savings"]
+        assert lbx > rdp > 0.0
+
+    def test_both_channels_active_for_all_protocols(self, taps):
+        for name in ("rdp", "x", "lbx"):
+            trace = taps[name].trace()
+            assert trace.input.messages > 0
+            assert trace.display.messages > 0
+
+
+class TestBehaviorProfiles:
+    def test_lookup(self):
+        assert behavior_profile("task-worker") is TASK_WORKER
+        with pytest.raises(WorkloadError):
+            behavior_profile("gamer")
+
+    def test_web_user_is_network_heavy(self):
+        """§6.1.3: the animated page alone sustains ~1.6 Mbps."""
+        assert WEB_BROWSER_USER.network_mbps == pytest.approx(1.6)
+        assert WEB_BROWSER_USER.network_mbps > 10 * TASK_WORKER.network_mbps
+
+    def test_profiles_ordered_by_weight(self):
+        assert (
+            TASK_WORKER.memory_bytes
+            < KNOWLEDGE_WORKER.memory_bytes
+            < WEB_BROWSER_USER.memory_bytes
+        )
+
+    def test_validation(self):
+        from repro.workloads.behavior import BehaviorProfile
+
+        with pytest.raises(WorkloadError):
+            BehaviorProfile("bad", 1.5, 0, 0.0, 1.0)
+        with pytest.raises(WorkloadError):
+            BehaviorProfile("bad", 0.5, -1, 0.0, 1.0)

@@ -1,0 +1,80 @@
+"""Tests for the maximize-operation ablation and the memory hog."""
+
+import random
+
+import pytest
+
+from repro.cpu import NTConfig
+from repro.errors import WorkloadError
+from repro.memory import FramePool, PagingDisk, VirtualMemory, make_policy
+from repro.sim import Simulator
+from repro.units import kb
+from repro.workloads import MemoryHog, run_maximize_experiment
+from repro.workloads.maximize import MAXIMIZE_DEMAND_MS
+
+
+class TestMaximize:
+    def test_slow_cpu_pays_for_the_service_event(self):
+        """§4.2.1's worked example: 500ms op + 400ms priority-13 event
+        lands near 900ms once the boost grace expires."""
+        result = run_maximize_experiment(cpu_speed=1.0)
+        assert result.completion_ms == pytest.approx(900.0, rel=0.1)
+        assert result.added_latency_ms > 300.0
+
+    def test_fast_cpu_fits_in_boost_grace(self):
+        """A CPU fast enough to finish within the boosted quanta never
+        yields to the service thread: 'upgrading to a faster processor...
+        can tangibly improve user-perceived latency with no modifications
+        to the scheduler.'"""
+        result = run_maximize_experiment(cpu_speed=6.0)
+        assert result.completion_ms == pytest.approx(
+            MAXIMIZE_DEMAND_MS / 6.0, rel=0.05
+        )
+        assert result.added_latency_ms < 5.0
+
+    def test_monotone_in_speed(self):
+        latencies = [
+            run_maximize_experiment(cpu_speed=s).completion_ms
+            for s in (1.0, 2.0, 4.0, 8.0)
+        ]
+        assert latencies == sorted(latencies, reverse=True)
+
+    def test_bad_speed_rejected(self):
+        with pytest.raises(WorkloadError):
+            run_maximize_experiment(cpu_speed=0.0)
+
+
+class TestMemoryHog:
+    def make_vm(self, pool_kb=256):
+        pool = FramePool(kb(pool_kb))
+        return VirtualMemory(pool, PagingDisk(random.Random(0)), make_policy("lru"))
+
+    def test_run_to_completion_touches_all_pages(self):
+        vm = self.make_vm()
+        hog = MemoryHog(vm, kb(64))
+        hog.run_to_completion()
+        assert hog.space.faults == 16
+
+    def test_touch_next_wraps(self):
+        vm = self.make_vm()
+        hog = MemoryHog(vm, kb(8))  # 2 pages
+        hog.touch_next(3)
+        assert hog.space.faults == 2
+        assert hog.space.hits == 1
+
+    def test_paced_streaming_on_simulator(self):
+        vm = self.make_vm()
+        sim = Simulator()
+        hog = MemoryHog(vm, kb(64))
+        task = hog.run_paced(sim, pages_per_tick=2, tick_ms=10.0)
+        sim.run_until(100.0)
+        task.stop()
+        assert hog.space.faults == 16  # 10 ticks x 2 pages, wrapped past 16
+
+    def test_validation(self):
+        vm = self.make_vm()
+        with pytest.raises(WorkloadError):
+            MemoryHog(vm, 0)
+        hog = MemoryHog(vm, kb(8))
+        with pytest.raises(WorkloadError):
+            hog.touch_next(0)

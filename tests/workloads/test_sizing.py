@@ -1,0 +1,50 @@
+"""Tests for the simulation-driven server-sizing experiment."""
+
+import pytest
+
+from repro.errors import WorkloadError
+from repro.workloads.sizing import max_users_under_sla, run_sizing_experiment
+
+
+def test_latency_flat_then_cliff_at_saturation():
+    results = run_sizing_experiment(
+        "nt_tse", [5, 20, 30], duration_ms=10_000.0
+    )
+    by_users = {r.users: r for r in results}
+    # 2ms per 50ms keystroke = 4% per user: 25 users saturate one CPU.
+    assert by_users[5].average_latency_ms < 10.0
+    assert by_users[20].average_latency_ms < 20.0
+    assert by_users[30].average_latency_ms > 200.0
+    assert by_users[30].utilization > 0.99
+
+
+def test_second_cpu_roughly_doubles_capacity():
+    counts = [10, 22, 30, 45]
+    one = run_sizing_experiment("nt_tse", counts, cpu_count=1, duration_ms=10_000.0)
+    two = run_sizing_experiment("nt_tse", counts, cpu_count=2, duration_ms=10_000.0)
+    assert max_users_under_sla(one) == 22
+    assert max_users_under_sla(two) == 45
+
+
+def test_p95_at_least_average():
+    (r,) = run_sizing_experiment("linux", [10], duration_ms=5_000.0)
+    assert r.p95_latency_ms >= r.average_latency_ms * 0.5
+    assert r.latencies_ms
+
+
+def test_sla_helper():
+    results = run_sizing_experiment(
+        "linux", [5, 30], duration_ms=5_000.0
+    )
+    assert max_users_under_sla(results, sla_ms=100.0) == 5
+    assert max_users_under_sla(results, sla_ms=0.0001) == 0
+    with pytest.raises(WorkloadError):
+        max_users_under_sla(results, sla_ms=0.0)
+
+
+def test_validation_and_determinism():
+    with pytest.raises(WorkloadError):
+        run_sizing_experiment("linux", [0])
+    a = run_sizing_experiment("linux", [5], duration_ms=3_000.0, seed=1)
+    b = run_sizing_experiment("linux", [5], duration_ms=3_000.0, seed=1)
+    assert a[0].latencies_ms == b[0].latencies_ms

@@ -1,0 +1,105 @@
+"""Tests for the typing workload, sink fleet, and the Figure 3 experiment."""
+
+import pytest
+
+from repro.cpu import CPU, LinuxScheduler
+from repro.errors import WorkloadError
+from repro.sim import Simulator
+from repro.workloads import SinkFleet, TypingSession, run_stall_experiment
+
+
+def make_cpu():
+    sim = Simulator()
+    return sim, CPU(sim, LinuxScheduler())
+
+
+class TestSinkFleet:
+    def test_grow_and_len(self):
+        sim, cpu = make_cpu()
+        fleet = SinkFleet(cpu, 3)
+        assert len(fleet) == 3
+        assert cpu.load == 3
+
+    def test_shrink_kills_sinks(self):
+        sim, cpu = make_cpu()
+        fleet = SinkFleet(cpu, 3)
+        sim.run_until(10.0)
+        fleet.shrink(2)
+        assert len(fleet) == 1
+        sim.run_until(20.0)
+        assert cpu.load == 1
+
+    def test_resize_both_directions(self):
+        sim, cpu = make_cpu()
+        fleet = SinkFleet(cpu)
+        fleet.resize(5)
+        assert len(fleet) == 5
+        fleet.resize(2)
+        assert len(fleet) == 2
+        with pytest.raises(WorkloadError):
+            fleet.resize(-1)
+
+    def test_shrink_too_many_rejected(self):
+        sim, cpu = make_cpu()
+        fleet = SinkFleet(cpu, 1)
+        with pytest.raises(WorkloadError):
+            fleet.shrink(2)
+
+    def test_negative_count_rejected(self):
+        sim, cpu = make_cpu()
+        with pytest.raises(WorkloadError):
+            SinkFleet(cpu, -1)
+
+
+class TestTypingSession:
+    def test_unloaded_updates_every_50ms(self):
+        sim, cpu = make_cpu()
+        session = TypingSession(sim, cpu)
+        sim.run_until(1000.0)
+        session.stop()
+        # ~19 updates, each 2ms after its keystroke.
+        assert len(session.update_times) == 19
+        assert session.stalls() == []
+
+    def test_stall_detection_with_hog(self):
+        sim, cpu = make_cpu()
+        fleet = SinkFleet(cpu, 10)
+        session = TypingSession(sim, cpu)
+        sim.run_until(5000.0)
+        session.stop()
+        stalls = session.stalls()
+        assert stalls
+        assert all(s > TypingSession.STALL_EPSILON_MS for s in stalls)
+
+
+class TestStallExperiment:
+    def test_figure3_tse_blows_up_linux_linear(self):
+        """The headline Figure 3 shapes."""
+        tse = run_stall_experiment("nt_tse", [0, 10, 15], duration_ms=30_000.0)
+        linux = run_stall_experiment("linux", [0, 10, 50], duration_ms=30_000.0)
+        tse_by_load = {r.queue_length: r.average_stall_ms for r in tse}
+        linux_by_load = {r.queue_length: r.average_stall_ms for r in linux}
+        # TSE collapses by 15 sinks (paper: "barely usable").
+        assert tse_by_load[15] > 600.0
+        # Linux at the same load is far gentler...
+        assert linux_by_load[10] < tse_by_load[10] / 3
+        # ...and grows roughly linearly out to 50.
+        assert 200.0 < linux_by_load[50] < 700.0
+
+    def test_svr4_baseline_flat(self):
+        """Evans et al.: interactive class keeps stalls at zero."""
+        results = run_stall_experiment("svr4", [0, 20], duration_ms=20_000.0)
+        assert all(r.average_stall_ms < 5.0 for r in results)
+
+    def test_results_carry_jitter(self):
+        (r,) = run_stall_experiment("nt_tse", [10], duration_ms=20_000.0)
+        assert r.jitter_ms > 0.0
+
+    def test_negative_load_rejected(self):
+        with pytest.raises(WorkloadError):
+            run_stall_experiment("linux", [-1])
+
+    def test_deterministic(self):
+        a = run_stall_experiment("linux", [5], duration_ms=10_000.0, seed=3)
+        b = run_stall_experiment("linux", [5], duration_ms=10_000.0, seed=3)
+        assert a[0].stalls_ms == b[0].stalls_ms
