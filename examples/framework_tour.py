@@ -17,7 +17,6 @@ from repro.core import (
     LoadSource,
     Resource,
     ResourceStudy,
-    evaluate,
     format_table,
 )
 from repro.cpu import idle_profile
@@ -123,7 +122,9 @@ def main() -> None:
     ]
     rows = []
     for study in studies:
-        result = evaluate(study)
+        # ResourceStudy is a Runnable: study.run() evaluates its probe (and
+        # takes threshold_ms=... to re-assess without rebuilding the study).
+        result = study.run()
         a = result.assessment
         rows.append(
             (

@@ -5,54 +5,178 @@ Regenerate any of the paper's tables and figures without writing code::
     python -m repro list
     python -m repro run fig3 --seed 1
     python -m repro run tab-proto
-    python -m repro run all --out results/
+    python -m repro run all --csv results/
 
 Each experiment prints the same rows/series its benchmark emits; ``--csv``
 additionally writes machine-readable series next to the text output.
+
+Sweeps route through :class:`repro.exec.SweepExecutor`, so runs can be
+parallel and cached:
+
+``--jobs N``
+    Fan sweep points out to ``N`` worker processes.  Results merge by
+    parameter index, so the output is byte-identical to a serial run.
+``--cache-dir DIR``
+    Cache finished points in ``DIR``; re-running a sweep replays cached
+    points from disk and recomputes only what changed (keys include the
+    experiment name, parameter value, seed, and package version).
+``--no-cache``
+    Ignore ``--cache-dir`` and recompute everything.
+
+Per-point progress and timing go to stderr, keeping stdout/CSV output
+byte-stable across repeats.
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
-from typing import Callable, Dict, List, Optional, TextIO
+from functools import partial
+from typing import Callable, Dict, List, Optional, TextIO, Tuple
 
 from .core.report import format_series, format_table, write_csv
 from .errors import ReproError
+from .exec import RunContext
 
 
 class Experiment:
-    """One named, runnable reproduction."""
+    """One named, runnable reproduction.
+
+    ``run`` receives a single :class:`~repro.exec.RunContext` carrying the
+    seed, output stream, CSV directory, and execution policy.
+    """
 
     def __init__(
         self,
         name: str,
         title: str,
-        run: Callable[[int, TextIO, Optional[str]], None],
+        run: Callable[[RunContext], None],
     ) -> None:
         self.name = name
         self.title = title
         self.run = run
 
 
-def _fig1(seed: int, out: TextIO, csv_dir: Optional[str]) -> None:
-    from .core.report import sparkline
-    from .cpu import OS_NAMES, run_idle_experiment
+# --- per-point functions -----------------------------------------------------
+#
+# Each sweep's unit of work lives at module level (picklable, so the process
+# backend can ship it to workers) and returns plain tuples/lists (picklable
+# and compact, so the result cache can store them).  Experiments that ignore
+# the seed key their cache entries under seed 0, letting every seed share
+# the same cached points.
 
+
+def _fig1_point(os_name: str, *, seed: int) -> Tuple[float, list, list]:
+    from .cpu import run_idle_experiment
+
+    result = run_idle_experiment(os_name, 60_000.0, seed=seed)
+    times, utils = result.utilization_trace(bin_ms=1_000.0)
+    return result.idle_utilization, list(times), list(utils)
+
+
+def _fig2_point(os_name: str, *, seed: int) -> Tuple[float, list, list]:
+    from .cpu import run_idle_experiment
+
+    result = run_idle_experiment(os_name, 600_000.0, seed=seed)
+    thresholds, curve = result.cumulative_latency_curve()
+    return result.total_lost_time_ms, list(thresholds), list(curve)
+
+
+def _fig3_point(point: Tuple[str, int], *, seed: int) -> float:
+    from .workloads import run_stall_experiment
+
+    os_name, queue_length = point
+    (result,) = run_stall_experiment(os_name, [queue_length], seed=seed)
+    return result.average_stall_ms
+
+
+def _fig4_point(variant: str) -> Tuple[float, list, list]:
+    from .workloads import run_webpage_experiment
+
+    result = run_webpage_experiment(variant, duration_ms=160_000.0)
+    times, mbps = result.load_series(2_000.0)
+    return result.average_mbps(), list(times), list(mbps)
+
+
+def _fig5_point(protocol: str) -> Tuple[float, list, list]:
+    from .workloads import gif_10_frame, run_animations_over_protocol
+
+    result = run_animations_over_protocol(protocol, [gif_10_frame()], 5_000.0)
+    times, mbps = result.load_series(100.0)
+    return result.average_mbps(500.0), list(times), list(mbps)
+
+
+def _fig6_point(frame_count: int) -> Tuple[list, list, list]:
+    from .workloads import run_cache_overflow_experiment
+
+    result = run_cache_overflow_experiment(frame_count, 60_000.0)
+    return (
+        list(result.times_ms),
+        list(result.cpu_utilization),
+        list(result.cumulative_hit_ratio),
+    )
+
+
+def _fig7_point(frame_count: int) -> float:
+    from .workloads import run_frame_count_sweep
+
+    ((__, mbps),) = run_frame_count_sweep([frame_count], duration_ms=60_000.0)
+    return mbps
+
+
+def _ping_point(offered_mbps: float, *, seed: int) -> Tuple[float, float]:
+    from .net import run_ping_experiment
+
+    (result,) = run_ping_experiment(
+        [offered_mbps], duration_ms=60_000.0, seed=seed
+    )
+    return result.mean_rtt_ms, result.rtt_variance
+
+
+def _tab_mem_point(point: Tuple[str, float], *, seed: int) -> Tuple[float, float, float]:
+    from .memory import run_memory_latency_experiment
+
+    os_name, demand = point
+    s = run_memory_latency_experiment(os_name, demand, runs=10, seed=seed).summary
+    return s.minimum, s.average, s.maximum
+
+
+def _tab_proto_point(protocol: str, *, seed: int) -> Tuple[int, int, float, float]:
+    from .workloads import application_workload, replay_workload
+
+    tap = replay_workload(protocol, application_workload(seed))
+    trace = tap.trace()
+    vip = tap.vip_table_row()
+    return (
+        trace.total_bytes,
+        trace.total_messages,
+        trace.avg_message_size,
+        vip["savings"],
+    )
+
+
+# --- experiment runners ------------------------------------------------------
+
+
+def _fig1(ctx: RunContext) -> None:
+    from .core.report import sparkline
+    from .cpu import OS_NAMES
+
+    points = ctx.executor.map(
+        "fig1", partial(_fig1_point, seed=ctx.seed), list(OS_NAMES), seed=ctx.seed
+    )
     rows = []
-    for os_name in OS_NAMES:
-        result = run_idle_experiment(os_name, 60_000.0, seed=seed)
-        times, utils = result.utilization_trace(bin_ms=1_000.0)
+    for os_name, (idle_utilization, times, utils) in zip(OS_NAMES, points):
         rows.append(
-            (os_name, f"{result.idle_utilization * 100:.2f}%", sparkline(utils[:30]))
+            (os_name, f"{idle_utilization * 100:.2f}%", sparkline(utils[:30]))
         )
-        if csv_dir:
+        if ctx.csv_dir:
             write_csv(
-                f"{csv_dir}/fig1_{os_name}.csv",
+                f"{ctx.csv_dir}/fig1_{os_name}.csv",
                 ["time_ms", "utilization"],
                 zip(times, utils),
             )
-    out.write(
+    ctx.out.write(
         format_table(
             ["system", "avg idle util", "trace"],
             rows,
@@ -62,21 +186,22 @@ def _fig1(seed: int, out: TextIO, csv_dir: Optional[str]) -> None:
     )
 
 
-def _fig2(seed: int, out: TextIO, csv_dir: Optional[str]) -> None:
-    from .cpu import FIG2_THRESHOLDS_MS, OS_NAMES, run_idle_experiment
+def _fig2(ctx: RunContext) -> None:
+    from .cpu import OS_NAMES
 
+    points = ctx.executor.map(
+        "fig2", partial(_fig2_point, seed=ctx.seed), list(OS_NAMES), seed=ctx.seed
+    )
     rows = []
-    for os_name in OS_NAMES:
-        result = run_idle_experiment(os_name, 600_000.0, seed=seed)
-        thresholds, curve = result.cumulative_latency_curve()
-        rows.append((os_name, f"{result.total_lost_time_ms / 1000:.1f}s"))
-        if csv_dir:
+    for os_name, (total_lost_ms, thresholds, curve) in zip(OS_NAMES, points):
+        rows.append((os_name, f"{total_lost_ms / 1000:.1f}s"))
+        if ctx.csv_dir:
             write_csv(
-                f"{csv_dir}/fig2_{os_name}.csv",
+                f"{ctx.csv_dir}/fig2_{os_name}.csv",
                 ["threshold_ms", "cumulative_latency_s"],
                 zip(thresholds, curve),
             )
-    out.write(
+    ctx.out.write(
         format_table(
             ["system", "total lost time / 10 min"],
             rows,
@@ -86,25 +211,27 @@ def _fig2(seed: int, out: TextIO, csv_dir: Optional[str]) -> None:
     )
 
 
-def _fig3(seed: int, out: TextIO, csv_dir: Optional[str]) -> None:
-    from .workloads import run_stall_experiment
-
+def _fig3(ctx: RunContext) -> None:
     sweeps = {
         "nt_tse": [0, 5, 10, 15],
         "linux": [0, 5, 10, 15, 25, 35, 50],
     }
+    values = [(os_name, n) for os_name, loads in sweeps.items() for n in loads]
+    stalls = ctx.executor.map(
+        "fig3", partial(_fig3_point, seed=ctx.seed), values, seed=ctx.seed
+    )
+    by_point = dict(zip(values, stalls))
     rows = []
     for os_name, loads in sweeps.items():
-        results = run_stall_experiment(os_name, loads, seed=seed)
-        for r in results:
-            rows.append((os_name, r.queue_length, f"{r.average_stall_ms:.0f}"))
-        if csv_dir:
+        for n in loads:
+            rows.append((os_name, n, f"{by_point[(os_name, n)]:.0f}"))
+        if ctx.csv_dir:
             write_csv(
-                f"{csv_dir}/fig3_{os_name}.csv",
+                f"{ctx.csv_dir}/fig3_{os_name}.csv",
                 ["queue_length", "avg_stall_ms"],
-                [(r.queue_length, r.average_stall_ms) for r in results],
+                [(n, by_point[(os_name, n)]) for n in loads],
             )
-    out.write(
+    ctx.out.write(
         format_table(
             ["system", "queue length", "avg stall (ms)"],
             rows,
@@ -114,19 +241,21 @@ def _fig3(seed: int, out: TextIO, csv_dir: Optional[str]) -> None:
     )
 
 
-def _tab_mem(seed: int, out: TextIO, csv_dir: Optional[str]) -> None:
-    from .memory import run_memory_latency_experiment
-
-    rows = []
-    for os_name in ("linux", "nt_tse"):
-        for demand, label in ((0.5, "<100%"), (1.2, ">=100%")):
-            s = run_memory_latency_experiment(
-                os_name, demand, runs=10, seed=seed
-            ).summary
-            rows.append(
-                (os_name, label, f"{s.minimum:.0f}", f"{s.average:.0f}", f"{s.maximum:.0f}")
-            )
-    out.write(
+def _tab_mem(ctx: RunContext) -> None:
+    cells = [
+        (os_name, demand)
+        for os_name in ("linux", "nt_tse")
+        for demand in (0.5, 1.2)
+    ]
+    labels = {0.5: "<100%", 1.2: ">=100%"}
+    points = ctx.executor.map(
+        "tab-mem", partial(_tab_mem_point, seed=ctx.seed), cells, seed=ctx.seed
+    )
+    rows = [
+        (os_name, labels[demand], f"{lo:.0f}", f"{avg:.0f}", f"{hi:.0f}")
+        for (os_name, demand), (lo, avg, hi) in zip(cells, points)
+    ]
+    ctx.out.write(
         format_table(
             ["OS", "demand", "min", "avg", "max"],
             rows,
@@ -134,21 +263,21 @@ def _tab_mem(seed: int, out: TextIO, csv_dir: Optional[str]) -> None:
         )
         + "\n"
     )
-    if csv_dir:
+    if ctx.csv_dir:
         write_csv(
-            f"{csv_dir}/tab_mem_latency.csv",
+            f"{ctx.csv_dir}/tab_mem_latency.csv",
             ["os", "demand", "min_ms", "avg_ms", "max_ms"],
             rows,
         )
 
 
-def _tab_sessions(seed: int, out: TextIO, csv_dir: Optional[str]) -> None:
+def _tab_sessions(ctx: RunContext) -> None:
     from .memory import LINUX_SESSION, TSE_SESSION_LIGHT, TSE_SESSION_TYPICAL
 
     for session in (LINUX_SESSION, TSE_SESSION_TYPICAL, TSE_SESSION_LIGHT):
         rows = [(p.name, f"{p.private_kb:,} KB") for p in session.processes]
         rows.append(("Total", f"{session.total_kb:,} KB"))
-        out.write(
+        ctx.out.write(
             format_table(
                 ["process", "private"],
                 rows,
@@ -158,24 +287,27 @@ def _tab_sessions(seed: int, out: TextIO, csv_dir: Optional[str]) -> None:
         )
 
 
-def _tab_proto(seed: int, out: TextIO, csv_dir: Optional[str]) -> None:
-    from .workloads import run_protocol_comparison
-
-    taps = run_protocol_comparison(seed=seed)
-    rows = []
-    for name in ("rdp", "x", "lbx"):
-        t = taps[name].trace()
-        v = taps[name].vip_table_row()
-        rows.append(
-            (
-                name,
-                f"{t.total_bytes:,}",
-                f"{t.total_messages:,}",
-                f"{t.avg_message_size:.1f}",
-                f"{v['savings'] * 100:.2f}%",
-            )
+def _tab_proto(ctx: RunContext) -> None:
+    protocols = ["rdp", "x", "lbx"]
+    points = ctx.executor.map(
+        "tab-proto",
+        partial(_tab_proto_point, seed=ctx.seed),
+        protocols,
+        seed=ctx.seed,
+    )
+    rows = [
+        (
+            name,
+            f"{total_bytes:,}",
+            f"{total_messages:,}",
+            f"{avg_size:.1f}",
+            f"{savings * 100:.2f}%",
         )
-    out.write(
+        for name, (total_bytes, total_messages, avg_size, savings) in zip(
+            protocols, points
+        )
+    ]
+    ctx.out.write(
         format_table(
             ["protocol", "bytes", "messages", "avg size", "VIP savings"],
             rows,
@@ -183,18 +315,18 @@ def _tab_proto(seed: int, out: TextIO, csv_dir: Optional[str]) -> None:
         )
         + "\n"
     )
-    if csv_dir:
+    if ctx.csv_dir:
         write_csv(
-            f"{csv_dir}/tab_proto.csv",
+            f"{ctx.csv_dir}/tab_proto.csv",
             ["protocol", "bytes", "messages", "avg_size", "vip_savings"],
             rows,
         )
 
 
-def _tab_setup(seed: int, out: TextIO, csv_dir: Optional[str]) -> None:
+def _tab_setup(ctx: RunContext) -> None:
     from .gui import TSE_SETUP, X_SETUP
 
-    out.write(
+    ctx.out.write(
         format_table(
             ["system", "setup bytes"],
             [
@@ -207,21 +339,19 @@ def _tab_setup(seed: int, out: TextIO, csv_dir: Optional[str]) -> None:
     )
 
 
-def _fig4(seed: int, out: TextIO, csv_dir: Optional[str]) -> None:
-    from .workloads import run_webpage_experiment
-
+def _fig4(ctx: RunContext) -> None:
+    variants = ["marquee", "banner", "both"]
+    points = ctx.executor.map("fig4", _fig4_point, variants, seed=0)
     rows = []
-    for variant in ("marquee", "banner", "both"):
-        result = run_webpage_experiment(variant, duration_ms=160_000.0)
-        rows.append((variant, f"{result.average_mbps():.3f}"))
-        if csv_dir:
-            times, mbps = result.load_series(2_000.0)
+    for variant, (avg_mbps, times, mbps) in zip(variants, points):
+        rows.append((variant, f"{avg_mbps:.3f}"))
+        if ctx.csv_dir:
             write_csv(
-                f"{csv_dir}/fig4_{variant}.csv",
+                f"{ctx.csv_dir}/fig4_{variant}.csv",
                 ["time_ms", "mbps"],
                 zip(times, mbps),
             )
-    out.write(
+    ctx.out.write(
         format_table(
             ["variant", "avg Mbps"],
             rows,
@@ -231,19 +361,17 @@ def _fig4(seed: int, out: TextIO, csv_dir: Optional[str]) -> None:
     )
 
 
-def _fig5(seed: int, out: TextIO, csv_dir: Optional[str]) -> None:
-    from .workloads import run_gif_protocol_comparison
-
-    results = run_gif_protocol_comparison(duration_ms=5_000.0)
+def _fig5(ctx: RunContext) -> None:
+    protocols = ["x", "lbx", "rdp"]
+    points = ctx.executor.map("fig5", _fig5_point, protocols, seed=0)
     rows = []
-    for name in ("x", "lbx", "rdp"):
-        rows.append((name, f"{results[name].average_mbps(500.0):.3f}"))
-        if csv_dir:
-            times, mbps = results[name].load_series(100.0)
+    for name, (steady_mbps, times, mbps) in zip(protocols, points):
+        rows.append((name, f"{steady_mbps:.3f}"))
+        if ctx.csv_dir:
             write_csv(
-                f"{csv_dir}/fig5_{name}.csv", ["time_ms", "mbps"], zip(times, mbps)
+                f"{ctx.csv_dir}/fig5_{name}.csv", ["time_ms", "mbps"], zip(times, mbps)
             )
-    out.write(
+    ctx.out.write(
         format_table(
             ["protocol", "steady Mbps"],
             rows,
@@ -253,84 +381,87 @@ def _fig5(seed: int, out: TextIO, csv_dir: Optional[str]) -> None:
     )
 
 
-def _fig6(seed: int, out: TextIO, csv_dir: Optional[str]) -> None:
-    from .workloads import run_cache_overflow_experiment
-
-    result = run_cache_overflow_experiment(66, 60_000.0)
-    out.write(
+def _fig6(ctx: RunContext) -> None:
+    (point,) = ctx.executor.map("fig6", _fig6_point, [66], seed=0)
+    times_ms, cpu_utilization, cumulative_hit_ratio = point
+    ctx.out.write(
         format_series(
             "time (s)",
             "cumulative hit ratio",
-            [int(t / 1000) for t in result.times_ms[::10]],
-            result.cumulative_hit_ratio[::10],
+            [int(t / 1000) for t in times_ms[::10]],
+            cumulative_hit_ratio[::10],
             title="Figure 6: 66-frame animation overflowing the cache",
         )
         + "\n"
     )
-    if csv_dir:
+    if ctx.csv_dir:
         write_csv(
-            f"{csv_dir}/fig6.csv",
+            f"{ctx.csv_dir}/fig6.csv",
             ["time_ms", "cpu_utilization", "cumulative_hit_ratio"],
-            zip(result.times_ms, result.cpu_utilization, result.cumulative_hit_ratio),
+            zip(times_ms, cpu_utilization, cumulative_hit_ratio),
         )
 
 
-def _fig7(seed: int, out: TextIO, csv_dir: Optional[str]) -> None:
-    from .workloads import run_frame_count_sweep
-
-    rows = run_frame_count_sweep(
-        [25, 35, 45, 55, 65, 66, 70, 80, 90, 100], duration_ms=60_000.0
-    )
-    out.write(
+def _fig7(ctx: RunContext) -> None:
+    frame_counts = [25, 35, 45, 55, 65, 66, 70, 80, 90, 100]
+    loads = ctx.executor.map("fig7", _fig7_point, frame_counts, seed=0)
+    ctx.out.write(
         format_series(
             "frames",
             "Mbps",
-            [c for c, __ in rows],
-            [m for __, m in rows],
+            frame_counts,
+            loads,
             title="Figure 7: network load vs frame count",
         )
         + "\n"
     )
-    if csv_dir:
-        write_csv(f"{csv_dir}/fig7.csv", ["frames", "mbps"], rows)
+    if ctx.csv_dir:
+        write_csv(
+            f"{ctx.csv_dir}/fig7.csv",
+            ["frames", "mbps"],
+            zip(frame_counts, loads),
+        )
 
 
-def _fig8(seed: int, out: TextIO, csv_dir: Optional[str]) -> None:
-    from .net import run_ping_experiment
-
-    results = run_ping_experiment(
-        [0, 1, 2, 3, 4, 5, 6, 7, 8, 9, 9.6], duration_ms=60_000.0, seed=seed
+def _fig8(ctx: RunContext) -> None:
+    levels = [0, 1, 2, 3, 4, 5, 6, 7, 8, 9, 9.6]
+    # figs 8 and 9 share the "ping" sweep, so a cached fig8 run also
+    # pre-pays every fig9 point (fig9's levels are a subset).
+    points = ctx.executor.map(
+        "ping", partial(_ping_point, seed=ctx.seed), levels, seed=ctx.seed
     )
-    out.write(
+    ctx.out.write(
         format_series(
             "offered Mbps",
             "mean RTT (ms)",
-            [r.offered_mbps for r in results],
-            [r.mean_rtt_ms for r in results],
+            levels,
+            [mean_rtt for mean_rtt, __ in points],
             title="Figure 8: RTT vs offered load",
         )
         + "\n"
     )
-    if csv_dir:
+    if ctx.csv_dir:
         write_csv(
-            f"{csv_dir}/fig8.csv",
+            f"{ctx.csv_dir}/fig8.csv",
             ["offered_mbps", "mean_rtt_ms", "rtt_variance"],
-            [(r.offered_mbps, r.mean_rtt_ms, r.rtt_variance) for r in results],
+            [
+                (level, mean_rtt, variance)
+                for level, (mean_rtt, variance) in zip(levels, points)
+            ],
         )
 
 
-def _fig9(seed: int, out: TextIO, csv_dir: Optional[str]) -> None:
-    from .net import run_ping_experiment
-
-    results = run_ping_experiment(
-        [0, 2, 4, 6, 8, 9, 9.6], duration_ms=60_000.0, seed=seed
+def _fig9(ctx: RunContext) -> None:
+    levels = [0, 2, 4, 6, 8, 9, 9.6]
+    points = ctx.executor.map(
+        "ping", partial(_ping_point, seed=ctx.seed), levels, seed=ctx.seed
     )
-    out.write(
+    ctx.out.write(
         format_series(
             "offered Mbps",
             "RTT variance (ms^2)",
-            [r.offered_mbps for r in results],
-            [r.rtt_variance for r in results],
+            levels,
+            [variance for __, variance in points],
             title="Figure 9: RTT jitter vs offered load",
             y_format="{:.2f}",
         )
@@ -359,7 +490,7 @@ EXPERIMENTS: Dict[str, Experiment] = {
 
 
 def build_parser() -> argparse.ArgumentParser:
-    """The argparse CLI: ``list`` and ``run <experiment> [--seed] [--csv]``."""
+    """The argparse CLI: ``list`` and ``run <experiment> [options]``."""
     parser = argparse.ArgumentParser(
         prog="repro",
         description="Reproduce the tables and figures of Wong & Seltzer "
@@ -376,11 +507,40 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="also write CSV series into DIR",
     )
+    run.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        metavar="N",
+        help="run sweep points on N worker processes (output is "
+        "byte-identical to --jobs 1)",
+    )
+    run.add_argument(
+        "--cache-dir",
+        metavar="PATH",
+        default=None,
+        help="cache finished sweep points in PATH; reruns replay them "
+        "from disk",
+    )
+    run.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="recompute every point even if --cache-dir has it",
+    )
     return parser
 
 
-def main(argv: Optional[List[str]] = None, out: TextIO = sys.stdout) -> int:
-    """CLI entry point; returns a process exit code."""
+def main(
+    argv: Optional[List[str]] = None,
+    out: TextIO = sys.stdout,
+    progress: Optional[TextIO] = None,
+) -> int:
+    """CLI entry point; returns a process exit code.
+
+    *progress* receives per-point timing lines (defaults to stderr when
+    invoked as a real CLI; pass ``None``-producing streams in tests to
+    keep them quiet).
+    """
     args = build_parser().parse_args(argv)
     if args.command == "list":
         out.write(
@@ -393,6 +553,18 @@ def main(argv: Optional[List[str]] = None, out: TextIO = sys.stdout) -> int:
         )
         return 0
 
+    if args.jobs < 1:
+        out.write(f"--jobs must be >= 1, got {args.jobs}\n")
+        return 2
+    ctx = RunContext(
+        seed=args.seed,
+        out=out,
+        csv_dir=args.csv,
+        jobs=args.jobs,
+        cache_dir=args.cache_dir,
+        no_cache=args.no_cache,
+        progress=progress,
+    )
     names = list(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
     for name in names:
         experiment = EXPERIMENTS.get(name)
@@ -402,7 +574,7 @@ def main(argv: Optional[List[str]] = None, out: TextIO = sys.stdout) -> int:
             )
             return 2
         try:
-            experiment.run(args.seed, out, args.csv)
+            experiment.run(ctx)
         except ReproError as exc:
             out.write(f"experiment {name} failed: {exc}\n")
             return 1
@@ -411,4 +583,4 @@ def main(argv: Optional[List[str]] = None, out: TextIO = sys.stdout) -> int:
 
 
 if __name__ == "__main__":  # pragma: no cover - exercised via __main__
-    sys.exit(main())
+    sys.exit(main(progress=sys.stderr))

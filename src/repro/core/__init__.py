@@ -14,6 +14,7 @@ from .framework import (
     LoadSource,
     Resource,
     ResourceStudy,
+    Runnable,
     StudyResult,
     compare,
     evaluate,
@@ -41,6 +42,7 @@ __all__ = [
     "ParameterSweep",
     "Resource",
     "ResourceStudy",
+    "Runnable",
     "ServerConfig",
     "StudyResult",
     "SweepResult",

@@ -4,14 +4,33 @@ Every figure in the paper is a sweep: stall length *vs* queue depth, RTT
 *vs* offered load, bandwidth *vs* frame count.  :class:`ParameterSweep`
 standardizes the bookkeeping: named parameter, values, a run function, and
 a results table keyed by parameter value.
+
+Execution is delegated to :class:`repro.exec.SweepExecutor` when one is
+supplied — giving any sweep process-parallel fan-out and on-disk result
+caching — and stays plain serial otherwise, preserving the historical
+behaviour exactly.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Callable, Generic, List, Sequence, Tuple, TypeVar
+from typing import (
+    TYPE_CHECKING,
+    Any,
+    Callable,
+    Dict,
+    Generic,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+    TypeVar,
+)
 
 from ..errors import ExperimentError
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
+    from ..exec.executor import SweepExecutor
 
 P = TypeVar("P")
 R = TypeVar("R")
@@ -19,11 +38,26 @@ R = TypeVar("R")
 
 @dataclass
 class SweepResult(Generic[P, R]):
-    """All (parameter, result) rows of one sweep."""
+    """All (parameter, result) rows of one sweep.
+
+    Lookups by parameter value go through a dict index maintained on
+    :meth:`append`; rows mutated behind the dataclass's back (appending to
+    ``rows`` directly) are re-indexed lazily, so :meth:`result_for` stays
+    O(1) without changing the historical list-of-tuples surface.
+    """
 
     name: str
     parameter: str
     rows: List[Tuple[P, R]] = field(default_factory=list)
+    _index: Dict[Any, int] = field(
+        default_factory=dict, init=False, repr=False, compare=False
+    )
+    _indexed: int = field(default=0, init=False, repr=False, compare=False)
+
+    def append(self, value: P, result: R) -> None:
+        """Record one (parameter, result) row, keeping the index current."""
+        self.rows.append((value, result))
+        self._reindex()
 
     def values(self) -> List[P]:
         """The swept parameter values, in run order."""
@@ -38,17 +72,39 @@ class SweepResult(Generic[P, R]):
         return self.values(), [extract(r) for r in self.results()]
 
     def result_for(self, value: P) -> R:
-        """The result recorded for one parameter value."""
-        for p, r in self.rows:
-            if p == value:
-                return r
+        """The result recorded for one parameter value (first row wins)."""
+        if self._indexed != len(self.rows):
+            self._reindex()
+        try:
+            position = self._index.get(value)
+        except TypeError:  # unhashable parameter value — fall back to scan
+            position = None
+            for p, r in self.rows:
+                if p == value:
+                    return r
+        if position is not None:
+            return self.rows[position][1]
         raise ExperimentError(
             f"sweep {self.name!r} has no row for {self.parameter}={value!r}"
         )
 
+    def _reindex(self) -> None:
+        """Index any rows appended since the last lookup/append."""
+        for position in range(self._indexed, len(self.rows)):
+            value = self.rows[position][0]
+            try:
+                self._index.setdefault(value, position)
+            except TypeError:
+                pass  # unhashable values stay on the linear-scan path
+        self._indexed = len(self.rows)
+
 
 class ParameterSweep(Generic[P, R]):
-    """Run one experiment function across a parameter range."""
+    """Run one experiment function across a parameter range.
+
+    Satisfies :class:`repro.core.framework.Runnable`: ``run(value)``
+    computes one point, and an executor can fan those points out.
+    """
 
     def __init__(
         self,
@@ -60,11 +116,26 @@ class ParameterSweep(Generic[P, R]):
         self.parameter = parameter
         self.run = run
 
-    def execute(self, values: Sequence[P]) -> SweepResult[P, R]:
-        """Run the experiment at every value; returns the result table."""
+    def execute(
+        self,
+        values: Sequence[P],
+        *,
+        executor: Optional["SweepExecutor"] = None,
+        seed: int = 0,
+    ) -> SweepResult[P, R]:
+        """Run the experiment at every value; returns the result table.
+
+        With no *executor* this is the historical serial loop.  Passing a
+        :class:`repro.exec.SweepExecutor` routes the same points through
+        its backend and cache; the resulting rows are identical either way
+        (*seed* only participates in cache keying — the run function itself
+        owns its seeding).
+        """
         if not values:
             raise ExperimentError(f"sweep {self.name!r} given no values")
+        if executor is not None:
+            return executor.run_sweep(self, values, seed=seed)
         result: SweepResult[P, R] = SweepResult(self.name, self.parameter)
         for value in values:
-            result.rows.append((value, self.run(value)))
+            result.append(value, self.run(value))
         return result

@@ -20,10 +20,37 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Sequence
+from typing import (
+    Any,
+    Callable,
+    Dict,
+    List,
+    Optional,
+    Protocol,
+    Sequence,
+    runtime_checkable,
+)
 
 from ..errors import ExperimentError
 from .latency import PERCEPTION_THRESHOLD_MS, LatencyAssessment, assess
+
+
+@runtime_checkable
+class Runnable(Protocol):
+    """Anything an executor can run: a name plus a ``run`` entry point.
+
+    This is the unification of the package's two experiment shapes:
+    :class:`ResourceStudy` (whose ``run`` evaluates the study's probe into
+    a :class:`StudyResult`) and :class:`repro.core.ParameterSweep` (whose
+    ``run`` computes one point of a sweep).  Schedulers, CLIs and executors
+    that accept a ``Runnable`` work with either without caring which.
+    """
+
+    name: str
+
+    def run(self, *args: Any, **kwargs: Any) -> Any:
+        """Perform the unit of work this runnable names."""
+        ...
 
 
 class Resource(enum.Enum):
@@ -105,6 +132,15 @@ class ResourceStudy:
     probe: Callable[[], Sequence[float]]
     threshold_ms: float = PERCEPTION_THRESHOLD_MS
 
+    def run(self, *, threshold_ms: Optional[float] = None) -> "StudyResult":
+        """Evaluate this study (the :class:`Runnable` entry point).
+
+        ``study.run()`` is :func:`evaluate(study) <evaluate>`; pass
+        *threshold_ms* to re-assess against a different perception
+        threshold without rebuilding the study.
+        """
+        return evaluate(self, threshold_ms=threshold_ms)
+
 
 @dataclass(frozen=True)
 class StudyResult:
@@ -117,17 +153,26 @@ class StudyResult:
     assessment: LatencyAssessment
 
 
-def evaluate(study: ResourceStudy) -> StudyResult:
-    """Run one resource study end to end."""
+def evaluate(
+    study: ResourceStudy, *, threshold_ms: Optional[float] = None
+) -> StudyResult:
+    """Run one resource study end to end.
+
+    *threshold_ms* overrides the study's own perception threshold for this
+    evaluation only — callers comparing a study against several thresholds
+    no longer have to rebuild it per threshold.
+    """
     latencies = list(study.probe())
     if not latencies:
         raise ExperimentError(f"study {study.name!r} produced no operations")
+    if threshold_ms is None:
+        threshold_ms = study.threshold_ms
     return StudyResult(
         name=study.name,
         resource=study.resource,
         compulsory_load=study.load.compulsory,
         dynamic_load=study.load.dynamic,
-        assessment=assess(latencies, study.threshold_ms),
+        assessment=assess(latencies, threshold_ms),
     )
 
 

@@ -1,0 +1,131 @@
+"""On-disk result cache for sweep points.
+
+Every experiment in this package is a deterministic pure function of
+(configuration, seed), so a sweep point's result can be replayed from disk
+instead of recomputed.  :class:`ResultCache` keys each point by a content
+hash of (experiment name, parameter value, seed, package version); bumping
+the package version therefore invalidates every entry, and changing any key
+component misses cleanly.
+
+The cache is strictly best-effort: a corrupted, truncated, or stale entry
+is treated as a miss and recomputed, never trusted, and a result that cannot
+be pickled is simply not cached.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import pickle
+import tempfile
+from dataclasses import dataclass
+from typing import Any, Optional, Tuple
+
+from .. import __version__
+
+#: Sentinel distinguishing "miss" from a cached ``None`` result.
+_MISS = object()
+
+
+@dataclass(frozen=True)
+class CacheStats:
+    """Hit/miss/store counters for one cache instance's lifetime."""
+
+    hits: int = 0
+    misses: int = 0
+    stores: int = 0
+
+
+def point_key(experiment: str, value: Any, seed: int, version: Optional[str] = None) -> str:
+    """The content hash naming one sweep point's cache entry.
+
+    Hashes the experiment name, the ``repr`` of the parameter value, the
+    seed, and the package version, so any change to what the point *means*
+    changes where it lives on disk.
+    """
+    material = _key_material(experiment, value, seed, version)
+    return hashlib.sha256(material.encode("utf-8")).hexdigest()
+
+
+def _key_material(experiment: str, value: Any, seed: int, version: Optional[str]) -> str:
+    if version is None:
+        version = __version__
+    return "\x00".join((experiment, repr(value), str(seed), version))
+
+
+class ResultCache:
+    """A directory of pickled sweep-point results, keyed by content hash.
+
+    Entries live at ``<root>/<key[:2]>/<key>.pkl`` and store the full key
+    material alongside the payload; a load whose stored material does not
+    match the requested key (a stale or colliding entry) is a miss.
+    """
+
+    def __init__(self, root: str) -> None:
+        self.root = root
+        self._hits = 0
+        self._misses = 0
+        self._stores = 0
+
+    # -- lookup ---------------------------------------------------------
+
+    def load(self, experiment: str, value: Any, seed: int) -> Tuple[bool, Any]:
+        """Return ``(hit, payload)`` for one point; corrupt entries miss."""
+        path = self._path(point_key(experiment, value, seed))
+        try:
+            with open(path, "rb") as f:
+                entry = pickle.load(f)
+            if entry.get("material") != _key_material(experiment, value, seed, None):
+                raise ValueError("stale cache entry")
+            payload = entry["payload"]
+        except Exception:
+            # Missing file, truncated pickle, tampered payload, version
+            # drift — all recomputed, never trusted.
+            self._misses += 1
+            return False, _MISS
+        self._hits += 1
+        return True, payload
+
+    def store(self, experiment: str, value: Any, seed: int, payload: Any) -> None:
+        """Persist one point's result; silently skips unpicklable payloads."""
+        key = point_key(experiment, value, seed)
+        path = self._path(key)
+        try:
+            blob = pickle.dumps(
+                {
+                    "material": _key_material(experiment, value, seed, None),
+                    "payload": payload,
+                }
+            )
+        except Exception:
+            return
+        # Write-then-rename so a concurrent reader never sees a torn entry;
+        # an unwritable cache directory degrades to uncached, never crashes.
+        tmp = None
+        try:
+            os.makedirs(os.path.dirname(path), exist_ok=True)
+            fd, tmp = tempfile.mkstemp(dir=os.path.dirname(path), suffix=".tmp")
+            with os.fdopen(fd, "wb") as f:
+                f.write(blob)
+            os.replace(tmp, path)
+        except Exception:
+            if tmp is not None:
+                try:
+                    os.unlink(tmp)
+                except OSError:
+                    pass
+            return
+        self._stores += 1
+
+    # -- bookkeeping ----------------------------------------------------
+
+    @property
+    def stats(self) -> CacheStats:
+        """Counters accumulated since this instance was created."""
+        return CacheStats(hits=self._hits, misses=self._misses, stores=self._stores)
+
+    def _path(self, key: str) -> str:
+        return os.path.join(self.root, key[:2], key + ".pkl")
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<ResultCache root={self.root!r} {self.stats}>"

@@ -1,0 +1,51 @@
+"""The single-argument run context every CLI experiment receives.
+
+The old runner signature — ``run(seed, out, csv_dir)`` positional — grew a
+flag at a time and couldn't carry executor settings without breaking every
+call site.  :class:`RunContext` replaces it: one dataclass holding the seed,
+the output stream, the CSV directory, and the execution policy (jobs, cache
+directory, cache on/off), plus a lazily-built :class:`SweepExecutor` shared
+by every sweep the experiment runs.
+"""
+
+from __future__ import annotations
+
+import sys
+from dataclasses import dataclass, field
+from typing import Optional, TextIO
+
+from .executor import ProgressSink, SweepExecutor
+
+
+@dataclass
+class RunContext:
+    """Everything one experiment run needs, passed as a single argument.
+
+    ``jobs > 1`` selects the process backend; caching engages whenever
+    ``cache_dir`` is set and ``no_cache`` is not.  ``progress`` (a stream
+    or callable) receives per-point timing lines; ``None`` keeps runs
+    silent, which also keeps ``out`` byte-stable across repeats.
+    """
+
+    seed: int = 0
+    out: TextIO = field(default_factory=lambda: sys.stdout)
+    csv_dir: Optional[str] = None
+    jobs: int = 1
+    cache_dir: Optional[str] = None
+    no_cache: bool = False
+    progress: Optional[ProgressSink] = None
+    _executor: Optional[SweepExecutor] = field(
+        default=None, init=False, repr=False, compare=False
+    )
+
+    @property
+    def executor(self) -> SweepExecutor:
+        """The sweep engine for this run (built once, then reused)."""
+        if self._executor is None:
+            self._executor = SweepExecutor(
+                backend="process" if self.jobs > 1 else "serial",
+                jobs=self.jobs,
+                cache=None if self.no_cache else self.cache_dir,
+                progress=self.progress,
+            )
+        return self._executor

@@ -1,0 +1,168 @@
+"""The sweep executor: cache, fan out, merge deterministically.
+
+:class:`SweepExecutor` is the one engine behind every parameter sweep in the
+package — the CLI, :class:`repro.core.ParameterSweep`, benches and examples
+all funnel through :meth:`SweepExecutor.map`.  Its contract:
+
+* **Determinism.**  Results are keyed by parameter *index* and merged in
+  index order, never completion order, so ``--jobs 8`` reproduces the
+  serial run bit-for-bit.
+* **Caching.**  With a :class:`~repro.exec.cache.ResultCache` attached,
+  previously computed points replay from disk and only changed points
+  recompute.
+* **Graceful degradation.**  If the requested backend cannot run (the
+  point function doesn't pickle, the sandbox denies process pools), the
+  executor falls back to serial and records why in
+  :attr:`~SweepExecutor.last_fallback_reason` instead of failing the sweep.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from typing import Any, Callable, List, Optional, Sequence, TypeVar, Union
+
+from ..errors import ExperimentError
+from .backends import make_backend, probe_process_backend
+from .cache import ResultCache
+
+R = TypeVar("R")
+
+#: Progress sinks: a callable taking one line, or any object with ``write``.
+ProgressSink = Union[Callable[[str], None], Any]
+
+
+def _as_progress_fn(sink: Optional[ProgressSink]) -> Callable[[str], None]:
+    if sink is None:
+        return lambda line: None
+    if callable(sink):
+        return sink
+    write = getattr(sink, "write", None)
+    if write is None:
+        raise ExperimentError(
+            f"progress sink {sink!r} is neither callable nor writable"
+        )
+    return lambda line: write(line + "\n")
+
+
+class SweepExecutor:
+    """Run sweep points through a backend, with optional result caching.
+
+    ``backend`` is ``"serial"`` or ``"process"``; ``jobs`` bounds worker
+    count for parallel backends (default: the machine's CPU count).
+    ``cache`` may be a :class:`ResultCache`, a directory path, or ``None``
+    to disable caching.  ``progress`` receives one human-readable line per
+    point plus a sweep summary.
+    """
+
+    def __init__(
+        self,
+        backend: str = "serial",
+        jobs: Optional[int] = None,
+        cache: Union[ResultCache, str, None] = None,
+        chunk_size: Optional[int] = None,
+        progress: Optional[ProgressSink] = None,
+    ) -> None:
+        self.backend_name = backend
+        self.jobs = jobs if jobs is not None else (os.cpu_count() or 1)
+        self.chunk_size = chunk_size
+        self.cache = ResultCache(cache) if isinstance(cache, str) else cache
+        self._progress = _as_progress_fn(progress)
+        #: Why the last sweep fell back to serial, or ``None`` if it didn't.
+        self.last_fallback_reason: Optional[str] = None
+        #: The backend the last sweep actually used.
+        self.last_backend_used: Optional[str] = None
+
+    # -- the engine -----------------------------------------------------
+
+    def map(
+        self,
+        name: str,
+        fn: Callable[[Any], R],
+        values: Sequence[Any],
+        *,
+        seed: int = 0,
+    ) -> List[R]:
+        """Compute ``[fn(v) for v in values]``, cached and possibly parallel.
+
+        The returned list is always in *values* order regardless of which
+        backend ran or in what order points completed.
+        """
+        if not values:
+            raise ExperimentError(f"sweep {name!r} given no values")
+        start = time.perf_counter()
+        total = len(values)
+        results: dict = {}
+        pending: List[tuple] = []
+        for index, value in enumerate(values):
+            if self.cache is not None:
+                hit, payload = self.cache.load(name, value, seed)
+                if hit:
+                    results[index] = payload
+                    self._progress(
+                        f"{name}: point {index + 1}/{total} ({value!r}) cached"
+                    )
+                    continue
+            pending.append((index, value))
+
+        backend = self._resolve_backend(fn, len(pending))
+        for index, seconds, result in backend.map(fn, pending):
+            results[index] = result
+            if self.cache is not None:
+                self.cache.store(name, values[index], seed, result)
+            self._progress(
+                f"{name}: point {index + 1}/{total} "
+                f"({values[index]!r}) {seconds:.2f}s"
+            )
+
+        elapsed = time.perf_counter() - start
+        cached = total - len(pending)
+        self._progress(
+            f"{name}: {total} points in {elapsed:.2f}s "
+            f"({cached} cached, backend={self.last_backend_used})"
+        )
+        return [results[index] for index in range(total)]
+
+    def run_sweep(self, sweep, values: Sequence[Any], *, seed: int = 0):
+        """Execute a :class:`~repro.core.ParameterSweep` through this engine.
+
+        Equivalent to ``sweep.execute(values)`` but cached/parallel; the
+        returned :class:`~repro.core.SweepResult` rows are identical.
+        """
+        from ..core.experiment import SweepResult
+
+        results = self.map(sweep.name, sweep.run, values, seed=seed)
+        table: SweepResult = SweepResult(sweep.name, sweep.parameter)
+        for value, result in zip(values, results):
+            table.append(value, result)
+        return table
+
+    # -- backend resolution ---------------------------------------------
+
+    def _resolve_backend(self, fn: Callable[[Any], Any], pending: int):
+        """Pick the backend for this sweep, falling back to serial."""
+        self.last_fallback_reason = None
+        name = self.backend_name
+        if name == "process" and pending <= 1:
+            # One point gains nothing from a pool; skip the fork cost.
+            name = "serial"
+        elif name == "process":
+            reason = probe_process_backend(fn)
+            if reason is not None:
+                self.last_fallback_reason = reason
+                self._progress(f"falling back to serial: {reason}")
+                name = "serial"
+        backend = make_backend(name, self.jobs, self.chunk_size)
+        self.last_backend_used = backend.name
+        return backend
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<SweepExecutor backend={self.backend_name!r} jobs={self.jobs} "
+            f"cache={self.cache!r}>"
+        )
+
+
+def serial_executor() -> SweepExecutor:
+    """The default engine: serial, uncached — plain-old ``map`` semantics."""
+    return SweepExecutor(backend="serial", cache=None)

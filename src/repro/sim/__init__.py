@@ -1,7 +1,7 @@
 """Deterministic discrete-event simulation kernel and measurement tools."""
 
 from .engine import Event, PeriodicTask, Process, Signal, Simulator, all_of
-from .rng import RngRegistry, derive_seed
+from .rng import RngRegistry, derive_point_seed, derive_seed
 from .stats import (
     Histogram,
     Summary,
@@ -29,6 +29,7 @@ __all__ = [
     "TimeSeries",
     "all_of",
     "cumulative_latency_by_duration",
+    "derive_point_seed",
     "derive_seed",
     "ecdf",
     "jitter",

@@ -26,6 +26,17 @@ def derive_seed(master_seed: int, name: str) -> int:
     return int.from_bytes(digest[:8], "big")
 
 
+def derive_point_seed(master_seed: int, sweep_name: str, index: int) -> int:
+    """Derive the seed for one point of a named parameter sweep.
+
+    Point seeds depend on the sweep's *name* and the point's *index* in run
+    order, never on which worker computes it or in what order points finish.
+    A parallel executor therefore reproduces the serial run bit-for-bit, and
+    inserting a new point perturbs only the points after it.
+    """
+    return derive_seed(master_seed, f"{sweep_name}[{index}]")
+
+
 class RngRegistry:
     """A factory for named :class:`random.Random` streams.
 

@@ -65,6 +65,133 @@ class TestRun:
         assert a == a2
 
 
+class TestExecutorRouting:
+    def read_all_csvs(self, directory):
+        out = {}
+        for name in sorted(os.listdir(directory)):
+            with open(os.path.join(directory, name), "rb") as f:
+                out[name] = f.read()
+        return out
+
+    def test_parallel_csvs_byte_identical_to_serial(self, tmp_path):
+        """--jobs N must never change what the CLI produces."""
+        code, serial_text = run_cli(
+            "run", "fig8", "--seed", "3", "--csv", str(tmp_path / "serial")
+        )
+        assert code == 0
+        code, parallel_text = run_cli(
+            "run", "fig8", "--seed", "3", "--jobs", "2",
+            "--csv", str(tmp_path / "parallel"),
+        )
+        assert code == 0
+        assert parallel_text == serial_text
+        assert self.read_all_csvs(tmp_path / "serial") == self.read_all_csvs(
+            tmp_path / "parallel"
+        )
+
+    def test_cached_rerun_executes_zero_probe_calls(self, tmp_path, monkeypatch):
+        import repro.workloads
+
+        real = repro.workloads.run_stall_experiment
+        calls = []
+
+        def counting(*args, **kwargs):
+            calls.append(args)
+            return real(*args, **kwargs)
+
+        monkeypatch.setattr(repro.workloads, "run_stall_experiment", counting)
+        cache = str(tmp_path / "cache")
+        code, first = run_cli("run", "fig3", "--cache-dir", cache)
+        assert code == 0
+        first_calls = len(calls)
+        assert first_calls > 0
+        code, second = run_cli("run", "fig3", "--cache-dir", cache)
+        assert code == 0
+        assert len(calls) == first_calls  # every point replayed from disk
+        assert second == first
+
+    def test_no_cache_forces_recomputation(self, tmp_path, monkeypatch):
+        import repro.workloads
+
+        real = repro.workloads.run_stall_experiment
+        calls = []
+
+        def counting(*args, **kwargs):
+            calls.append(args)
+            return real(*args, **kwargs)
+
+        monkeypatch.setattr(repro.workloads, "run_stall_experiment", counting)
+        cache = str(tmp_path / "cache")
+        run_cli("run", "fig3", "--cache-dir", cache)
+        first_calls = len(calls)
+        run_cli("run", "fig3", "--cache-dir", cache, "--no-cache")
+        assert len(calls) == 2 * first_calls
+
+    def test_cached_output_identical_to_uncached(self, tmp_path):
+        __, uncached = run_cli("run", "fig3", "--seed", "2")
+        cache = str(tmp_path / "cache")
+        run_cli("run", "fig3", "--seed", "2", "--cache-dir", cache)
+        __, cached = run_cli("run", "fig3", "--seed", "2", "--cache-dir", cache)
+        assert cached == uncached
+
+    def test_bad_jobs_rejected(self):
+        code, text = run_cli("run", "fig3", "--jobs", "0")
+        assert code == 2
+        assert "--jobs" in text
+
+    def test_progress_reports_per_point_timing(self, tmp_path):
+        import io
+
+        progress = io.StringIO()
+        out = io.StringIO()
+        code = main(
+            ["run", "fig7", "--cache-dir", str(tmp_path / "c")],
+            out=out,
+            progress=progress,
+        )
+        assert code == 0
+        lines = progress.getvalue()
+        assert "fig7: point 1/10" in lines
+        assert "fig7: 10 points in" in lines
+        progress2 = io.StringIO()
+        main(
+            ["run", "fig7", "--cache-dir", str(tmp_path / "c")],
+            out=io.StringIO(),
+            progress=progress2,
+        )
+        assert "(10 cached, backend=serial)" in progress2.getvalue()
+
+
+class TestRunContext:
+    def test_serial_by_default(self):
+        from repro.exec import RunContext
+
+        ctx = RunContext()
+        assert ctx.executor.backend_name == "serial"
+        assert ctx.executor.cache is None
+
+    def test_jobs_select_process_backend(self):
+        from repro.exec import RunContext
+
+        ctx = RunContext(jobs=4)
+        assert ctx.executor.backend_name == "process"
+        assert ctx.executor.jobs == 4
+
+    def test_no_cache_overrides_cache_dir(self, tmp_path):
+        from repro.exec import RunContext
+
+        ctx = RunContext(cache_dir=str(tmp_path), no_cache=True)
+        assert ctx.executor.cache is None
+        ctx2 = RunContext(cache_dir=str(tmp_path))
+        assert ctx2.executor.cache is not None
+
+    def test_executor_is_built_once(self):
+        from repro.exec import RunContext
+
+        ctx = RunContext()
+        assert ctx.executor is ctx.executor
+
+
 class TestWriteCsv:
     def test_writes_headers_and_rows(self, tmp_path):
         path = tmp_path / "nested" / "dir" / "t.csv"

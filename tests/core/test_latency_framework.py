@@ -113,3 +113,46 @@ class TestEvaluate:
         assert compare([r])["study"] is r
         with pytest.raises(ExperimentError):
             compare([r, r])
+
+    def test_threshold_override_without_rebuilding_the_study(self):
+        study = self.make_study([10.0, 200.0])
+        default = evaluate(study)
+        strict = evaluate(study, threshold_ms=5.0)
+        assert default.assessment.perceptible_fraction == 0.5
+        assert strict.assessment.perceptible_fraction == 1.0
+        # the study itself is untouched
+        assert study.threshold_ms == PERCEPTION_THRESHOLD_MS
+        assert evaluate(study).assessment == default.assessment
+
+    def test_threshold_override_is_keyword_only(self):
+        with pytest.raises(TypeError):
+            evaluate(self.make_study([10.0]), 5.0)
+
+
+class TestRunnable:
+    def make_study(self, latencies):
+        load = LoadProfile(Resource.PROCESSOR)
+        return ResourceStudy(
+            name="study",
+            resource=Resource.PROCESSOR,
+            load=load,
+            probe=lambda: latencies,
+        )
+
+    def test_resource_study_is_runnable(self):
+        from repro.core import Runnable
+
+        assert isinstance(self.make_study([10.0]), Runnable)
+
+    def test_parameter_sweep_is_runnable(self):
+        from repro.core import ParameterSweep, Runnable
+
+        assert isinstance(ParameterSweep("s", "n", lambda n: n), Runnable)
+
+    def test_study_run_equals_evaluate(self):
+        study = self.make_study([10.0, 200.0])
+        assert study.run() == evaluate(study)
+
+    def test_study_run_accepts_threshold_override(self):
+        study = self.make_study([10.0, 200.0])
+        assert study.run(threshold_ms=5.0) == evaluate(study, threshold_ms=5.0)

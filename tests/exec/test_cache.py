@@ -1,0 +1,160 @@
+"""Tests for the on-disk result cache: hits, corruption, staleness."""
+
+import glob
+import os
+import pickle
+
+import repro.exec.cache as cache_module
+from repro.exec import ResultCache, SweepExecutor, point_key
+
+
+class CountingFn:
+    """A point function that counts how often it actually computes."""
+
+    def __init__(self):
+        self.calls = 0
+
+    def __call__(self, n):
+        self.calls += 1
+        return n * 10
+
+
+class TestResultCache:
+    def test_round_trip(self, tmp_path):
+        cache = ResultCache(str(tmp_path))
+        cache.store("exp", 3, 0, {"metric": 1.5})
+        hit, payload = cache.load("exp", 3, 0)
+        assert hit and payload == {"metric": 1.5}
+
+    def test_cold_lookup_misses(self, tmp_path):
+        hit, __ = ResultCache(str(tmp_path)).load("exp", 3, 0)
+        assert not hit
+
+    def test_key_distinguishes_every_component(self):
+        base = point_key("exp", 3, 0, version="1")
+        assert point_key("other", 3, 0, version="1") != base
+        assert point_key("exp", 4, 0, version="1") != base
+        assert point_key("exp", 3, 1, version="1") != base
+        assert point_key("exp", 3, 0, version="2") != base
+
+    def test_cached_none_is_a_hit(self, tmp_path):
+        cache = ResultCache(str(tmp_path))
+        cache.store("exp", 1, 0, None)
+        hit, payload = cache.load("exp", 1, 0)
+        assert hit and payload is None
+
+    def test_corrupted_entry_is_recomputed_not_trusted(self, tmp_path):
+        cache = ResultCache(str(tmp_path))
+        cache.store("exp", 3, 0, 42)
+        (entry,) = glob.glob(str(tmp_path / "*" / "*.pkl"))
+        with open(entry, "wb") as f:
+            f.write(b"garbage, not a pickle")
+        hit, __ = cache.load("exp", 3, 0)
+        assert not hit
+
+    def test_truncated_entry_misses(self, tmp_path):
+        cache = ResultCache(str(tmp_path))
+        cache.store("exp", 3, 0, list(range(100)))
+        (entry,) = glob.glob(str(tmp_path / "*" / "*.pkl"))
+        blob = open(entry, "rb").read()
+        with open(entry, "wb") as f:
+            f.write(blob[: len(blob) // 2])
+        hit, __ = cache.load("exp", 3, 0)
+        assert not hit
+
+    def test_stale_version_misses(self, tmp_path, monkeypatch):
+        cache = ResultCache(str(tmp_path))
+        cache.store("exp", 3, 0, 42)
+        monkeypatch.setattr(cache_module, "__version__", "999.0.0")
+        hit, __ = cache.load("exp", 3, 0)
+        assert not hit
+
+    def test_entry_with_wrong_material_misses(self, tmp_path):
+        """An entry whose recorded key material disagrees is ignored."""
+        cache = ResultCache(str(tmp_path))
+        cache.store("exp", 3, 0, 42)
+        (entry,) = glob.glob(str(tmp_path / "*" / "*.pkl"))
+        with open(entry, "wb") as f:
+            pickle.dump({"material": "someone-else's-point", "payload": 13}, f)
+        hit, __ = cache.load("exp", 3, 0)
+        assert not hit
+
+    def test_unwritable_cache_dir_degrades_to_uncached(self):
+        """A bogus --cache-dir must not crash the run (cache is best-effort)."""
+        cache = ResultCache(os.devnull + "/nope")
+        cache.store("exp", 1, 0, 42)
+        hit, __ = cache.load("exp", 1, 0)
+        assert not hit
+        assert cache.stats.stores == 0
+
+    def test_unpicklable_payload_skipped_silently(self, tmp_path):
+        cache = ResultCache(str(tmp_path))
+        cache.store("exp", 1, 0, lambda: None)  # not picklable
+        hit, __ = cache.load("exp", 1, 0)
+        assert not hit
+
+    def test_stats_count_hits_misses_stores(self, tmp_path):
+        cache = ResultCache(str(tmp_path))
+        cache.load("exp", 1, 0)
+        cache.store("exp", 1, 0, 5)
+        cache.load("exp", 1, 0)
+        stats = cache.stats
+        assert (stats.hits, stats.misses, stats.stores) == (1, 1, 1)
+
+
+class TestExecutorCaching:
+    def test_cache_hit_skips_recomputation(self, tmp_path):
+        """The acceptance property: a cached rerun executes zero points."""
+        fn = CountingFn()
+        executor = SweepExecutor(cache=str(tmp_path))
+        first = executor.map("exp", fn, [1, 2, 3])
+        assert fn.calls == 3
+        again = executor.map("exp", fn, [1, 2, 3])
+        assert fn.calls == 3  # zero new computations
+        assert again == first
+
+    def test_cache_survives_across_executors(self, tmp_path):
+        fn = CountingFn()
+        SweepExecutor(cache=str(tmp_path)).map("exp", fn, [1, 2])
+        fn2 = CountingFn()
+        result = SweepExecutor(cache=str(tmp_path)).map("exp", fn2, [1, 2])
+        assert fn2.calls == 0
+        assert result == [10, 20]
+
+    def test_only_changed_points_recompute(self, tmp_path):
+        fn = CountingFn()
+        executor = SweepExecutor(cache=str(tmp_path))
+        executor.map("exp", fn, [1, 2, 3])
+        executor.map("exp", fn, [1, 2, 3, 4, 5])
+        assert fn.calls == 5  # the two new points only
+
+    def test_seed_partitions_the_cache(self, tmp_path):
+        fn = CountingFn()
+        executor = SweepExecutor(cache=str(tmp_path))
+        executor.map("exp", fn, [1], seed=0)
+        executor.map("exp", fn, [1], seed=1)
+        assert fn.calls == 2
+
+    def test_corrupted_entries_recompute(self, tmp_path):
+        fn = CountingFn()
+        executor = SweepExecutor(cache=str(tmp_path))
+        executor.map("exp", fn, [1, 2])
+        for entry in glob.glob(str(tmp_path / "*" / "*.pkl")):
+            with open(entry, "wb") as f:
+                f.write(b"\x00not a pickle")
+        assert executor.map("exp", fn, [1, 2]) == [10, 20]
+        assert fn.calls == 4
+
+    def test_no_cache_executor_always_recomputes(self, tmp_path):
+        fn = CountingFn()
+        executor = SweepExecutor(cache=None)
+        executor.map("exp", fn, [1])
+        executor.map("exp", fn, [1])
+        assert fn.calls == 2
+
+    def test_cache_layout_is_sharded_by_key_prefix(self, tmp_path):
+        executor = SweepExecutor(cache=str(tmp_path))
+        executor.map("exp", CountingFn(), [1])
+        (entry,) = glob.glob(str(tmp_path / "*" / "*.pkl"))
+        shard = os.path.basename(os.path.dirname(entry))
+        assert os.path.basename(entry).startswith(shard)

@@ -1,0 +1,140 @@
+"""Tests for the sweep executor: backends, merge order, fallback."""
+
+import random
+
+import pytest
+
+from repro.core import ParameterSweep
+from repro.errors import ExperimentError
+from repro.exec import (
+    ProcessBackend,
+    SerialBackend,
+    SweepExecutor,
+    make_backend,
+    probe_process_backend,
+    serial_executor,
+)
+from repro.sim import derive_point_seed
+
+
+def square(n):
+    """Module-level (picklable) point function."""
+    return n * n
+
+
+def noisy_metric(point):
+    """A seeded stochastic point: deterministic given (value, seed)."""
+    value, seed = point
+    rng = random.Random(derive_point_seed(seed, "noisy", value))
+    return value + rng.random()
+
+
+class TestSerialBackend:
+    def test_runs_in_order(self):
+        backend = SerialBackend()
+        out = list(backend.map(square, [(0, 3), (1, 4)]))
+        assert [(i, r) for i, __, r in out] == [(0, 9), (1, 16)]
+
+    def test_timing_is_nonnegative(self):
+        backend = SerialBackend()
+        ((__, seconds, __2),) = list(backend.map(square, [(0, 2)]))
+        assert seconds >= 0.0
+
+
+class TestProcessBackend:
+    def test_matches_serial_results(self):
+        tagged = [(i, v) for i, v in enumerate([1, 2, 3, 4, 5, 6, 7])]
+        serial = {i: r for i, __, r in SerialBackend().map(square, tagged)}
+        parallel = {
+            i: r
+            for i, __, r in ProcessBackend(jobs=2).map(square, tagged)
+        }
+        assert parallel == serial
+
+    def test_chunking_covers_every_point(self):
+        backend = ProcessBackend(jobs=2, chunk_size=2)
+        tagged = [(i, i) for i in range(9)]
+        out = {i: r for i, __, r in backend.map(square, tagged)}
+        assert out == {i: i * i for i in range(9)}
+
+    def test_rejects_zero_jobs(self):
+        with pytest.raises(ExperimentError):
+            ProcessBackend(jobs=0)
+
+    def test_probe_rejects_lambdas(self):
+        assert probe_process_backend(lambda n: n) is not None
+        assert probe_process_backend(square) is None
+
+    def test_make_backend_rejects_unknown_names(self):
+        with pytest.raises(ExperimentError):
+            make_backend("gpu", jobs=2)
+
+
+class TestSweepExecutorMap:
+    def test_serial_and_process_rows_identical(self):
+        """The acceptance property: backends never change results."""
+        values = [(v, 7) for v in range(6)]
+        serial = SweepExecutor(backend="serial").map("noisy", noisy_metric, values)
+        process = SweepExecutor(backend="process", jobs=3).map(
+            "noisy", noisy_metric, values
+        )
+        assert process == serial
+
+    def test_merge_is_by_index_not_completion_order(self):
+        executor = SweepExecutor(backend="process", jobs=4, chunk_size=1)
+        values = list(range(8))
+        assert executor.map("sq", square, values) == [v * v for v in values]
+
+    def test_empty_values_rejected_with_sweep_name(self):
+        with pytest.raises(ExperimentError, match="'sq'"):
+            serial_executor().map("sq", square, [])
+
+    def test_unpicklable_fn_falls_back_to_serial(self):
+        executor = SweepExecutor(backend="process", jobs=2)
+        result = executor.map("sq", lambda n: n * n, [1, 2, 3])
+        assert result == [1, 4, 9]
+        assert executor.last_backend_used == "serial"
+        assert "not picklable" in executor.last_fallback_reason
+
+    def test_single_point_skips_the_pool(self):
+        executor = SweepExecutor(backend="process", jobs=2)
+        assert executor.map("sq", square, [5]) == [25]
+        assert executor.last_backend_used == "serial"
+
+    def test_progress_lines_name_every_point(self):
+        lines = []
+        executor = SweepExecutor(progress=lines.append)
+        executor.map("sq", square, [1, 2])
+        assert any("point 1/2" in line for line in lines)
+        assert any("sq: 2 points in" in line for line in lines)
+
+    def test_progress_accepts_a_stream(self):
+        import io
+
+        stream = io.StringIO()
+        SweepExecutor(progress=stream).map("sq", square, [1])
+        assert "sq" in stream.getvalue()
+
+
+class TestParameterSweepDelegation:
+    def test_execute_with_executor_matches_plain_execute(self):
+        sweep = ParameterSweep("squares", "n", square)
+        plain = sweep.execute([1, 2, 3])
+        routed = sweep.execute([1, 2, 3], executor=serial_executor())
+        assert routed.rows == plain.rows
+        assert routed.name == plain.name
+        assert routed.parameter == plain.parameter
+
+    def test_execute_with_process_executor_matches(self):
+        sweep = ParameterSweep("squares", "n", square)
+        executor = SweepExecutor(backend="process", jobs=2)
+        assert sweep.execute([1, 2, 3, 4], executor=executor).rows == [
+            (1, 1),
+            (2, 4),
+            (3, 9),
+            (4, 16),
+        ]
+
+    def test_empty_values_still_rejected(self):
+        with pytest.raises(ExperimentError):
+            ParameterSweep("s", "n", square).execute([], executor=serial_executor())
