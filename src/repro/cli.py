@@ -25,6 +25,17 @@ parallel and cached:
 
 Per-point progress and timing go to stderr, keeping stdout/CSV output
 byte-stable across repeats.
+
+Tracing (:mod:`repro.obs`) rides the same pipeline::
+
+    python -m repro trace fig1 --seed 1 --trace-dir out/
+
+runs the experiment with instrumentation on, writes ``out/fig1.trace.jsonl``
+(structured simulation events) and ``out/fig1.metrics.json`` (counters,
+gauges, histograms), and appends a metrics-summary table to the normal
+output.  ``run --trace-dir PATH`` does the same for any run.  Artifacts are
+deterministic and byte-identical across ``--jobs N`` and cached reruns, so
+two trace directories can be diffed directly.
 """
 
 from __future__ import annotations
@@ -34,9 +45,15 @@ import sys
 from functools import partial
 from typing import Callable, Dict, List, Optional, TextIO, Tuple
 
-from .core.report import format_series, format_table, write_csv
+from .core.report import (
+    format_metrics_summary,
+    format_series,
+    format_table,
+    write_csv,
+)
 from .errors import ReproError
 from .exec import RunContext
+from .obs import summary_rows, write_run_artifacts
 
 
 class Experiment:
@@ -499,34 +516,50 @@ def build_parser() -> argparse.ArgumentParser:
     sub = parser.add_subparsers(dest="command", required=True)
     sub.add_parser("list", help="list available experiments")
     run = sub.add_parser("run", help="run one experiment (or 'all')")
-    run.add_argument("experiment", help="experiment id from 'list', or 'all'")
-    run.add_argument("--seed", type=int, default=0, help="master RNG seed")
-    run.add_argument(
-        "--csv",
-        metavar="DIR",
-        default=None,
-        help="also write CSV series into DIR",
+    trace = sub.add_parser(
+        "trace",
+        help="run one experiment (or 'all') with structured tracing and "
+        "metrics on",
     )
-    run.add_argument(
-        "--jobs",
-        type=int,
-        default=1,
-        metavar="N",
-        help="run sweep points on N worker processes (output is "
-        "byte-identical to --jobs 1)",
-    )
-    run.add_argument(
-        "--cache-dir",
-        metavar="PATH",
-        default=None,
-        help="cache finished sweep points in PATH; reruns replay them "
-        "from disk",
-    )
-    run.add_argument(
-        "--no-cache",
-        action="store_true",
-        help="recompute every point even if --cache-dir has it",
-    )
+    for cmd in (run, trace):
+        cmd.add_argument(
+            "experiment", help="experiment id from 'list', or 'all'"
+        )
+        cmd.add_argument("--seed", type=int, default=0, help="master RNG seed")
+        cmd.add_argument(
+            "--csv",
+            metavar="DIR",
+            default=None,
+            help="also write CSV series into DIR",
+        )
+        cmd.add_argument(
+            "--jobs",
+            type=int,
+            default=1,
+            metavar="N",
+            help="run sweep points on N worker processes (output is "
+            "byte-identical to --jobs 1)",
+        )
+        cmd.add_argument(
+            "--cache-dir",
+            metavar="PATH",
+            default=None,
+            help="cache finished sweep points in PATH; reruns replay them "
+            "from disk",
+        )
+        cmd.add_argument(
+            "--no-cache",
+            action="store_true",
+            help="recompute every point even if --cache-dir has it",
+        )
+        cmd.add_argument(
+            "--trace-dir",
+            metavar="PATH",
+            default=None,
+            help="write <experiment>.trace.jsonl and <experiment>.metrics.json "
+            "into PATH (implies tracing; artifacts are byte-stable across "
+            "--jobs and cached reruns)",
+        )
     return parser
 
 
@@ -556,6 +589,7 @@ def main(
     if args.jobs < 1:
         out.write(f"--jobs must be >= 1, got {args.jobs}\n")
         return 2
+    observing = args.command == "trace" or args.trace_dir is not None
     ctx = RunContext(
         seed=args.seed,
         out=out,
@@ -564,6 +598,8 @@ def main(
         cache_dir=args.cache_dir,
         no_cache=args.no_cache,
         progress=progress,
+        trace_dir=args.trace_dir,
+        observe=observing,
     )
     names = list(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
     for name in names:
@@ -578,6 +614,16 @@ def main(
         except ReproError as exc:
             out.write(f"experiment {name} failed: {exc}\n")
             return 1
+        if observing:
+            observations = ctx.take_observations()
+            if args.trace_dir is not None:
+                write_run_artifacts(
+                    args.trace_dir, name, args.seed, observations
+                )
+            out.write(
+                format_metrics_summary(name, summary_rows(observations))
+                + "\n"
+            )
         out.write("\n")
     return 0
 

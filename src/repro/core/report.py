@@ -79,6 +79,22 @@ def write_csv(
             writer.writerow(list(row))
 
 
+def format_metrics_summary(
+    experiment: str, rows: Sequence[Sequence[object]]
+) -> str:
+    """The metrics-summary table ``repro trace`` renders after a run.
+
+    *rows* are ``(metric, value)`` pairs, typically produced by
+    :func:`repro.obs.summary_rows`; values arrive pre-formatted so the
+    table stays byte-stable across executor backends.
+    """
+    return format_table(
+        ["metric", "value"],
+        rows,
+        title=f"{experiment}: metrics summary",
+    )
+
+
 def sparkline(values: Sequence[float]) -> str:
     """A one-line unicode rendering of a series' shape."""
     if not values:

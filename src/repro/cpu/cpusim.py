@@ -18,6 +18,7 @@ from __future__ import annotations
 from typing import Optional
 
 from ..errors import SchedulerError
+from ..obs import current_observation
 from ..sim.engine import Event, Simulator
 from ..sim.trace import IntervalTrace
 from .scheduler import Scheduler
@@ -66,6 +67,7 @@ class CPU:
         self._slice_cs = 0.0  #: unconsumed switch overhead in this slice
         self._last_thread: Optional[Thread] = None
         self._dispatching = False
+        self._obs = current_observation()
 
     # -- thread management --------------------------------------------------
 
@@ -225,6 +227,20 @@ class CPU:
             self._slice_cs = self.context_switch_ms
             if self._last_thread is not None:
                 self.context_switches += 1
+                if self._obs is not None:
+                    self._obs.metrics.counter("cpu.context_switches").inc()
+                    self._obs.trace(
+                        self.sim.now,
+                        "cpu.switch",
+                        cpu=self.name,
+                        prev=self._last_thread.name,
+                        next=thread.name,
+                    )
+        if self._obs is not None:
+            self._obs.metrics.counter("cpu.dispatches").inc()
+            self._obs.metrics.gauge("cpu.run_queue_depth").set(
+                self.scheduler.runnable_count()
+            )
         self._last_thread = thread
 
         self._slice_event = self.sim.schedule(

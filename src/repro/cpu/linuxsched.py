@@ -25,6 +25,7 @@ from collections import deque
 from typing import Deque, Optional
 
 from ..errors import SchedulerError
+from ..obs import current_observation
 from .scheduler import PriorityReadyQueues, Scheduler
 from .thread import Thread
 
@@ -50,6 +51,7 @@ class LinuxScheduler(Scheduler):
         self.quantum_ms = quantum_ms
         self._other: Deque[Thread] = deque()
         self._rt = PriorityReadyQueues(RT_LEVELS)
+        self._obs = current_observation()
 
     # -- policy ----------------------------------------------------------------
 
@@ -87,6 +89,8 @@ class LinuxScheduler(Scheduler):
 
     def enqueue_woken(self, thread: Thread) -> None:
         thread.remaining_quantum = self._quantum_for(thread)
+        if self._obs is not None:
+            self._obs.metrics.counter("sched.linux.wakeups").inc()
         if thread.sched_class == "other":
             self._other.append(thread)
         else:
@@ -94,6 +98,8 @@ class LinuxScheduler(Scheduler):
 
     def enqueue_expired(self, thread: Thread) -> None:
         thread.remaining_quantum = self._quantum_for(thread)
+        if self._obs is not None:
+            self._obs.metrics.counter("sched.linux.quantum_expiries").inc()
         if thread.sched_class == "other":
             self._other.append(thread)
         else:
@@ -122,9 +128,12 @@ class LinuxScheduler(Scheduler):
             # No boosting, no preemption among timesharing threads: the
             # woken process waits its round-robin turn (§4.2.1).
             return False
-        if running.sched_class == "other":
-            return True
-        return woken.priority > running.priority
+        preempted = (
+            running.sched_class == "other" or woken.priority > running.priority
+        )
+        if preempted and self._obs is not None:
+            self._obs.metrics.counter("sched.linux.rt_preemptions").inc()
+        return preempted
 
     def runnable_count(self) -> int:
         return len(self._other) + len(self._rt)

@@ -31,6 +31,7 @@ from dataclasses import dataclass, replace
 from typing import Optional
 
 from ..errors import SchedulerError
+from ..obs import current_observation
 from .scheduler import PriorityReadyQueues, Scheduler
 from .thread import Thread, ThreadState
 
@@ -104,6 +105,7 @@ class NTScheduler(Scheduler):
         self.config = config or NTConfig.workstation()
         self.queues = PriorityReadyQueues(NT_LEVELS)
         self._balance_task = None
+        self._obs = current_observation()
 
     def attach(self, cpu) -> None:
         super().attach(cpu)
@@ -131,6 +133,11 @@ class NTScheduler(Scheduler):
     def quantum_for(self, thread: Thread) -> float:
         """Foreground threads get the stretched quantum (§4.2.1)."""
         stretch = self.config.foreground_stretch if thread.foreground else 1
+        if (
+            stretch > 1
+            and self._obs is not None
+        ):
+            self._obs.metrics.counter("sched.nt.stretched_quanta").inc()
         return self.config.quantum_ms * stretch
 
     def enqueue_woken(self, thread: Thread) -> None:
@@ -139,10 +146,12 @@ class NTScheduler(Scheduler):
         if thread.gui and self.config.gui_wake_boost:
             thread.priority = max(thread.priority, NT_BOOST_PRIORITY)
             thread.boost_quanta_left = self.config.gui_boost_quanta
+            self._count_boost("sched.nt.gui_boosts", thread)
         elif self.config.wake_boost_levels and base < NT_BOOST_PRIORITY:
             boosted = min(NT_BOOST_PRIORITY - 1, base + self.config.wake_boost_levels)
             thread.priority = max(thread.priority, boosted)
             thread.boost_quanta_left = max(thread.boost_quanta_left, 1)
+            self._count_boost("sched.nt.wake_boosts", thread)
         thread.remaining_quantum = self.quantum_for(thread)
         self.queues.push(thread)
 
@@ -175,6 +184,18 @@ class NTScheduler(Scheduler):
 
     # -- internals ----------------------------------------------------------
 
+    def _count_boost(self, metric: str, thread: Thread) -> None:
+        if self._obs is not None:
+            self._obs.metrics.counter(metric).inc()
+            self._obs.trace(
+                self.sim.now,
+                "sched.boost",
+                sched=self.name,
+                metric=metric,
+                thread=thread.name,
+                priority=thread.priority,
+            )
+
     def _decay_boost(self, thread: Thread) -> None:
         """Expire boost quanta; after the last one, drop straight to base.
 
@@ -204,6 +225,7 @@ class NTScheduler(Scheduler):
                 thread.priority = NT_BOOST_PRIORITY
                 thread.boost_quanta_left = self.config.starvation_boost_quanta
                 self.queues.push(thread)
+                self._count_boost("sched.nt.starvation_boosts", thread)
         # The boosted thread wins the CPU at the next natural dispatch point
         # (quantum end or block) rather than preempting immediately,
         # matching the sweep's coarse one-second grain.

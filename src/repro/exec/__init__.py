@@ -28,12 +28,13 @@ from .backends import (
 )
 from .cache import CacheStats, ResultCache, point_key
 from .context import RunContext
-from .executor import SweepExecutor, serial_executor
+from .executor import ObserveSink, SweepExecutor, serial_executor
 
 __all__ = [
     "BACKEND_NAMES",
     "BackendUnavailable",
     "CacheStats",
+    "ObserveSink",
     "ProcessBackend",
     "ResultCache",
     "RunContext",

@@ -23,6 +23,7 @@ import time
 from typing import Any, Callable, List, Optional, Sequence, TypeVar, Union
 
 from ..errors import ExperimentError
+from ..obs import observe
 from .backends import make_backend, probe_process_backend
 from .cache import ResultCache
 
@@ -30,6 +31,36 @@ R = TypeVar("R")
 
 #: Progress sinks: a callable taking one line, or any object with ``write``.
 ProgressSink = Union[Callable[[str], None], Any]
+
+#: Observation sinks receive ``(sweep_name, [per-point snapshots])`` after
+#: each observed sweep, snapshots in parameter-index order.
+ObserveSink = Callable[[str, List[dict]], None]
+
+
+class _ObservedPoint:
+    """A picklable wrapper running one point inside a fresh observation.
+
+    Returns ``(result, snapshot)``, so the trace/metrics record rides the
+    same path as the result — through worker pickling and the on-disk
+    cache — and is therefore byte-identical across serial, parallel, and
+    warm-cache executions.
+    """
+
+    __slots__ = ("fn",)
+
+    def __init__(self, fn: Callable[[Any], Any]) -> None:
+        self.fn = fn
+
+    def __call__(self, value: Any) -> tuple:
+        with observe() as obs:
+            result = self.fn(value)
+        return result, obs.snapshot()
+
+    def __getstate__(self):
+        return self.fn
+
+    def __setstate__(self, state):
+        self.fn = state
 
 
 def _as_progress_fn(sink: Optional[ProgressSink]) -> Callable[[str], None]:
@@ -62,12 +93,18 @@ class SweepExecutor:
         cache: Union[ResultCache, str, None] = None,
         chunk_size: Optional[int] = None,
         progress: Optional[ProgressSink] = None,
+        observe_sink: Optional[ObserveSink] = None,
     ) -> None:
         self.backend_name = backend
         self.jobs = jobs if jobs is not None else (os.cpu_count() or 1)
         self.chunk_size = chunk_size
         self.cache = ResultCache(cache) if isinstance(cache, str) else cache
         self._progress = _as_progress_fn(progress)
+        #: When set, every point runs inside an observation and the sink
+        #: receives ``(sweep_name, snapshots)`` after each sweep.  Observed
+        #: sweeps cache under a distinct namespace (``<name>+trace``) so
+        #: traced and untraced runs never replay each other's entries.
+        self.observe_sink = observe_sink
         #: Why the last sweep fell back to serial, or ``None`` if it didn't.
         self.last_fallback_reason: Optional[str] = None
         #: The backend the last sweep actually used.
@@ -92,11 +129,14 @@ class SweepExecutor:
             raise ExperimentError(f"sweep {name!r} given no values")
         start = time.perf_counter()
         total = len(values)
+        observing = self.observe_sink is not None
+        run_fn: Callable[[Any], Any] = _ObservedPoint(fn) if observing else fn
+        cache_name = f"{name}+trace" if observing else name
         results: dict = {}
         pending: List[tuple] = []
         for index, value in enumerate(values):
             if self.cache is not None:
-                hit, payload = self.cache.load(name, value, seed)
+                hit, payload = self.cache.load(cache_name, value, seed)
                 if hit:
                     results[index] = payload
                     self._progress(
@@ -105,11 +145,11 @@ class SweepExecutor:
                     continue
             pending.append((index, value))
 
-        backend = self._resolve_backend(fn, len(pending))
-        for index, seconds, result in backend.map(fn, pending):
+        backend = self._resolve_backend(run_fn, len(pending))
+        for index, seconds, result in backend.map(run_fn, pending):
             results[index] = result
             if self.cache is not None:
-                self.cache.store(name, values[index], seed, result)
+                self.cache.store(cache_name, values[index], seed, result)
             self._progress(
                 f"{name}: point {index + 1}/{total} "
                 f"({values[index]!r}) {seconds:.2f}s"
@@ -121,7 +161,12 @@ class SweepExecutor:
             f"{name}: {total} points in {elapsed:.2f}s "
             f"({cached} cached, backend={self.last_backend_used})"
         )
-        return [results[index] for index in range(total)]
+        merged = [results[index] for index in range(total)]
+        if observing:
+            assert self.observe_sink is not None
+            self.observe_sink(name, [snapshot for __, snapshot in merged])
+            merged = [result for result, __ in merged]
+        return merged
 
     def run_sweep(self, sweep, values: Sequence[Any], *, seed: int = 0):
         """Execute a :class:`~repro.core.ParameterSweep` through this engine.

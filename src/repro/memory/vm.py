@@ -18,6 +18,7 @@ from __future__ import annotations
 from typing import List, Optional
 
 from ..errors import MemoryError_
+from ..obs import current_observation
 from .disk import PagingDisk
 from .pagetable import AddressSpace
 from .physical import Frame, FramePool
@@ -72,6 +73,7 @@ class VirtualMemory:
         self.total_hits = 0
         self.total_evictions = 0
         self.total_writebacks = 0
+        self._obs = current_observation()
 
     # -- process management ----------------------------------------------------
 
@@ -107,11 +109,15 @@ class VirtualMemory:
                 frame.dirty = True
             space.hits += 1
             self.total_hits += 1
+            if self._obs is not None:
+                self._obs.metrics.counter("mem.hits").inc()
             return AccessResult(self.HIT_LATENCY_MS, False, 0, 0)
 
         # Page fault: bring in vpn plus up to read_cluster-1 following pages.
         space.faults += 1
         self.total_faults += 1
+        if self._obs is not None:
+            self._obs.metrics.counter("mem.faults").inc()
         latency = 0.0
         evicted = 0
         to_read = [vpn]
@@ -139,6 +145,8 @@ class VirtualMemory:
             mapped += 1
 
         latency += self.disk.read_ms(mapped)
+        if self._obs is not None:
+            self._obs.metrics.histogram("mem.fault_latency_ms").observe(latency)
         return AccessResult(latency, True, evicted, mapped)
 
     def touch_sequential(
@@ -189,7 +197,11 @@ class VirtualMemory:
             write_ms = self.disk.write_ms(1)
             if self.synchronous_writeback:
                 latency = write_ms
+            if self._obs is not None:
+                self._obs.metrics.counter("mem.writebacks").inc()
         owner.unmap(victim.vpn)
         self.pool.release(victim)
         self.total_evictions += 1
+        if self._obs is not None:
+            self._obs.metrics.counter("mem.evictions").inc()
         return latency

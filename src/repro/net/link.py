@@ -18,6 +18,7 @@ from collections import deque
 from typing import Callable, Deque, Optional, Tuple
 
 from ..errors import NetworkError
+from ..obs import current_observation
 from ..sim.engine import Simulator
 from ..sim.trace import ByteTrace
 from ..units import mbps_to_bytes_per_ms
@@ -27,7 +28,13 @@ DeliveryCallback = Callable[[Packet], None]
 
 
 class Link:
-    """A shared, half-duplex link with unbounded FIFO queueing."""
+    """A shared, half-duplex link with FIFO queueing.
+
+    The transmit queue is unbounded by default (the paper's hub just gets
+    slow, not lossy).  Pass ``max_queue`` to model a bounded device queue:
+    a packet arriving with ``max_queue`` packets already waiting is
+    tail-dropped and counted in :attr:`packets_dropped`.
+    """
 
     def __init__(
         self,
@@ -35,22 +42,28 @@ class Link:
         bandwidth_mbps: float = 10.0,
         propagation_ms: float = 0.05,
         name: str = "ether0",
+        max_queue: Optional[int] = None,
     ) -> None:
         if bandwidth_mbps <= 0:
             raise NetworkError("bandwidth must be positive")
         if propagation_ms < 0:
             raise NetworkError("propagation delay cannot be negative")
+        if max_queue is not None and max_queue < 0:
+            raise NetworkError("max_queue cannot be negative")
         self.sim = sim
         self.bandwidth_mbps = bandwidth_mbps
         self.bytes_per_ms = mbps_to_bytes_per_ms(bandwidth_mbps)
         self.propagation_ms = propagation_ms
         self.name = name
+        self.max_queue = max_queue
 
         self._queue: Deque[Tuple[Packet, Optional[DeliveryCallback]]] = deque()
         self._transmitting = False
         self.trace = ByteTrace(name)  #: every packet, stamped at send-complete
         self.packets_sent = 0
         self.bytes_sent = 0
+        self.packets_dropped = 0
+        self._obs = current_observation()
 
     @property
     def queue_depth(self) -> int:
@@ -58,9 +71,28 @@ class Link:
         return len(self._queue)
 
     def send(self, packet: Packet, on_delivered: Optional[DeliveryCallback] = None) -> None:
-        """Queue *packet* for transmission; *on_delivered* fires at arrival."""
+        """Queue *packet* for transmission; *on_delivered* fires at arrival.
+
+        With a bounded queue (``max_queue``), a packet arriving at a full
+        queue is dropped: it never reaches the wire and its delivery
+        callback never fires.
+        """
+        if self.max_queue is not None and len(self._queue) >= self.max_queue:
+            self.packets_dropped += 1
+            if self._obs is not None:
+                self._obs.metrics.counter("net.packets_dropped").inc()
+                self._obs.trace(
+                    self.sim.now,
+                    "net.drop",
+                    link=self.name,
+                    wire_bytes=packet.wire_bytes,
+                    queue_depth=len(self._queue),
+                )
+            return
         packet.enqueued_at = self.sim.now
         self._queue.append((packet, on_delivered))
+        if self._obs is not None:
+            self._obs.metrics.gauge("net.queue_depth").set(len(self._queue))
         if not self._transmitting:
             self._transmit_next()
 
@@ -76,6 +108,11 @@ class Link:
             self.trace.record(self.sim.now, packet.wire_bytes)
             self.packets_sent += 1
             self.bytes_sent += packet.wire_bytes
+            if self._obs is not None:
+                self._obs.metrics.counter("net.packets_sent").inc()
+                self._obs.metrics.counter("net.bytes_sent").inc(
+                    packet.wire_bytes
+                )
             if on_delivered is not None:
                 delivery_time = self.sim.now + self.propagation_ms
 

@@ -1,0 +1,240 @@
+"""Counters, gauges, and histograms for simulation instrumentation.
+
+Every metric lives in a :class:`MetricsRegistry` and is identified by a
+dotted name (``cpu.context_switches``, ``proto.rdp.cache_hits``).  The
+registry's :meth:`~MetricsRegistry.snapshot` renders the whole collection
+as a plain, picklable, JSON-ready dict with **sorted keys**, so two runs
+that made the same measurements serialize to the same bytes regardless of
+metric registration order.
+
+All values are simulation-domain quantities — nothing here reads the wall
+clock, so snapshots are pure functions of the simulated run.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+from ..errors import ReproError
+
+Number = Union[int, float]
+
+#: Default histogram bucket upper bounds, in ms — spans the latency range the
+#: paper cares about (sub-perceptual to multi-second stalls).
+DEFAULT_BOUNDS_MS: Tuple[float, ...] = (
+    0.1,
+    0.5,
+    1.0,
+    5.0,
+    10.0,
+    50.0,
+    100.0,
+    500.0,
+    1000.0,
+    5000.0,
+)
+
+
+class ObservabilityError(ReproError):
+    """Misuse of the tracing/metrics layer (name collisions, bad bounds)."""
+
+
+class Counter:
+    """A monotonically increasing count of discrete occurrences."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value: Number = 0
+
+    def inc(self, n: Number = 1) -> None:
+        """Add *n* (default 1) to the counter.  *n* must be non-negative."""
+        if n < 0:
+            raise ObservabilityError(
+                f"counter {self.name!r} cannot decrease (inc({n}))"
+            )
+        self.value += n
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Counter {self.name}={self.value}>"
+
+
+class Gauge:
+    """A sampled instantaneous value; remembers its last and peak readings."""
+
+    __slots__ = ("name", "last", "peak", "samples")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.last: Number = 0
+        self.peak: Number = 0
+        self.samples = 0
+
+    def set(self, value: Number) -> None:
+        """Record the gauge's current reading."""
+        self.last = value
+        if self.samples == 0 or value > self.peak:
+            self.peak = value
+        self.samples += 1
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Gauge {self.name} last={self.last} peak={self.peak}>"
+
+
+class Histogram:
+    """A fixed-bucket histogram of observed values.
+
+    ``bounds`` are inclusive upper edges of the first ``len(bounds)``
+    buckets; one final overflow bucket catches everything larger.  The
+    histogram also tracks count, sum, min, and max so summaries can report
+    a mean and range without keeping raw samples.
+    """
+
+    __slots__ = ("name", "bounds", "bucket_counts", "count", "total", "vmin", "vmax")
+
+    def __init__(self, name: str, bounds: Sequence[float] = DEFAULT_BOUNDS_MS) -> None:
+        ordered = tuple(float(b) for b in bounds)
+        if not ordered or list(ordered) != sorted(set(ordered)):
+            raise ObservabilityError(
+                f"histogram {name!r} bounds must be non-empty and strictly "
+                f"increasing (got {bounds!r})"
+            )
+        self.name = name
+        self.bounds = ordered
+        self.bucket_counts: List[int] = [0] * (len(ordered) + 1)
+        self.count = 0
+        self.total = 0.0
+        self.vmin = 0.0
+        self.vmax = 0.0
+
+    def observe(self, value: Number) -> None:
+        """Record one sample."""
+        v = float(value)
+        i = 0
+        for bound in self.bounds:
+            if v <= bound:
+                break
+            i += 1
+        self.bucket_counts[i] += 1
+        if self.count == 0:
+            self.vmin = v
+            self.vmax = v
+        else:
+            if v < self.vmin:
+                self.vmin = v
+            if v > self.vmax:
+                self.vmax = v
+        self.count += 1
+        self.total += v
+
+    @property
+    def mean(self) -> float:
+        """Arithmetic mean of the observed samples (0.0 when empty)."""
+        return self.total / self.count if self.count else 0.0
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Histogram {self.name} n={self.count} mean={self.mean:.3g}>"
+
+
+class MetricsRegistry:
+    """A namespace of counters, gauges, and histograms.
+
+    Accessors create on first use and return the existing instrument on
+    later calls; asking for a name that already exists as a *different*
+    instrument kind is an error (it would silently split the measurement).
+    """
+
+    def __init__(self) -> None:
+        self._counters: Dict[str, Counter] = {}
+        self._gauges: Dict[str, Gauge] = {}
+        self._histograms: Dict[str, Histogram] = {}
+
+    # -- accessors -------------------------------------------------------
+
+    def counter(self, name: str) -> Counter:
+        """The counter called *name*, created on first use."""
+        c = self._counters.get(name)
+        if c is None:
+            self._check_free(name, "counter")
+            c = self._counters[name] = Counter(name)
+        return c
+
+    def gauge(self, name: str) -> Gauge:
+        """The gauge called *name*, created on first use."""
+        g = self._gauges.get(name)
+        if g is None:
+            self._check_free(name, "gauge")
+            g = self._gauges[name] = Gauge(name)
+        return g
+
+    def histogram(
+        self, name: str, bounds: Optional[Sequence[float]] = None
+    ) -> Histogram:
+        """The histogram called *name*, created on first use.
+
+        ``bounds`` applies only at creation; later calls must either omit
+        it or pass the same edges.
+        """
+        h = self._histograms.get(name)
+        if h is None:
+            self._check_free(name, "histogram")
+            h = self._histograms[name] = Histogram(
+                name, bounds if bounds is not None else DEFAULT_BOUNDS_MS
+            )
+        elif bounds is not None and tuple(float(b) for b in bounds) != h.bounds:
+            raise ObservabilityError(
+                f"histogram {name!r} already exists with different bounds"
+            )
+        return h
+
+    def _check_free(self, name: str, kind: str) -> None:
+        for other_kind, table in (
+            ("counter", self._counters),
+            ("gauge", self._gauges),
+            ("histogram", self._histograms),
+        ):
+            if name in table:
+                raise ObservabilityError(
+                    f"metric {name!r} is already a {other_kind}, "
+                    f"cannot reuse it as a {kind}"
+                )
+
+    # -- snapshots -------------------------------------------------------
+
+    def snapshot(self) -> dict:
+        """The registry as a plain dict with deterministically sorted keys."""
+        return {
+            "counters": {
+                name: self._counters[name].value
+                for name in sorted(self._counters)
+            },
+            "gauges": {
+                name: {
+                    "last": self._gauges[name].last,
+                    "peak": self._gauges[name].peak,
+                    "samples": self._gauges[name].samples,
+                }
+                for name in sorted(self._gauges)
+            },
+            "histograms": {
+                name: {
+                    "bounds": list(self._histograms[name].bounds),
+                    "buckets": list(self._histograms[name].bucket_counts),
+                    "count": self._histograms[name].count,
+                    "max": self._histograms[name].vmax,
+                    "min": self._histograms[name].vmin,
+                    "sum": self._histograms[name].total,
+                }
+                for name in sorted(self._histograms)
+            },
+        }
+
+    def __len__(self) -> int:
+        return len(self._counters) + len(self._gauges) + len(self._histograms)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<MetricsRegistry {len(self._counters)} counters, "
+            f"{len(self._gauges)} gauges, {len(self._histograms)} histograms>"
+        )

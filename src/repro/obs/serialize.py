@@ -1,0 +1,169 @@
+"""Deterministic serialization of observations: JSONL traces, JSON metrics.
+
+All encoders here sort keys and contain no wall-clock or environment data,
+so two observations with equal content serialize to **identical bytes** —
+the property the golden-trace suite and the serial/parallel/cached
+equivalence tests lock down.
+
+Artifact layout for one experiment run (``write_run_artifacts``):
+
+``<dir>/<experiment>.trace.jsonl``
+    One compact JSON object per line, each carrying the sweep name, the
+    point index within the sweep, and the event fields (``t`` in simulated
+    ms, ``kind``, plus event-specific scalars).  Lines are ordered by sweep
+    registration order, then point index, then emission order.
+
+``<dir>/<experiment>.metrics.json``
+    Pretty-printed (stable, sorted, 2-space) JSON: per-sweep, per-point
+    metric snapshots plus aggregated counter totals for the whole run.
+
+Traces diff naturally: ``diff a/fig1.trace.jsonl b/fig1.trace.jsonl`` shows
+exactly which simulated events moved between two runs.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Any, Dict, List, Sequence, Tuple
+
+#: {sweep_name: [per-point Observation.snapshot() dicts, in index order]}
+RunObservations = Dict[str, List[dict]]
+
+
+def dumps_event(event: dict) -> str:
+    """One trace event as a compact, key-sorted JSON line (no newline)."""
+    return json.dumps(event, sort_keys=True, separators=(",", ":"))
+
+
+def dumps_snapshot(snapshot: dict) -> str:
+    """A whole observation snapshot as canonical, diff-friendly JSON.
+
+    Key-sorted, 1-space-indented, newline-terminated — the format the
+    golden-trace files under ``tests/golden/`` are committed in.
+    """
+    return json.dumps(snapshot, sort_keys=True, indent=1) + "\n"
+
+
+def trace_lines(observations: RunObservations) -> List[str]:
+    """Flatten a run's observations into ordered JSONL trace lines."""
+    lines: List[str] = []
+    for sweep, snapshots in observations.items():
+        for point, snapshot in enumerate(snapshots):
+            for event in snapshot["events"]:
+                tagged = dict(event)
+                tagged["sweep"] = sweep
+                tagged["point"] = point
+                lines.append(dumps_event(tagged))
+    return lines
+
+
+def merge_counters(observations: RunObservations) -> Dict[str, Any]:
+    """Sum every counter across all sweeps and points, sorted by name."""
+    totals: Dict[str, Any] = {}
+    for snapshots in observations.values():
+        for snapshot in snapshots:
+            for name, value in snapshot["metrics"]["counters"].items():
+                totals[name] = totals.get(name, 0) + value
+    return {name: totals[name] for name in sorted(totals)}
+
+
+def _merged_events_dropped(observations: RunObservations) -> Tuple[int, int]:
+    events = dropped = 0
+    for snapshots in observations.values():
+        for snapshot in snapshots:
+            events += len(snapshot["events"])
+            dropped += snapshot["dropped_events"]
+    return events, dropped
+
+
+def metrics_document(
+    experiment: str, seed: int, observations: RunObservations
+) -> dict:
+    """The metrics artifact for one experiment run, as a plain dict."""
+    events, dropped = _merged_events_dropped(observations)
+    return {
+        "experiment": experiment,
+        "seed": seed,
+        "trace": {"events": events, "dropped": dropped},
+        "totals": {"counters": merge_counters(observations)},
+        "sweeps": {
+            sweep: [snapshot["metrics"] for snapshot in snapshots]
+            for sweep, snapshots in sorted(observations.items())
+        },
+    }
+
+
+def write_run_artifacts(
+    directory: str,
+    experiment: str,
+    seed: int,
+    observations: RunObservations,
+) -> Tuple[str, str]:
+    """Write the trace JSONL and metrics JSON for one experiment run.
+
+    Returns ``(trace_path, metrics_path)``.  Both files are byte-stable:
+    re-running the same experiment at the same seed — serially, with
+    ``--jobs N``, or from a warm cache — rewrites identical bytes.
+    """
+    os.makedirs(directory, exist_ok=True)
+    trace_path = os.path.join(directory, f"{experiment}.trace.jsonl")
+    metrics_path = os.path.join(directory, f"{experiment}.metrics.json")
+    with open(trace_path, "w", newline="\n") as f:
+        for line in trace_lines(observations):
+            f.write(line + "\n")
+    with open(metrics_path, "w", newline="\n") as f:
+        f.write(dumps_snapshot(metrics_document(experiment, seed, observations)))
+    return trace_path, metrics_path
+
+
+def _format_value(value: Any) -> str:
+    if isinstance(value, bool):  # pragma: no cover - no bool metrics today
+        return str(value)
+    if isinstance(value, int):
+        return f"{value:,}"
+    return f"{value:.6g}"
+
+
+def summary_rows(observations: RunObservations) -> List[Tuple[str, str]]:
+    """(metric, value) rows for the human-readable metrics summary table.
+
+    Counters render as run totals; gauges as their peak reading; histograms
+    as count/mean/max.  A final pair of rows reports trace volume.
+    """
+    rows: List[Tuple[str, str]] = []
+    for name, value in merge_counters(observations).items():
+        rows.append((name, _format_value(value)))
+
+    gauges: Dict[str, Any] = {}
+    histograms: Dict[str, Dict[str, Any]] = {}
+    for snapshots in observations.values():
+        for snapshot in snapshots:
+            for name, g in snapshot["metrics"]["gauges"].items():
+                peak = gauges.get(name)
+                if peak is None or g["peak"] > peak:
+                    gauges[name] = g["peak"]
+            for name, h in snapshot["metrics"]["histograms"].items():
+                agg = histograms.setdefault(
+                    name, {"count": 0, "sum": 0.0, "max": 0.0}
+                )
+                agg["count"] += h["count"]
+                agg["sum"] += h["sum"]
+                if h["count"] and h["max"] > agg["max"]:
+                    agg["max"] = h["max"]
+    for name in sorted(gauges):
+        rows.append((f"{name} (peak)", _format_value(gauges[name])))
+    for name in sorted(histograms):
+        agg = histograms[name]
+        mean = agg["sum"] / agg["count"] if agg["count"] else 0.0
+        rows.append(
+            (
+                name,
+                f"n={agg['count']:,} mean={mean:.6g} max={agg['max']:.6g}",
+            )
+        )
+
+    events, dropped = _merged_events_dropped(observations)
+    rows.append(("trace.events", _format_value(events)))
+    rows.append(("trace.dropped", _format_value(dropped)))
+    return rows

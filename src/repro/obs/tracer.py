@@ -1,0 +1,137 @@
+"""Structured event tracing and the ambient observation context.
+
+:class:`Tracer` records timestamped, structured events (plain dicts) in the
+order the simulation produced them.  Since the event kernel is deterministic,
+the recorded stream is a pure function of (configuration, seed): the same
+run always yields the same events, which is what makes byte-for-byte golden
+traces and serial/parallel/cached equivalence checks possible.
+
+Instrumented components do **not** take a tracer parameter — they look up
+the ambient :class:`Observation` (tracer + metrics) once, at construction,
+via :func:`current_observation`:
+
+* with no observation installed the lookup returns ``None`` and every
+  instrumentation site reduces to one ``is not None`` test — the zero-cost
+  disabled path;
+* inside a ``with observe() as obs:`` block, components built in the block
+  record into *obs*, and ``obs.snapshot()`` afterwards is a picklable,
+  JSON-ready account of everything that happened.
+
+The executor's process backend runs each sweep point in a worker that opens
+its own observation around the point function, so snapshots ship back to the
+parent exactly as a serial run would have produced them.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Any, Dict, Iterator, List, Optional
+
+from .metrics import MetricsRegistry, ObservabilityError
+
+#: Default cap on recorded events per observation.  Dropping is deterministic
+#: (always the tail) and counted, so capped traces still compare byte-for-byte.
+DEFAULT_MAX_EVENTS = 100_000
+
+
+class Tracer:
+    """An append-only buffer of structured ``{"t", "kind", ...}`` events."""
+
+    __slots__ = ("events", "max_events", "dropped")
+
+    def __init__(self, max_events: int = DEFAULT_MAX_EVENTS) -> None:
+        if max_events < 0:
+            raise ObservabilityError("max_events cannot be negative")
+        self.events: List[Dict[str, Any]] = []
+        self.max_events = max_events
+        self.dropped = 0
+
+    def emit(self, t: float, kind: str, **fields: Any) -> None:
+        """Record one event at simulation time *t* (ms).
+
+        Field values must be JSON-representable scalars (str/int/float/bool)
+        so traces serialize deterministically.
+        """
+        if len(self.events) >= self.max_events:
+            self.dropped += 1
+            return
+        fields["t"] = t
+        fields["kind"] = kind
+        self.events.append(fields)
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+
+class NullTracer(Tracer):
+    """A tracer that records nothing — explicit-injection no-op.
+
+    Components that take a tracer argument can default to this instead of
+    branching on ``None``; it satisfies the :class:`Tracer` interface at a
+    single discarded method call per event.
+    """
+
+    __slots__ = ()
+
+    def __init__(self) -> None:
+        super().__init__(max_events=0)
+
+    def emit(self, t: float, kind: str, **fields: Any) -> None:
+        pass
+
+
+class Observation:
+    """One run's worth of trace events and metrics, as a unit."""
+
+    __slots__ = ("tracer", "metrics")
+
+    def __init__(self, max_events: int = DEFAULT_MAX_EVENTS) -> None:
+        self.tracer = Tracer(max_events=max_events)
+        self.metrics = MetricsRegistry()
+
+    def trace(self, t: float, kind: str, **fields: Any) -> None:
+        """Shorthand for ``self.tracer.emit(...)``."""
+        self.tracer.emit(t, kind, **fields)
+
+    def snapshot(self) -> dict:
+        """Everything observed, as a picklable, JSON-ready dict.
+
+        The dict contains only simulation-domain data (no wall-clock time,
+        no object identities), with deterministic key order, so equal runs
+        produce equal snapshots.
+        """
+        return {
+            "events": list(self.tracer.events),
+            "dropped_events": self.tracer.dropped,
+            "metrics": self.metrics.snapshot(),
+        }
+
+
+_current: Optional[Observation] = None
+
+
+def current_observation() -> Optional[Observation]:
+    """The ambient observation, or ``None`` when instrumentation is off.
+
+    Instrumented components call this **once, at construction**, and keep
+    the result; per-event work is then a single attribute test.
+    """
+    return _current
+
+
+@contextmanager
+def observe(max_events: int = DEFAULT_MAX_EVENTS) -> Iterator[Observation]:
+    """Install a fresh ambient observation for the duration of the block.
+
+    Nested blocks shadow the outer observation and restore it on exit, so a
+    traced sweep point can itself run helper code that opens an observation
+    without corrupting either record.
+    """
+    global _current
+    previous = _current
+    obs = Observation(max_events=max_events)
+    _current = obs
+    try:
+        yield obs
+    finally:
+        _current = previous

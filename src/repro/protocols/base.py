@@ -25,6 +25,7 @@ from typing import List, Sequence
 from ..errors import ProtocolError
 from ..gui.drawing import DisplayOp
 from ..gui.input import InputEvent
+from ..obs import current_observation
 
 
 @dataclass(frozen=True)
@@ -80,6 +81,28 @@ class RemoteDisplayProtocol(abc.ABC):
 
     def reset(self) -> None:
         """Forget per-session state (fresh connection)."""
+
+    def _observe_messages(
+        self, messages: List[EncodedMessage]
+    ) -> List[EncodedMessage]:
+        """Count *messages* toward this protocol's wire metrics; pass through.
+
+        Encoders wrap their return values in this.  Protocols are built at
+        arbitrary times (sometimes before an observation opens), so the
+        lookup is per call rather than per instance; with tracing off it is
+        one function call returning ``None``.
+        """
+        if messages:
+            obs = current_observation()
+            if obs is not None:
+                metrics = obs.metrics
+                metrics.counter(f"proto.{self.name}.messages").inc(
+                    len(messages)
+                )
+                metrics.counter(f"proto.{self.name}.bytes").inc(
+                    sum(m.payload_bytes for m in messages)
+                )
+        return messages
 
     def encode_cost_ms(self, messages: Sequence[EncodedMessage]) -> float:
         """Server CPU time to produce *messages*."""

@@ -102,7 +102,7 @@ class LBXProtocol(RemoteDisplayProtocol):
                     )
                 else:
                     messages.extend(self._chunk(compressed, "lbx-request"))
-        return messages
+        return self._observe_messages(messages)
 
     # -- input ------------------------------------------------------------------
 
@@ -127,4 +127,4 @@ class LBXProtocol(RemoteDisplayProtocol):
             messages.append(
                 EncodedMessage("input", LBX_EVENT_BYTES, "delta-event")
             )
-        return messages
+        return self._observe_messages(messages)

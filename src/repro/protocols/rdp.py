@@ -34,6 +34,7 @@ from ..gui.drawing import (
     RestoreRegion,
 )
 from ..gui.input import InputEvent, KeyPress, KeyRelease
+from ..obs import current_observation
 from .base import EncodedMessage, RemoteDisplayProtocol
 from .bitmapcache import DEFAULT_CACHE_BYTES, LRUBitmapCache
 
@@ -109,7 +110,13 @@ class RDPProtocol(RemoteDisplayProtocol):
         if isinstance(op, DrawWidget):
             return [ORDER_WIDGET_BASE + ORDER_WIDGET_PER_ELEMENT * op.elements]
         if isinstance(op, DrawBitmap):
-            if self.cache.access(op.bitmap):
+            hit = self.cache.access(op.bitmap)
+            obs = current_observation()
+            if obs is not None:
+                obs.metrics.counter(
+                    "proto.rdp.cache_hits" if hit else "proto.rdp.cache_misses"
+                ).inc()
+            if hit:
                 return [ORDER_MEMBLT]
             data = max(
                 1, int(op.bitmap.compressed_bytes * RDP_BITMAP_RLE_RATIO)
@@ -158,7 +165,7 @@ class RDPProtocol(RemoteDisplayProtocol):
         self._steps_since_flush += 1
         if self._steps_since_flush >= self.display_flush_steps:
             messages.extend(self._flush_orders())
-        return messages
+        return self._observe_messages(messages)
 
     def _flush_orders(self) -> List[EncodedMessage]:
         self._steps_since_flush = 0
@@ -182,7 +189,7 @@ class RDPProtocol(RemoteDisplayProtocol):
         return messages
 
     def flush_display(self) -> List[EncodedMessage]:
-        return self._flush_orders()
+        return self._observe_messages(self._flush_orders())
 
     # -- input --------------------------------------------------------------------
 
@@ -207,7 +214,7 @@ class RDPProtocol(RemoteDisplayProtocol):
                 flush = True
         if flush or len(self._pending_input) >= RDP_INPUT_FLUSH_COUNT:
             messages.extend(self._flush_pending())
-        return messages
+        return self._observe_messages(messages)
 
     def flush_input(self) -> List[EncodedMessage]:
-        return self._flush_pending()
+        return self._observe_messages(self._flush_pending())

@@ -110,7 +110,7 @@ class XProtocol(RemoteDisplayProtocol):
                     buffered += request
         if buffered:
             messages.append(EncodedMessage("display", buffered, "requests"))
-        return messages
+        return self._observe_messages(messages)
 
     # -- input ---------------------------------------------------------------
 
@@ -118,6 +118,6 @@ class XProtocol(RemoteDisplayProtocol):
         self, events: Sequence[InputEvent]
     ) -> List[EncodedMessage]:
         """One fixed 32-byte event message per input event."""
-        return [
-            EncodedMessage("input", X_EVENT_BYTES, "event") for __ in events
-        ]
+        return self._observe_messages(
+            [EncodedMessage("input", X_EVENT_BYTES, "event") for __ in events]
+        )

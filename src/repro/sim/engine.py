@@ -23,6 +23,7 @@ import heapq
 from typing import Any, Callable, Generator, Iterable, List, Optional, Tuple
 
 from ..errors import SimulationError
+from ..obs import current_observation
 
 Action = Callable[[], Any]
 
@@ -111,20 +112,36 @@ class Process:
         self.gen = gen
         self.name = name or getattr(gen, "__name__", "process")
         self.done = Signal(sim)
+        if sim.obs is not None:
+            sim.obs.trace(sim.now, "proc.spawn", proc=self.name)
         sim.schedule(0.0, lambda: self._step(None))
 
     def _step(self, value: Any) -> None:
+        obs = self.sim.obs
+        if obs is not None:
+            obs.trace(self.sim.now, "proc.wake", proc=self.name)
         try:
             yielded = self.gen.send(value)
         except StopIteration as stop:
+            if obs is not None:
+                obs.trace(self.sim.now, "proc.exit", proc=self.name)
             self.done.succeed(stop.value)
             return
         if isinstance(yielded, Signal):
+            if obs is not None:
+                obs.trace(self.sim.now, "proc.wait", proc=self.name)
             yielded.add_waiter(self._step)
         elif isinstance(yielded, (int, float)):
             if yielded < 0:
                 raise SimulationError(
                     f"process {self.name!r} yielded a negative delay: {yielded}"
+                )
+            if obs is not None:
+                obs.trace(
+                    self.sim.now,
+                    "proc.sleep",
+                    proc=self.name,
+                    delay_ms=float(yielded),
                 )
             self.sim.schedule(float(yielded), lambda: self._step(None))
         else:
@@ -152,6 +169,14 @@ class Simulator:
         self._seq = 0
         self._queue: List[Event] = []
         self._running = False
+        # Ambient observation, bound at construction.  When tracing is off
+        # this is None and every hook below is a single pointer test.
+        self.obs = current_observation()
+        self._dispatch_counter = (
+            self.obs.metrics.counter("sim.events_dispatched")
+            if self.obs is not None
+            else None
+        )
 
     # -- clock ---------------------------------------------------------------
 
@@ -220,6 +245,8 @@ class Simulator:
             if event.canceled:
                 continue
             self._now = event.time
+            if self._dispatch_counter is not None:
+                self._dispatch_counter.inc()
             event.action()
             return True
         return False
@@ -247,6 +274,8 @@ class Simulator:
                 if event.canceled:
                     continue
                 self._now = event.time
+                if self._dispatch_counter is not None:
+                    self._dispatch_counter.inc()
                 event.action()
             self._now = time
         finally:

@@ -102,7 +102,10 @@ class IntervalTrace:
             raise SimulationError("bin width must be positive")
         if t1 <= t0:
             raise SimulationError("empty utilization window")
-        nbins = int((t1 - t0) / bin_ms + 0.5)
+        # Round to the nearest bin count, but never below one: a window
+        # narrower than half a bin used to round to zero bins and silently
+        # return empty series.
+        nbins = max(1, int((t1 - t0) / bin_ms + 0.5))
         busy = [0.0] * nbins
         for start, end in self.merged():
             start = max(start, t0)
@@ -157,7 +160,9 @@ class ByteTrace:
             raise SimulationError("window width must be positive")
         if t1 <= t0:
             raise SimulationError("empty load window")
-        nbins = int((t1 - t0) / window_ms + 0.5)
+        # As in IntervalTrace.utilization: clamp so a window narrower than
+        # half a bin yields one bin instead of a silently empty series.
+        nbins = max(1, int((t1 - t0) / window_ms + 0.5))
         per_bin = [0] * nbins
         for time, size in zip(self.times, self.sizes):
             if t0 <= time < t1:

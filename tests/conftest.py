@@ -1,0 +1,19 @@
+"""Shared pytest configuration.
+
+Adds ``--update-goldens`` for the golden-trace suite (see
+``tests/golden/README.md``): run
+
+    PYTHONPATH=src python -m pytest tests/golden --update-goldens
+
+after an intentional behaviour change to rewrite the committed goldens,
+then review the diff like any other code change.
+"""
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--update-goldens",
+        action="store_true",
+        default=False,
+        help="rewrite tests/golden/*.json from current behaviour",
+    )

@@ -1,0 +1,105 @@
+"""Tests for ``repro trace`` and ``repro run --trace-dir``: artifact layout,
+the metrics summary table, and byte-identity across executor paths."""
+
+import io
+import json
+import os
+
+from repro.cli import main
+
+
+def run_cli(*argv):
+    out = io.StringIO()
+    code = main(list(argv), out=out)
+    return code, out.getvalue()
+
+
+def read_artifacts(directory, name="fig1"):
+    with open(os.path.join(directory, f"{name}.trace.jsonl"), "rb") as f:
+        trace = f.read()
+    with open(os.path.join(directory, f"{name}.metrics.json"), "rb") as f:
+        metrics = f.read()
+    return trace, metrics
+
+
+class TestTraceCommand:
+    def test_writes_trace_and_metrics_artifacts(self, tmp_path):
+        out_dir = str(tmp_path / "out")
+        code, text = run_cli("trace", "fig1", "--seed", "1", "--trace-dir", out_dir)
+        assert code == 0
+        trace, metrics = read_artifacts(out_dir)
+        assert trace  # at least one event line
+        for line in trace.decode().splitlines():
+            event = json.loads(line)
+            assert {"t", "kind", "sweep", "point"} <= set(event)
+        doc = json.loads(metrics)
+        assert doc["experiment"] == "fig1"
+        assert doc["seed"] == 1
+        assert doc["totals"]["counters"]["sim.events_dispatched"] > 0
+
+    def test_prints_metrics_summary_table(self, tmp_path):
+        code, text = run_cli("trace", "fig1", "--seed", "1")
+        assert code == 0
+        assert "fig1: metrics summary" in text
+        assert "sim.events_dispatched" in text
+        assert "trace.events" in text
+
+    def test_unknown_experiment_exits_2(self):
+        code, text = run_cli("trace", "nope")
+        assert code == 2
+        assert "unknown experiment" in text
+
+    def test_run_with_trace_dir_also_emits_artifacts(self, tmp_path):
+        out_dir = str(tmp_path / "out")
+        code, text = run_cli("run", "fig1", "--seed", "1", "--trace-dir", out_dir)
+        assert code == 0
+        trace, __ = read_artifacts(out_dir)
+        assert trace
+        assert "fig1: metrics summary" in text
+
+    def test_plain_run_prints_no_summary(self):
+        code, text = run_cli("run", "tab-setup")
+        assert code == 0
+        assert "metrics summary" not in text
+
+
+class TestTraceDeterminism:
+    """The acceptance criterion: artifacts are byte-identical across
+    reruns, ``--jobs N``, and warm-cache replays."""
+
+    def test_rerun_is_byte_identical(self, tmp_path):
+        run_cli("trace", "fig1", "--seed", "1", "--trace-dir", str(tmp_path / "a"))
+        run_cli("trace", "fig1", "--seed", "1", "--trace-dir", str(tmp_path / "b"))
+        assert read_artifacts(str(tmp_path / "a")) == read_artifacts(
+            str(tmp_path / "b")
+        )
+
+    def test_parallel_run_is_byte_identical_to_serial(self, tmp_path):
+        run_cli("trace", "fig1", "--seed", "1", "--trace-dir", str(tmp_path / "a"))
+        run_cli(
+            "trace", "fig1", "--seed", "1",
+            "--trace-dir", str(tmp_path / "b"), "--jobs", "4",
+        )
+        assert read_artifacts(str(tmp_path / "a")) == read_artifacts(
+            str(tmp_path / "b")
+        )
+
+    def test_warm_cache_replay_is_byte_identical(self, tmp_path):
+        cache = str(tmp_path / "cache")
+        args = ("trace", "fig1", "--seed", "1", "--cache-dir", cache)
+        code, cold_text = run_cli(*args, "--trace-dir", str(tmp_path / "a"))
+        assert code == 0
+        code, warm_text = run_cli(*args, "--trace-dir", str(tmp_path / "b"))
+        assert code == 0
+        assert read_artifacts(str(tmp_path / "a")) == read_artifacts(
+            str(tmp_path / "b")
+        )
+        # The summary table is part of the contract too.
+        assert "fig1: metrics summary" in warm_text
+
+    def test_different_seeds_differ(self, tmp_path):
+        run_cli("trace", "fig1", "--seed", "1", "--trace-dir", str(tmp_path / "a"))
+        run_cli("trace", "fig1", "--seed", "2", "--trace-dir", str(tmp_path / "b"))
+        assert read_artifacts(str(tmp_path / "a")) != read_artifacts(
+            str(tmp_path / "b")
+        )

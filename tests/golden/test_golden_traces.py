@@ -1,0 +1,79 @@
+"""Golden-trace regression suite.
+
+Runs one small CPU, memory, and network scenario at a fixed seed under the
+observation layer and compares the serialized snapshot byte-for-byte with
+a committed golden.  See README.md in this directory for the update
+workflow (``--update-goldens``).
+"""
+
+import os
+
+import pytest
+
+from repro.memory.experiment import run_memory_latency_experiment
+from repro.net.ping import run_ping_experiment
+from repro.obs import dumps_snapshot, observe
+from repro.workloads.typing import run_stall_experiment
+
+GOLDEN_DIR = os.path.dirname(os.path.abspath(__file__))
+
+SCENARIOS = {
+    "cpu_stall": lambda: run_stall_experiment(
+        "nt_tse", [2], duration_ms=1000.0, seed=1
+    ),
+    "memory_latency": lambda: run_memory_latency_experiment(
+        "nt_tse", 1.2, runs=3, seed=1
+    ),
+    "net_ping": lambda: run_ping_experiment(
+        [4.0], duration_ms=2000.0, seed=1
+    ),
+}
+
+
+def observed_document(name):
+    with observe() as obs:
+        SCENARIOS[name]()
+        snapshot = obs.snapshot()
+    return dumps_snapshot(snapshot)
+
+
+@pytest.mark.parametrize("name", sorted(SCENARIOS))
+def test_snapshot_matches_golden(name, request):
+    path = os.path.join(GOLDEN_DIR, f"{name}.golden.json")
+    document = observed_document(name)
+    if request.config.getoption("--update-goldens"):
+        with open(path, "w") as f:
+            f.write(document)
+        pytest.skip(f"rewrote {os.path.basename(path)}")
+    assert os.path.exists(path), (
+        f"missing golden {path}; generate it with "
+        "pytest tests/golden --update-goldens"
+    )
+    with open(path) as f:
+        expected = f.read()
+    assert document == expected, (
+        f"observation snapshot for {name!r} diverged from its golden; if "
+        "the behaviour change is intentional, rerun with --update-goldens "
+        "and review the diff"
+    )
+
+
+@pytest.mark.parametrize("name", sorted(SCENARIOS))
+def test_snapshot_is_rerun_stable(name):
+    """The same scenario serializes identically twice in one process."""
+    assert observed_document(name) == observed_document(name)
+
+
+def test_goldens_contain_no_wallclock_keys():
+    """Goldens must stay environment-free: no timestamps, hosts, or paths."""
+    import json
+
+    for name in sorted(SCENARIOS):
+        path = os.path.join(GOLDEN_DIR, f"{name}.golden.json")
+        if not os.path.exists(path):
+            pytest.skip("goldens not generated yet")
+        with open(path) as f:
+            text = f.read()
+        json.loads(text)  # must be valid JSON
+        for banned in ("wallclock", "hostname", "timestamp", "/root/", "/home/"):
+            assert banned not in text

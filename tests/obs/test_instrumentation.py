@@ -1,0 +1,176 @@
+"""Integration tests: instrumented components record into the ambient
+observation — and record nothing, at no cost, when observation is off."""
+
+import random
+
+import pytest
+
+from repro.memory import FramePool, PagingDisk, VirtualMemory, make_policy
+from repro.gui.drawing import Bitmap, DrawBitmap
+from repro.net import Link, Packet
+from repro.obs import observe
+from repro.protocols import make_protocol
+from repro.sim import Simulator
+from repro.units import kb
+
+
+def run_two_tickers(ticks=3):
+    sim = Simulator()
+
+    def ticker():
+        for __ in range(ticks):
+            yield 1.0
+
+    sim.spawn(ticker(), name="t0")
+    sim.spawn(ticker(), name="t1")
+    sim.run_until(100.0)
+
+
+class TestEngineInstrumentation:
+    def test_counts_dispatched_events(self):
+        with observe() as obs:
+            run_two_tickers()
+        assert obs.metrics.counter("sim.events_dispatched").value > 0
+
+    def test_emits_process_lifecycle_events(self):
+        with observe() as obs:
+            run_two_tickers(ticks=2)
+        kinds = [e["kind"] for e in obs.tracer.events]
+        assert kinds.count("proc.spawn") == 2
+        assert kinds.count("proc.exit") == 2
+        assert "proc.wake" in kinds
+        assert "proc.sleep" in kinds
+
+    def test_sleep_events_carry_the_delay(self):
+        with observe() as obs:
+            run_two_tickers(ticks=1)
+        sleeps = [e for e in obs.tracer.events if e["kind"] == "proc.sleep"]
+        assert sleeps and all(e["delay_ms"] == 1.0 for e in sleeps)
+
+    def test_events_are_time_ordered(self):
+        with observe() as obs:
+            run_two_tickers()
+        times = [e["t"] for e in obs.tracer.events]
+        assert times == sorted(times)
+
+
+class TestLinkInstrumentation:
+    def test_counts_sent_packets_and_bytes(self):
+        with observe() as obs:
+            sim = Simulator()
+            link = Link(sim)
+            link.send(Packet(100))
+            link.send(Packet(300))
+            sim.run_until(10.0)
+        counters = obs.metrics.snapshot()["counters"]
+        assert counters["net.packets_sent"] == 2
+        assert counters["net.bytes_sent"] == 400
+        assert obs.metrics.gauge("net.queue_depth").samples == 2
+
+    def test_bounded_queue_drops_are_counted_and_traced(self):
+        delivered = []
+        with observe() as obs:
+            sim = Simulator()
+            link = Link(sim, max_queue=1)
+            # First packet goes on the wire, second waits, third drops.
+            link.send(Packet(1000))
+            link.send(Packet(1000))
+            link.send(Packet(1000), on_delivered=delivered.append)
+            sim.run_until(50.0)
+        assert link.packets_dropped == 1
+        assert link.packets_sent == 2
+        assert delivered == []  # dropped packet's callback never fires
+        counters = obs.metrics.snapshot()["counters"]
+        assert counters["net.packets_dropped"] == 1
+        drops = [e for e in obs.tracer.events if e["kind"] == "net.drop"]
+        assert len(drops) == 1
+        assert drops[0]["link"] == "ether0"
+        assert drops[0]["wire_bytes"] == 1000
+
+    def test_unbounded_queue_never_drops(self):
+        with observe():
+            sim = Simulator()
+            link = Link(sim)
+            for __ in range(50):
+                link.send(Packet(10_000))
+            sim.run_until(1_000.0)
+        assert link.packets_dropped == 0
+        assert link.packets_sent == 50
+
+
+class TestMemoryInstrumentation:
+    def make_vm(self):
+        pool = FramePool(kb(16))
+        disk = PagingDisk(random.Random(0))
+        return VirtualMemory(pool, disk, make_policy("lru"))
+
+    def test_counts_hits_faults_and_fault_latency(self):
+        with observe() as obs:
+            vm = self.make_vm()
+            p = vm.create_process("p", kb(8))
+            vm.touch(p, 0)  # fault
+            vm.touch(p, 0)  # hit
+        counters = obs.metrics.snapshot()["counters"]
+        assert counters["mem.faults"] == 1
+        assert counters["mem.hits"] == 1
+        hist = obs.metrics.histogram("mem.fault_latency_ms")
+        assert hist.count == 1
+        assert hist.mean > 1.0  # disk service, not a memory hit
+
+    def test_counts_evictions_and_writebacks(self):
+        with observe() as obs:
+            vm = self.make_vm()
+            big = vm.create_process("big", kb(64))
+            for vpn in range(big.num_pages):
+                vm.touch(big, vpn, write=True)  # dirty pages force writebacks
+        counters = obs.metrics.snapshot()["counters"]
+        assert counters["mem.evictions"] > 0
+        assert counters["mem.evictions"] == vm.total_evictions
+        assert counters["mem.writebacks"] > 0
+
+
+class TestProtocolInstrumentation:
+    def test_rdp_cache_hits_and_misses_are_counted(self):
+        banner = Bitmap("banner", 100, 100)
+        with observe() as obs:
+            rdp = make_protocol("rdp")
+            rdp.order_sizes_for(DrawBitmap(banner))  # miss
+            rdp.order_sizes_for(DrawBitmap(banner))  # hit
+        counters = obs.metrics.snapshot()["counters"]
+        assert counters["proto.rdp.cache_misses"] == 1
+        assert counters["proto.rdp.cache_hits"] == 1
+
+    @pytest.mark.parametrize("name", ["x", "lbx", "rdp"])
+    def test_wire_metrics_count_messages_and_bytes(self, name):
+        banner = Bitmap("banner", 100, 100)
+        with observe() as obs:
+            proto = make_protocol(name)
+            messages = []
+            for __ in range(8):  # enough steps to cross RDP's flush period
+                messages += proto.encode_display_step([DrawBitmap(banner)])
+            messages += proto.flush_display()
+        counters = obs.metrics.snapshot()["counters"]
+        assert counters[f"proto.{proto.name}.messages"] == len(messages) > 0
+        assert counters[f"proto.{proto.name}.bytes"] == sum(
+            m.payload_bytes for m in messages
+        )
+
+
+class TestZeroCostDisabledPath:
+    def test_components_record_nothing_without_observation(self):
+        sim = Simulator()
+        link = Link(sim, max_queue=0)
+        link.send(Packet(100))  # dropped, but nowhere to record it
+        run_two_tickers()
+        assert link.packets_dropped == 1  # plain attributes still work
+
+    def test_observation_opened_later_does_not_see_earlier_components(self):
+        """Components capture the ambient observation at construction."""
+        sim = Simulator()
+        link = Link(sim)
+        with observe() as obs:
+            link.send(Packet(100))
+            sim.run_until(10.0)
+        # The link was built outside the block, so it records nothing —
+        # only the simulator events could appear, and that sim was outside too.
+        assert "net.packets_sent" not in obs.metrics.snapshot()["counters"]

@@ -1,0 +1,145 @@
+"""Tests for counters, gauges, histograms, and the metrics registry."""
+
+import pytest
+
+from repro.obs import (
+    DEFAULT_BOUNDS_MS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    ObservabilityError,
+)
+
+
+class TestCounter:
+    def test_starts_at_zero_and_accumulates(self):
+        c = Counter("c")
+        assert c.value == 0
+        c.inc()
+        c.inc(4)
+        assert c.value == 5
+
+    def test_rejects_negative_increments(self):
+        with pytest.raises(ObservabilityError, match="cannot decrease"):
+            Counter("c").inc(-1)
+
+    def test_accepts_zero_and_float_increments(self):
+        c = Counter("c")
+        c.inc(0)
+        c.inc(2.5)
+        assert c.value == 2.5
+
+
+class TestGauge:
+    def test_tracks_last_peak_and_samples(self):
+        g = Gauge("g")
+        for v in (3, 7, 2):
+            g.set(v)
+        assert (g.last, g.peak, g.samples) == (2, 7, 3)
+
+    def test_peak_honours_negative_first_sample(self):
+        """The first reading is the peak even when it is below zero."""
+        g = Gauge("g")
+        g.set(-5)
+        assert g.peak == -5
+        g.set(-9)
+        assert g.peak == -5
+
+
+class TestHistogram:
+    def test_buckets_by_inclusive_upper_bound(self):
+        h = Histogram("h", bounds=(1.0, 10.0))
+        for v in (0.5, 1.0, 5.0, 100.0):
+            h.observe(v)
+        assert h.bucket_counts == [2, 1, 1]  # 1.0 lands in the <=1.0 bucket
+
+    def test_tracks_count_sum_min_max_mean(self):
+        h = Histogram("h", bounds=(10.0,))
+        for v in (2.0, 4.0, 12.0):
+            h.observe(v)
+        assert h.count == 3
+        assert h.total == 18.0
+        assert (h.vmin, h.vmax) == (2.0, 12.0)
+        assert h.mean == 6.0
+
+    def test_empty_histogram_mean_is_zero(self):
+        assert Histogram("h").mean == 0.0
+
+    def test_default_bounds_cover_the_paper_latency_range(self):
+        h = Histogram("h")
+        assert h.bounds == DEFAULT_BOUNDS_MS
+        assert len(h.bucket_counts) == len(DEFAULT_BOUNDS_MS) + 1
+
+    @pytest.mark.parametrize("bounds", [(), (5.0, 1.0), (1.0, 1.0)])
+    def test_rejects_bad_bounds(self, bounds):
+        with pytest.raises(ObservabilityError, match="bounds"):
+            Histogram("h", bounds=bounds)
+
+
+class TestMetricsRegistry:
+    def test_accessors_create_then_return_same_instrument(self):
+        reg = MetricsRegistry()
+        assert reg.counter("a") is reg.counter("a")
+        assert reg.gauge("b") is reg.gauge("b")
+        assert reg.histogram("c") is reg.histogram("c")
+        assert len(reg) == 3
+
+    def test_name_cannot_span_instrument_kinds(self):
+        reg = MetricsRegistry()
+        reg.counter("x")
+        with pytest.raises(ObservabilityError, match="already a counter"):
+            reg.gauge("x")
+        with pytest.raises(ObservabilityError, match="already a counter"):
+            reg.histogram("x")
+
+    def test_histogram_rebounds_must_match(self):
+        reg = MetricsRegistry()
+        reg.histogram("h", bounds=(1.0, 2.0))
+        assert reg.histogram("h").bounds == (1.0, 2.0)
+        assert reg.histogram("h", bounds=(1.0, 2.0)) is reg.histogram("h")
+        with pytest.raises(ObservabilityError, match="different bounds"):
+            reg.histogram("h", bounds=(1.0, 3.0))
+
+    def test_snapshot_key_order_ignores_registration_order(self):
+        ab = MetricsRegistry()
+        ab.counter("a").inc()
+        ab.counter("b").inc()
+        ba = MetricsRegistry()
+        ba.counter("b").inc()
+        ba.counter("a").inc()
+        assert ab.snapshot() == ba.snapshot()
+        assert list(ab.snapshot()["counters"]) == ["a", "b"]
+
+    def test_snapshot_shape(self):
+        reg = MetricsRegistry()
+        reg.counter("c").inc(2)
+        reg.gauge("g").set(7)
+        reg.histogram("h", bounds=(1.0,)).observe(0.5)
+        snap = reg.snapshot()
+        assert snap == {
+            "counters": {"c": 2},
+            "gauges": {"g": {"last": 7, "peak": 7, "samples": 1}},
+            "histograms": {
+                "h": {
+                    "bounds": [1.0],
+                    "buckets": [1, 0],
+                    "count": 1,
+                    "max": 0.5,
+                    "min": 0.5,
+                    "sum": 0.5,
+                }
+            },
+        }
+
+    def test_snapshot_is_plain_data(self):
+        import json
+        import pickle
+
+        reg = MetricsRegistry()
+        reg.counter("c").inc()
+        reg.gauge("g").set(1)
+        reg.histogram("h").observe(3.0)
+        snap = reg.snapshot()
+        assert pickle.loads(pickle.dumps(snap)) == snap
+        assert json.loads(json.dumps(snap)) == snap
