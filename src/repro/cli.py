@@ -141,13 +141,34 @@ def _fig7_point(frame_count: int) -> float:
     return mbps
 
 
-def _ping_point(offered_mbps: float, *, seed: int) -> Tuple[float, float]:
-    from .net import run_ping_experiment
+def _ping_point(
+    offered_mbps: float, *, seed: int, faults: str = "", fault_seed: int = 0
+) -> Tuple[float, float]:
+    from .net import FaultPlan, run_ping_experiment
 
+    plan = FaultPlan.parse(faults, seed=fault_seed) if faults else None
     (result,) = run_ping_experiment(
-        [offered_mbps], duration_ms=60_000.0, seed=seed
+        [offered_mbps], duration_ms=60_000.0, seed=seed, faults=plan
     )
     return result.mean_rtt_ms, result.rtt_variance
+
+
+def _chaos_point(
+    loss: float, *, faults: str = "", fault_seed: int = 0
+) -> Tuple[float, float, float, int, int]:
+    from .net import FaultPlan, run_chaos_experiment
+
+    base = FaultPlan.parse(faults, seed=fault_seed)
+    (result,) = run_chaos_experiment(
+        [loss], base=base, seed=fault_seed, duration_ms=30_000.0
+    )
+    return (
+        result.mean_latency_ms if result.latencies_ms else 0.0,
+        result.latency_percentile_ms(99.0) if result.latencies_ms else 0.0,
+        result.delivered_fraction,
+        result.retransmits,
+        result.timeouts_fired,
+    )
 
 
 def _tab_mem_point(point: Tuple[str, float], *, seed: int) -> Tuple[float, float, float]:
@@ -440,13 +461,26 @@ def _fig7(ctx: RunContext) -> None:
         )
 
 
+def _ping_sweep(ctx: RunContext, levels: List[float]) -> List[Tuple[float, float]]:
+    """The shared fig8/fig9 ping sweep, honoring the context's fault plan."""
+    return ctx.executor.map(
+        "ping" + ctx.fault_suffix,
+        partial(
+            _ping_point,
+            seed=ctx.seed,
+            faults=ctx.faults or "",
+            fault_seed=ctx.fault_seed,
+        ),
+        levels,
+        seed=ctx.seed,
+    )
+
+
 def _fig8(ctx: RunContext) -> None:
     levels = [0, 1, 2, 3, 4, 5, 6, 7, 8, 9, 9.6]
     # figs 8 and 9 share the "ping" sweep, so a cached fig8 run also
     # pre-pays every fig9 point (fig9's levels are a subset).
-    points = ctx.executor.map(
-        "ping", partial(_ping_point, seed=ctx.seed), levels, seed=ctx.seed
-    )
+    points = _ping_sweep(ctx, levels)
     ctx.out.write(
         format_series(
             "offered Mbps",
@@ -470,9 +504,7 @@ def _fig8(ctx: RunContext) -> None:
 
 def _fig9(ctx: RunContext) -> None:
     levels = [0, 2, 4, 6, 8, 9, 9.6]
-    points = ctx.executor.map(
-        "ping", partial(_ping_point, seed=ctx.seed), levels, seed=ctx.seed
-    )
+    points = _ping_sweep(ctx, levels)
     ctx.out.write(
         format_series(
             "offered Mbps",
@@ -484,6 +516,56 @@ def _fig9(ctx: RunContext) -> None:
         )
         + "\n"
     )
+
+
+def _chaos(ctx: RunContext) -> None:
+    """Latency vs loss rate on a faulted wire — the robustness axis the
+    paper's perfect testbed never exercised."""
+    levels = [0.0, 0.01, 0.02, 0.05, 0.1, 0.2]
+    spec = ctx.faults or ""
+    points = ctx.executor.map(
+        f"chaos[{spec}@{ctx.fault_seed}]",
+        partial(_chaos_point, faults=spec, fault_seed=ctx.fault_seed),
+        levels,
+        seed=ctx.seed,
+    )
+    rows = [
+        (
+            f"{loss * 100:g}%",
+            f"{mean_ms:.2f}",
+            f"{p99_ms:.2f}",
+            f"{delivered * 100:.1f}%",
+            retransmits,
+            timeouts,
+        )
+        for loss, (mean_ms, p99_ms, delivered, retransmits, timeouts) in zip(
+            levels, points
+        )
+    ]
+    ctx.out.write(
+        format_table(
+            ["loss", "mean (ms)", "p99 (ms)", "delivered", "rexmits", "timeouts"],
+            rows,
+            title="Chaos: message latency vs loss rate (reliable transport)",
+        )
+        + "\n"
+    )
+    if ctx.csv_dir:
+        write_csv(
+            f"{ctx.csv_dir}/chaos.csv",
+            [
+                "loss",
+                "mean_latency_ms",
+                "p99_latency_ms",
+                "delivered_fraction",
+                "retransmits",
+                "timeouts_fired",
+            ],
+            [
+                (loss,) + tuple(point)
+                for loss, point in zip(levels, points)
+            ],
+        )
 
 
 EXPERIMENTS: Dict[str, Experiment] = {
@@ -498,6 +580,7 @@ EXPERIMENTS: Dict[str, Experiment] = {
         Experiment("fig7", "Network load vs frame count (cache cliff)", _fig7),
         Experiment("fig8", "RTT vs offered load", _fig8),
         Experiment("fig9", "RTT variance vs offered load", _fig9),
+        Experiment("chaos", "Message latency vs loss rate (faulted wire)", _chaos),
         Experiment("tab-mem", "Keystroke latency under page demand", _tab_mem),
         Experiment("tab-sessions", "Per-login session memory", _tab_sessions),
         Experiment("tab-proto", "Protocol comparison + VIP savings", _tab_proto),
@@ -560,6 +643,22 @@ def build_parser() -> argparse.ArgumentParser:
             "into PATH (implies tracing; artifacts are byte-stable across "
             "--jobs and cached reruns)",
         )
+        cmd.add_argument(
+            "--faults",
+            metavar="SPEC",
+            default=None,
+            help="inject deterministic network faults, e.g. "
+            "'loss=0.05,jitter_ms=3,corrupt=0.01,outage=1000-2000' "
+            "(see repro.net.faults.FaultPlan.parse)",
+        )
+        cmd.add_argument(
+            "--fault-seed",
+            type=int,
+            default=0,
+            metavar="N",
+            help="seed of the fault schedule; a fixed seed reproduces the "
+            "exact same losses across serial, --jobs, and cached runs",
+        )
     return parser
 
 
@@ -589,6 +688,16 @@ def main(
     if args.jobs < 1:
         out.write(f"--jobs must be >= 1, got {args.jobs}\n")
         return 2
+    faults = args.faults
+    if faults is not None:
+        from .net import FaultPlan
+
+        try:
+            # Canonicalize, so equivalent specs share cache entries.
+            faults = FaultPlan.parse(faults, seed=args.fault_seed).spec()
+        except ReproError as exc:
+            out.write(f"bad --faults spec: {exc}\n")
+            return 2
     observing = args.command == "trace" or args.trace_dir is not None
     ctx = RunContext(
         seed=args.seed,
@@ -600,6 +709,8 @@ def main(
         progress=progress,
         trace_dir=args.trace_dir,
         observe=observing,
+        faults=faults,
+        fault_seed=args.fault_seed,
     )
     names = list(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
     for name in names:

@@ -34,8 +34,8 @@ from ..memory.physical import FramePool
 from ..memory.replacement import make_policy
 from ..memory.sessions import idle_memory_bytes, session_profile
 from ..memory.vm import VirtualMemory
+from ..net.faults import FaultPlan, FaultyLink, make_link
 from ..net.framing import TCPIP
-from ..net.link import Link
 from ..net.tcpstream import TcpConnection
 from ..protocols import make_protocol
 from ..protocols.rdp import RDPProtocol
@@ -57,6 +57,9 @@ class ServerConfig:
     bandwidth_mbps: float = 10.0
     include_idle_activity: bool = True
     session_variant: str = "typical"
+    #: Optional network adversity; None (or a disabled plan) keeps the
+    #: paper's perfect wire and the pre-fault-layer behaviour, byte for byte.
+    faults: Optional[FaultPlan] = None
 
     @classmethod
     def tse(cls, **overrides) -> "ServerConfig":
@@ -101,8 +104,18 @@ class UserSession:
         self.protocol = make_protocol(server.config.protocol_name)
         if isinstance(self.protocol, RDPProtocol):
             self.protocol.display_flush_steps = 1
+        # On a faulted wire the transport turns on retransmission and the
+        # encoder hears about corruption/outages to degrade gracefully.
+        faulted = isinstance(server.link, FaultyLink)
+        if faulted:
+            server.link.add_listener(self.protocol)
         self.connection = TcpConnection(
-            sim, server.link, stack=TCPIP, protocol=self.protocol.name
+            sim,
+            server.link,
+            stack=TCPIP,
+            protocol=self.protocol.name,
+            reliable=faulted,
+            max_retries=self.protocol.max_message_retries,
         )
         self.client = ThinClient(sim, f"{name}:client")
         self.connected = True
@@ -268,7 +281,9 @@ class ThinClientServer:
         )
 
         # Network.
-        self.link = Link(self.sim, bandwidth_mbps=config.bandwidth_mbps)
+        self.link = make_link(
+            self.sim, config.faults, bandwidth_mbps=config.bandwidth_mbps
+        )
 
         self.sessions: Dict[str, UserSession] = {}
 

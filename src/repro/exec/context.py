@@ -12,6 +12,12 @@ set) the executor runs every sweep point inside an observation, and the
 per-point trace/metrics snapshots accumulate here in sweep order.  The CLI
 drains them with :meth:`RunContext.take_observations` after each experiment
 to write artifacts and render the metrics summary.
+
+Fault injection rides it too: ``faults`` holds the canonical ``--faults``
+spec string (kept as a string so it pickles to workers and keys cache
+entries) plus its ``fault_seed``; :meth:`RunContext.fault_plan` parses it
+on demand and :attr:`RunContext.fault_suffix` tags sweep names so faulted
+and clean sweeps never replay each other's cached points.
 """
 
 from __future__ import annotations
@@ -48,6 +54,8 @@ class RunContext:
     progress: Optional[ProgressSink] = None
     trace_dir: Optional[str] = None
     observe: bool = False
+    faults: Optional[str] = None
+    fault_seed: int = 0
     _executor: Optional[SweepExecutor] = field(
         default=None, init=False, repr=False, compare=False
     )
@@ -59,6 +67,28 @@ class RunContext:
     def observing(self) -> bool:
         """Whether sweeps run instrumented (``observe`` or a trace dir)."""
         return self.observe or self.trace_dir is not None
+
+    # -- fault injection --------------------------------------------------
+
+    def fault_plan(self):
+        """The parsed :class:`~repro.net.faults.FaultPlan`, or ``None``.
+
+        ``None`` means a clean wire; experiments then build plain links and
+        their output is byte-identical to a pre-fault-layer run.
+        """
+        if not self.faults:
+            return None
+        from ..net.faults import FaultPlan
+
+        plan = FaultPlan.parse(self.faults, seed=self.fault_seed)
+        return plan if plan.enabled else None
+
+    @property
+    def fault_suffix(self) -> str:
+        """A sweep-name tag isolating faulted cache entries from clean ones."""
+        if not self.faults:
+            return ""
+        return f"+faults[{self.faults}@{self.fault_seed}]"
 
     @property
     def executor(self) -> SweepExecutor:

@@ -19,6 +19,15 @@ from .framing import (
     vip_savings,
     wire_bytes,
 )
+from .faults import (
+    DEFAULT_REORDER_HOLD_MS,
+    ChaosResult,
+    FaultPlan,
+    FaultyLink,
+    PacketFate,
+    make_link,
+    run_chaos_experiment,
+)
 from .link import Link
 from .loadgen import DEFAULT_LOAD_PACKET_BYTES, PoissonLoadGenerator
 from .packet import Packet
@@ -37,15 +46,28 @@ from .prototap import (
     ProtocolTrace,
     ProtoTap,
 )
-from .tcpstream import Message, TcpConnection
+from .tcpstream import (
+    DEFAULT_MAX_RETRIES,
+    RTO_INITIAL_MS,
+    RTO_MAX_MS,
+    RTO_MIN_MS,
+    Message,
+    RtoEstimator,
+    TcpConnection,
+)
 
 __all__ = [
     "ChannelStats",
+    "ChaosResult",
     "DEFAULT_LOAD_PACKET_BYTES",
+    "DEFAULT_MAX_RETRIES",
     "DEFAULT_MTU",
+    "DEFAULT_REORDER_HOLD_MS",
     "DISPLAY_CHANNEL",
     "ETHERNET_FCS",
     "ETHERNET_HEADER",
+    "FaultPlan",
+    "FaultyLink",
     "HeaderStack",
     "INPUT_CHANNEL",
     "KindStats",
@@ -53,6 +75,11 @@ __all__ = [
     "Link",
     "Message",
     "Packet",
+    "PacketFate",
+    "RTO_INITIAL_MS",
+    "RTO_MAX_MS",
+    "RTO_MIN_MS",
+    "RtoEstimator",
     "PING_INTERVAL_MS",
     "PING_PACKET_BYTES",
     "Pinger",
@@ -65,6 +92,8 @@ __all__ = [
     "TCP_HEADER",
     "TcpConnection",
     "VIP",
+    "make_link",
+    "run_chaos_experiment",
     "run_ping_experiment",
     "segment",
     "vip_savings",

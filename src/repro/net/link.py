@@ -78,6 +78,11 @@ class Link:
         callback never fires.
         """
         if self.max_queue is not None and len(self._queue) >= self.max_queue:
+            if self._obs is not None:
+                # Publish the depth that caused the drop *before* counting
+                # it, so a consumer never sees the drop counter move while
+                # the gauge still shows a non-full queue.
+                self._obs.metrics.gauge("net.queue_depth").set(len(self._queue))
             self.packets_dropped += 1
             if self._obs is not None:
                 self._obs.metrics.counter("net.packets_dropped").inc()

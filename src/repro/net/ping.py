@@ -13,13 +13,13 @@ quantity whose knee and jitter the figures show.
 
 from __future__ import annotations
 
-import random
 from dataclasses import dataclass, field
-from typing import List, Sequence
+from typing import List, Optional, Sequence
 
 from ..sim.engine import Simulator
 from ..sim.rng import RngRegistry
 from ..sim.stats import mean, variance
+from .faults import FaultPlan, make_link
 from .link import Link
 from .loadgen import PoissonLoadGenerator
 from .packet import Packet
@@ -46,9 +46,16 @@ class Pinger:
         self.interval_ms = interval_ms
         self.packet_bytes = packet_bytes
         self.rtts_ms: List[float] = []
+        self.probes_sent = 0
         self._task = sim.every(interval_ms, self._probe)
 
+    @property
+    def probes_lost(self) -> int:
+        """Probes whose echo never came back (possible on faulted links)."""
+        return self.probes_sent - len(self.rtts_ms)
+
     def _probe(self) -> None:
+        self.probes_sent += 1
         sent_at = self.sim.now
 
         def echoed(pkt: Packet) -> None:
@@ -93,18 +100,21 @@ def run_ping_experiment(
     bandwidth_mbps: float = 10.0,
     duration_ms: float = 60_000.0,
     seed: int = 0,
+    faults: Optional[FaultPlan] = None,
 ) -> List[PingResult]:
     """Figures 8–9: RTT mean and variance per offered-load level.
 
     Each level runs on a fresh link for *duration_ms* (the paper's 60 s),
     with Poisson synthetic load and a 1 Hz 64-byte pinger sharing the
-    medium.
+    medium.  Passing *faults* runs every level on a faulted link (the same
+    fault schedule at each level — common random numbers); ``None`` or a
+    disabled plan is the paper's perfect wire, byte for byte.
     """
     rngs = RngRegistry(seed)
     results: List[PingResult] = []
     for level in offered_mbps_levels:
         sim = Simulator()
-        link = Link(sim, bandwidth_mbps=bandwidth_mbps)
+        link = make_link(sim, faults, bandwidth_mbps=bandwidth_mbps)
         load = PoissonLoadGenerator(
             sim, link, level, rngs.stream(f"ping-load:{level}")
         )

@@ -6,10 +6,19 @@ behaviour that matters to the paper's measurements and nothing more:
 * each application **message** is framed immediately (no Nagle batching —
   display protocols disable it) and segmented at the MTU with the
   configured header stack per segment;
-* delivery is reliable and ordered (the link never drops);
+* on a clean link delivery is reliable and ordered (the link never drops);
 * pure ACKs are omitted by default — the paper's per-channel tables count
   protocol messages, and our per-channel accounting mirrors that.  An
   optional delayed-ACK model can be enabled for overhead studies.
+
+Against a faulted link (:mod:`repro.net.faults`) the clean-path assumption
+breaks, so the connection grows the recovery machinery the paper's real
+stacks had: ``reliable=True`` arms a per-segment retransmission timer
+driven by a Jacobson-style RTO estimator (:class:`RtoEstimator`) with
+exponential backoff and Karn's rule (no RTT samples from retransmitted
+segments).  A message completes when **all** of its segments have been
+delivered; segments that exhaust ``max_retries`` abandon the message and
+are counted, never silently lost.
 
 Per-channel accounting (the ``prototap`` view) hangs off the messages sent
 through :meth:`TcpConnection.send_message`.
@@ -20,12 +29,73 @@ from __future__ import annotations
 from typing import Callable, List, Optional
 
 from ..errors import NetworkError
-from ..sim.engine import Simulator
+from ..obs import current_observation
+from ..sim.engine import Event, Simulator
 from .framing import DEFAULT_MTU, TCPIP, HeaderStack, segment
 from .link import Link
 from .packet import Packet
 
 MessageCallback = Callable[[ "Message"], None]
+
+#: Jacobson/Karels smoothing gains (RFC 6298's alpha and beta).
+RTO_ALPHA = 0.125
+RTO_BETA = 0.25
+#: RTO clamps, scaled to the simulated LAN/WAN regime (ms).
+RTO_MIN_MS = 10.0
+RTO_MAX_MS = 3_000.0
+#: Conservative RTO before the first RTT sample arrives.
+RTO_INITIAL_MS = 200.0
+#: Retransmissions before a segment is abandoned.
+DEFAULT_MAX_RETRIES = 8
+
+
+class RtoEstimator:
+    """Jacobson-style smoothed RTT and retransmission timeout, simplified.
+
+    ``srtt += alpha * (sample - srtt)`` and ``rttvar`` tracks mean
+    deviation; the timeout is ``srtt + 4 * rttvar`` clamped to
+    ``[min_ms, max_ms]``.  Until the first sample the conservative
+    ``initial_ms`` applies.
+    """
+
+    __slots__ = ("initial_ms", "min_ms", "max_ms", "srtt_ms", "rttvar_ms")
+
+    def __init__(
+        self,
+        initial_ms: float = RTO_INITIAL_MS,
+        *,
+        min_ms: float = RTO_MIN_MS,
+        max_ms: float = RTO_MAX_MS,
+    ) -> None:
+        if initial_ms <= 0 or min_ms <= 0 or max_ms < min_ms:
+            raise NetworkError("bad RTO bounds")
+        self.initial_ms = initial_ms
+        self.min_ms = min_ms
+        self.max_ms = max_ms
+        self.srtt_ms: Optional[float] = None
+        self.rttvar_ms = 0.0
+
+    def observe(self, sample_ms: float) -> None:
+        """Fold one round-trip sample into the smoothed estimate."""
+        if sample_ms < 0:
+            raise NetworkError("negative RTT sample")
+        if self.srtt_ms is None:
+            self.srtt_ms = sample_ms
+            self.rttvar_ms = sample_ms / 2.0
+        else:
+            self.rttvar_ms += RTO_BETA * (
+                abs(sample_ms - self.srtt_ms) - self.rttvar_ms
+            )
+            self.srtt_ms += RTO_ALPHA * (sample_ms - self.srtt_ms)
+
+    @property
+    def rto_ms(self) -> float:
+        """The current retransmission timeout."""
+        if self.srtt_ms is None:
+            return self.initial_ms
+        return min(
+            self.max_ms, max(self.min_ms, self.srtt_ms + 4.0 * self.rttvar_ms)
+        )
 
 
 class Message:
@@ -56,8 +126,29 @@ class Message:
         return f"<Message {self.channel} {self.kind} {self.payload_bytes}B>"
 
 
+class _Segment:
+    """One in-flight reliable segment: wire size, attempts, its timer."""
+
+    __slots__ = ("wire", "payload", "channel", "attempt", "acked", "timer", "group")
+
+    def __init__(self, wire: int, payload: int, channel: str, group: dict) -> None:
+        self.wire = wire
+        self.payload = payload
+        self.channel = channel
+        self.attempt = 0
+        self.acked = False
+        self.timer: Optional[Event] = None
+        self.group = group  #: the message-completion tracker
+
+
 class TcpConnection:
-    """One direction-agnostic reliable stream between client and server."""
+    """One direction-agnostic reliable stream between client and server.
+
+    With ``reliable=False`` (the default, and the right model for a clean
+    link) segments are fire-and-forget exactly as before.  ``reliable=True``
+    arms the RTO/retransmission machinery for every segment — pass it when
+    the link is a :class:`~repro.net.faults.FaultyLink`.
+    """
 
     def __init__(
         self,
@@ -68,14 +159,26 @@ class TcpConnection:
         mtu: int = DEFAULT_MTU,
         protocol: str = "",
         ack_bytes: int = 0,
+        reliable: bool = False,
+        rto: Optional[RtoEstimator] = None,
+        max_retries: int = DEFAULT_MAX_RETRIES,
     ) -> None:
+        if max_retries < 0:
+            raise NetworkError("max_retries cannot be negative")
         self.sim = sim
         self.link = link
         self.stack = stack
         self.mtu = mtu
         self.protocol = protocol
         self.ack_bytes = ack_bytes
+        self.reliable = reliable
+        self.rto = rto if rto is not None else RtoEstimator()
+        self.max_retries = max_retries
         self.messages: List[Message] = []
+        self.retransmits = 0
+        self.timeouts_fired = 0
+        self.segments_abandoned = 0
+        self._obs = current_observation()
 
     def send_message(
         self,
@@ -90,6 +193,9 @@ class TcpConnection:
         message.sent_at = self.sim.now
         self.messages.append(message)
         frames = segment(payload_bytes, self.stack, self.mtu)
+        if self.reliable:
+            self._send_reliable(frames, channel, message, on_delivered)
+            return message
         last_index = len(frames) - 1
 
         for i, wire in enumerate(frames):
@@ -120,6 +226,108 @@ class TcpConnection:
                     )
                 )
         return message
+
+    # -- the reliable path (faulted links) -----------------------------------
+
+    def _send_reliable(
+        self,
+        frames: List[int],
+        channel: str,
+        message: Message,
+        on_delivered: Optional[MessageCallback],
+    ) -> None:
+        """Transmit every segment under a retransmission timer.
+
+        The message completes when its last outstanding segment is
+        delivered — under reordering that may not be the textually last
+        segment, so completion counts segments instead of tagging one.
+        """
+        group = {
+            "left": len(frames),
+            "message": message,
+            "on_delivered": on_delivered,
+            "failed": False,
+        }
+        for wire in frames:
+            payload_share = max(0, wire - self.stack.per_segment_overhead)
+            self._transmit(_Segment(wire, payload_share, channel, group))
+            if self.ack_bytes:
+                self.link.send(
+                    Packet(
+                        self.ack_bytes,
+                        payload_bytes=0,
+                        channel=f"{channel}-ack",
+                        protocol=self.protocol,
+                    )
+                )
+
+    def _transmit(self, seg: _Segment) -> None:
+        packet = Packet(
+            seg.wire,
+            payload_bytes=seg.payload,
+            channel=seg.channel,
+            protocol=self.protocol,
+        )
+        sent_at = self.sim.now
+
+        def acked(pkt: Packet) -> None:
+            if seg.acked:
+                return  # a late original arriving after its retransmission
+            seg.acked = True
+            if seg.timer is not None:
+                seg.timer.cancel()
+            if seg.attempt == 0:
+                # Karn's rule: only never-retransmitted segments produce an
+                # unambiguous RTT sample.
+                self.rto.observe(self.sim.now - sent_at)
+            self._segment_done(seg, pkt)
+
+        self.link.send(packet, acked)
+        # Exponential backoff: each retransmission doubles the wait.
+        timeout_ms = min(RTO_MAX_MS, self.rto.rto_ms * (2 ** seg.attempt))
+        seg.timer = self.sim.schedule(timeout_ms, lambda: self._timeout(seg))
+
+    def _timeout(self, seg: _Segment) -> None:
+        if seg.acked:
+            return
+        self.timeouts_fired += 1
+        if self._obs is not None:
+            self._obs.metrics.counter("net.timeouts_fired").inc()
+        if seg.attempt >= self.max_retries:
+            self.segments_abandoned += 1
+            seg.group["failed"] = True
+            if self._obs is not None:
+                self._obs.metrics.counter("net.segments_abandoned").inc()
+                self._obs.trace(
+                    self.sim.now,
+                    "net.segment_abandoned",
+                    channel=seg.channel,
+                    wire_bytes=seg.wire,
+                    attempts=seg.attempt + 1,
+                )
+            return
+        seg.attempt += 1
+        self.retransmits += 1
+        if self._obs is not None:
+            self._obs.metrics.counter("net.retransmits").inc()
+            self._obs.trace(
+                self.sim.now,
+                "net.retransmit",
+                channel=seg.channel,
+                wire_bytes=seg.wire,
+                attempt=seg.attempt,
+            )
+        self._transmit(seg)
+
+    def _segment_done(self, seg: _Segment, pkt: Packet) -> None:
+        group = seg.group
+        group["left"] -= 1
+        if group["left"] == 0 and not group["failed"]:
+            message: Message = group["message"]
+            message.delivered_at = pkt.delivered_at
+            callback = group["on_delivered"]
+            if callback is not None:
+                callback(message)
 
     # -- accounting (prototap feeds on this) ---------------------------------
 

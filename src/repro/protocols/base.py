@@ -20,7 +20,7 @@ from __future__ import annotations
 
 import abc
 from dataclasses import dataclass
-from typing import List, Sequence
+from typing import List, Optional, Sequence
 
 from ..errors import ProtocolError
 from ..gui.drawing import DisplayOp
@@ -59,6 +59,13 @@ class RemoteDisplayProtocol(abc.ABC):
     #: own packet (the paper's 87-byte LBX average message size).
     packs_display_writes = True
 
+    #: Per-message delivery policy, consumed by the transport when the wire
+    #: is faulted: how many retransmissions a message's segments may spend
+    #: before being abandoned, and an optional per-message timeout floor
+    #: (``None`` defers to the transport's RTO estimate).
+    max_message_retries = 8
+    message_timeout_ms: Optional[float] = None
+
     @abc.abstractmethod
     def encode_display_step(
         self, ops: Sequence[DisplayOp]
@@ -81,6 +88,27 @@ class RemoteDisplayProtocol(abc.ABC):
 
     def reset(self) -> None:
         """Forget per-session state (fresh connection)."""
+
+    # -- graceful degradation (faulted links) ----------------------------
+
+    def on_corruption(self) -> None:
+        """The receiver discarded a corrupt frame of this session's stream.
+
+        Encoders with replicated client state (caches, delta-compressor
+        contexts) override this to stop trusting that state for a while;
+        the default assumes stateless encoding and does nothing.
+        """
+
+    def on_outage(self, active: bool) -> None:
+        """The wire went dead (``active=True``) or came back (``False``).
+
+        Encoders that can trade latency for efficiency override this to
+        batch harder while nothing can be delivered anyway.
+        """
+
+    def degradation_state(self) -> dict:
+        """Current degradation posture, for reports and tests (may be {})."""
+        return {}
 
     def _observe_messages(
         self, messages: List[EncodedMessage]

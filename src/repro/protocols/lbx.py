@@ -32,8 +32,12 @@ LBX_CHUNK_BYTES = 120
 LBX_CHUNK_HEADER = 4
 #: Delta-compressed input event size.
 LBX_EVENT_BYTES = 14
+#: Full (undeltaed) event size used while re-syncing after corruption.
+LBX_FULL_EVENT_BYTES = 32
 #: Every Nth motion event is squished into its predecessor.
 MOTION_SQUISH_PERIOD = 10
+#: Input events sent full-size after corruption breaks the delta chain.
+LBX_RESYNC_EVENTS = 8
 
 
 class LBXProtocol(RemoteDisplayProtocol):
@@ -55,9 +59,31 @@ class LBXProtocol(RemoteDisplayProtocol):
         self.compression = compression
         self.chunk_bytes = chunk_bytes
         self._motion_counter = 0
+        self._resync_events = 0
 
     def reset(self) -> None:
         self._motion_counter = 0
+        self._resync_events = 0
+
+    # -- graceful degradation ---------------------------------------------
+
+    def on_corruption(self) -> None:
+        """Restart the proxy's delta chain: a lost frame desynchronizes it.
+
+        The next :data:`LBX_RESYNC_EVENTS` input events travel full-size
+        (no delta, no squishing) so both proxies re-agree on the reference
+        state, then delta compression resumes.
+        """
+        self._resync_events = LBX_RESYNC_EVENTS
+
+    def on_outage(self, active: bool) -> None:
+        """The proxied Xlib stream batches through the outage too."""
+        self.x.on_outage(active)
+
+    def degradation_state(self) -> dict:
+        state = {"resync_events": self._resync_events}
+        state.update(self.x.degradation_state())
+        return state
 
     # -- display --------------------------------------------------------------
 
@@ -111,6 +137,13 @@ class LBXProtocol(RemoteDisplayProtocol):
     ) -> List[EncodedMessage]:
         messages: List[EncodedMessage] = []
         for event in events:
+            if self._resync_events > 0:
+                # Delta chain broken by corruption: ship the full event.
+                self._resync_events -= 1
+                messages.append(
+                    EncodedMessage("input", LBX_FULL_EVENT_BYTES, "full-event")
+                )
+                continue
             if isinstance(event, MouseMove):
                 self._motion_counter += 1
                 if self._motion_counter % MOTION_SQUISH_PERIOD == 0:

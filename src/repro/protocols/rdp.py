@@ -58,6 +58,9 @@ ORDER_WIDGET_PER_ELEMENT = 4  #: ...plus a few bytes per element
 #: RDP compresses bitmap data (interleaved RLE) beyond the bitmap's own
 #: content compressibility.
 RDP_BITMAP_RLE_RATIO = 0.85
+#: Cache-hit draws re-shipped in full after wire corruption is detected:
+#: the client's cache contents are suspect until this many draws re-sync.
+RDP_CORRUPTION_BYPASS_DRAWS = 16
 
 
 class RDPProtocol(RemoteDisplayProtocol):
@@ -90,12 +93,29 @@ class RDPProtocol(RemoteDisplayProtocol):
         self._pending_input: List[InputEvent] = []
         self._pending_orders: List[int] = []
         self._steps_since_flush = 0
+        self._cache_bypass_draws = 0
 
     def reset(self) -> None:
         self.cache.clear()
         self._pending_input = []
         self._pending_orders = []
         self._steps_since_flush = 0
+        self._cache_bypass_draws = 0
+
+    # -- graceful degradation -----------------------------------------------
+
+    def on_corruption(self) -> None:
+        """Fall back past the bitmap cache until the stream re-syncs.
+
+        A corrupt frame may have carried a cache install, so the client's
+        cache contents can no longer be trusted: the next
+        :data:`RDP_CORRUPTION_BYPASS_DRAWS` bitmap draws ship in full even
+        on a server-side cache hit, re-priming the client copy.
+        """
+        self._cache_bypass_draws = RDP_CORRUPTION_BYPASS_DRAWS
+
+    def degradation_state(self) -> dict:
+        return {"cache_bypass_draws": self._cache_bypass_draws}
 
     # -- display ----------------------------------------------------------------
 
@@ -116,6 +136,13 @@ class RDPProtocol(RemoteDisplayProtocol):
                 obs.metrics.counter(
                     "proto.rdp.cache_hits" if hit else "proto.rdp.cache_misses"
                 ).inc()
+            if hit and self._cache_bypass_draws > 0:
+                # Post-corruption re-sync: the client copy is suspect, so a
+                # hit still ships the full bitmap (and re-primes the cache).
+                self._cache_bypass_draws -= 1
+                hit = False
+                if obs is not None:
+                    obs.metrics.counter("proto.rdp.cache_bypasses").inc()
             if hit:
                 return [ORDER_MEMBLT]
             data = max(

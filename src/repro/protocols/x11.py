@@ -33,6 +33,10 @@ from .base import EncodedMessage, RemoteDisplayProtocol
 X_EVENT_BYTES = 32
 #: Xlib's output buffer flush threshold for our model.
 XLIB_FLUSH_BYTES = 1024
+#: While the wire is in outage, Xlib's writes back up in the socket buffer
+#: anyway, so the encoder batches this many times harder — fewer, larger
+#: messages to replay when the link returns.
+X_OUTAGE_BATCH_FACTOR = 4
 
 
 def _pad4(n: int) -> int:
@@ -68,6 +72,30 @@ class XProtocol(RemoteDisplayProtocol):
         if flush_bytes <= 0:
             raise ProtocolError("flush threshold must be positive")
         self.flush_bytes = flush_bytes
+        self._base_flush_bytes = flush_bytes
+        self._outage_depth = 0
+
+    # -- graceful degradation -------------------------------------------------
+
+    def on_outage(self, active: bool) -> None:
+        """Batch harder while the wire is dead; restore when it returns.
+
+        Overlapping outage windows nest: the flush threshold stays widened
+        until every window has closed.
+        """
+        if active:
+            self._outage_depth += 1
+            self.flush_bytes = self._base_flush_bytes * X_OUTAGE_BATCH_FACTOR
+        elif self._outage_depth > 0:
+            self._outage_depth -= 1
+            if self._outage_depth == 0:
+                self.flush_bytes = self._base_flush_bytes
+
+    def degradation_state(self) -> dict:
+        return {
+            "outage_depth": self._outage_depth,
+            "flush_bytes": self.flush_bytes,
+        }
 
     # -- display ------------------------------------------------------------
 

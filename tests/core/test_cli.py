@@ -26,7 +26,8 @@ class TestList:
     def test_registry_covers_all_figures_and_tables(self):
         figs = {f"fig{i}" for i in range(1, 10)}
         tabs = {"tab-mem", "tab-sessions", "tab-proto", "tab-setup"}
-        assert figs | tabs == set(EXPERIMENTS)
+        extras = {"chaos"}
+        assert figs | tabs | extras == set(EXPERIMENTS)
 
 
 class TestRun:

@@ -133,3 +133,58 @@ class TestMemoryPathologyThroughFullStack:
         session.press_key()
         server.run(5_000.0)
         assert session.client.latencies_ms[-1] < slow / 2
+
+
+class TestFaultedWireEndToEnd:
+    """The composed server on a bad wire: faults, recovery, degradation."""
+
+    def test_typing_survives_a_lossy_wire(self):
+        from repro.net import FaultPlan, FaultyLink
+
+        clean = ThinClientServer(ServerConfig.tse(), seed=11)
+        faulted = ThinClientServer(
+            ServerConfig.tse(faults=FaultPlan(loss=0.1, seed=11)), seed=11
+        )
+        assert isinstance(faulted.link, FaultyLink)
+        results = {}
+        for name, server in (("clean", clean), ("faulted", faulted)):
+            session = server.connect("u")
+            server.run(1_000.0)
+            session.start_typing()
+            server.run(8_000.0)
+            session.stop_typing()
+            server.run(4_000.0)
+            results[name] = session
+        faulted_session = results["faulted"]
+        # The reliable transport recovered the losses end to end.
+        assert faulted_session.connection.reliable
+        assert faulted_session.connection.retransmits > 0
+        assert len(faulted_session.client.latencies_ms) > 100
+        # Recovery costs latency; the faulted user waits longer on average.
+        mean = lambda xs: sum(xs) / len(xs)
+        assert mean(faulted_session.client.latencies_ms) > mean(
+            results["clean"].client.latencies_ms
+        )
+
+    def test_corruption_triggers_rdp_cache_fallback_in_situ(self):
+        from repro.net import FaultPlan
+        from repro.protocols.rdp import RDP_CORRUPTION_BYPASS_DRAWS
+
+        server = ThinClientServer(
+            ServerConfig.tse(faults=FaultPlan(corrupt=0.5, seed=3)), seed=3
+        )
+        session = server.connect("u")
+        server.run(1_000.0)
+        for __ in range(20):
+            session.press_key()
+        server.run(5_000.0)
+        state = session.protocol.degradation_state()
+        assert 0 < state["cache_bypass_draws"] <= RDP_CORRUPTION_BYPASS_DRAWS
+
+    def test_clean_config_builds_the_plain_stack(self):
+        from repro.net import FaultyLink
+
+        server = ThinClientServer(ServerConfig.tse(), seed=1)
+        session = server.connect("u")
+        assert not isinstance(server.link, FaultyLink)
+        assert not session.connection.reliable

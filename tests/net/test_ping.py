@@ -1,0 +1,97 @@
+"""Dedicated coverage for the ping RTT experiment (Figures 8-9 machinery)."""
+
+import pytest
+
+from repro.net import (
+    PING_INTERVAL_MS,
+    PING_PACKET_BYTES,
+    FaultPlan,
+    Link,
+    Pinger,
+    PingResult,
+    run_ping_experiment,
+)
+from repro.sim import Simulator
+
+
+class TestPinger:
+    def test_probe_accounting_on_a_clean_link(self):
+        sim = Simulator()
+        pinger = Pinger(sim, Link(sim))
+        sim.run_until(10 * PING_INTERVAL_MS + 500.0)
+        assert pinger.probes_sent == 10
+        assert len(pinger.rtts_ms) == 10
+        assert pinger.probes_lost == 0
+
+    def test_rtt_is_two_transits(self):
+        sim = Simulator()
+        link = Link(sim, bandwidth_mbps=10.0, propagation_ms=0.05)
+        pinger = Pinger(sim, link)
+        sim.run_until(PING_INTERVAL_MS + 500.0)
+        (rtt,) = pinger.rtts_ms
+        # Out and back on an idle wire: 2 * (serialization + propagation).
+        transit = (PING_PACKET_BYTES + 58) / 1250.0 + 0.05  # TCP/IP+Eth framing
+        assert rtt == pytest.approx(2 * transit, rel=0.5)
+        assert rtt > 0
+
+    def test_stop_halts_probing(self):
+        sim = Simulator()
+        pinger = Pinger(sim, Link(sim))
+        sim.run_until(3 * PING_INTERVAL_MS + 10.0)
+        pinger.stop()
+        sent = pinger.probes_sent
+        sim.run_until(10 * PING_INTERVAL_MS)
+        assert pinger.probes_sent == sent
+
+    def test_lossy_link_loses_probes(self):
+        from repro.net import FaultyLink
+
+        sim = Simulator()
+        link = FaultyLink(sim, FaultPlan(loss=0.5, seed=2))
+        pinger = Pinger(sim, link)
+        sim.run_until(40 * PING_INTERVAL_MS + 500.0)
+        assert pinger.probes_sent == 40
+        assert 0 < pinger.probes_lost <= 40
+
+
+class TestPingResult:
+    def test_statistics(self):
+        result = PingResult(offered_mbps=5.0, rtts_ms=[1.0, 2.0, 3.0])
+        assert result.mean_rtt_ms == pytest.approx(2.0)
+        assert result.rtt_variance == pytest.approx(2.0 / 3.0)  # population
+
+
+class TestRunPingExperiment:
+    def test_one_result_per_level_in_order(self):
+        results = run_ping_experiment([1.0, 5.0, 9.0], duration_ms=5_000.0)
+        assert [r.offered_mbps for r in results] == [1.0, 5.0, 9.0]
+        for r in results:
+            assert len(r.rtts_ms) > 0
+
+    def test_load_inflates_rtt(self):
+        low, high = run_ping_experiment([1.0, 9.5], duration_ms=20_000.0)
+        assert high.mean_rtt_ms > low.mean_rtt_ms
+
+    def test_disabled_faults_match_no_faults_exactly(self):
+        clean = run_ping_experiment([4.0], duration_ms=5_000.0, seed=1)
+        disabled = run_ping_experiment(
+            [4.0], duration_ms=5_000.0, seed=1, faults=FaultPlan()
+        )
+        assert clean[0].rtts_ms == disabled[0].rtts_ms
+
+    def test_faulted_wire_loses_probes_and_is_deterministic(self):
+        kwargs = dict(duration_ms=30_000.0, seed=1)
+        plan = FaultPlan(loss=0.4, seed=9)
+        (clean,) = run_ping_experiment([2.0], **kwargs)
+        (faulted,) = run_ping_experiment([2.0], faults=plan, **kwargs)
+        (again,) = run_ping_experiment([2.0], faults=plan, **kwargs)
+        assert len(faulted.rtts_ms) < len(clean.rtts_ms)
+        assert faulted.rtts_ms == again.rtts_ms
+
+    def test_jitter_inflates_rtt_variance(self):
+        kwargs = dict(duration_ms=30_000.0, seed=1)
+        (clean,) = run_ping_experiment([2.0], **kwargs)
+        (jittered,) = run_ping_experiment(
+            [2.0], faults=FaultPlan(jitter_ms=5.0, seed=3), **kwargs
+        )
+        assert jittered.rtt_variance > clean.rtt_variance

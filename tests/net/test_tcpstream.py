@@ -1,0 +1,239 @@
+"""Dedicated coverage for the TCP stream model and its recovery machinery.
+
+The clean-link path (fire-and-forget segments) predates the fault layer
+and must not change; the reliable path adds Jacobson RTO estimation,
+exponential backoff, Karn's rule, and bounded retransmission.
+"""
+
+import pytest
+
+from repro.errors import NetworkError
+from repro.net import (
+    DEFAULT_MAX_RETRIES,
+    RTO_INITIAL_MS,
+    RTO_MAX_MS,
+    RTO_MIN_MS,
+    FaultPlan,
+    FaultyLink,
+    Link,
+    Message,
+    RtoEstimator,
+    TcpConnection,
+)
+from repro.net.tcpstream import RTO_ALPHA, RTO_BETA
+from repro.obs import observe
+from repro.sim import Simulator
+
+
+class TestRtoEstimator:
+    def test_initial_timeout_before_any_sample(self):
+        assert RtoEstimator().rto_ms == RTO_INITIAL_MS
+
+    def test_first_sample_seeds_srtt_and_rttvar(self):
+        est = RtoEstimator()
+        est.observe(100.0)
+        assert est.srtt_ms == 100.0
+        assert est.rttvar_ms == 50.0
+        assert est.rto_ms == min(RTO_MAX_MS, 100.0 + 4 * 50.0)
+
+    def test_jacobson_smoothing_update(self):
+        est = RtoEstimator()
+        est.observe(100.0)
+        est.observe(200.0)
+        # rttvar then srtt, in RFC 6298 order.
+        expected_var = 50.0 + RTO_BETA * (abs(200.0 - 100.0) - 50.0)
+        expected_srtt = 100.0 + RTO_ALPHA * (200.0 - 100.0)
+        assert est.rttvar_ms == pytest.approx(expected_var)
+        assert est.srtt_ms == pytest.approx(expected_srtt)
+        assert est.rto_ms == pytest.approx(
+            expected_srtt + 4.0 * expected_var
+        )
+
+    def test_steady_rtt_converges_toward_floor(self):
+        est = RtoEstimator()
+        for __ in range(200):
+            est.observe(5.0)
+        # Variance decays to ~0; the floor clamp takes over.
+        assert est.rto_ms == RTO_MIN_MS
+
+    def test_ceiling_clamp(self):
+        est = RtoEstimator()
+        est.observe(10_000.0)
+        assert est.rto_ms == RTO_MAX_MS
+
+    def test_validation(self):
+        with pytest.raises(NetworkError):
+            RtoEstimator(initial_ms=0.0)
+        with pytest.raises(NetworkError):
+            RtoEstimator(min_ms=20.0, max_ms=10.0)
+        with pytest.raises(NetworkError):
+            RtoEstimator().observe(-1.0)
+
+
+class TestUnreliablePath:
+    def test_message_delivered_on_clean_link(self):
+        sim = Simulator()
+        conn = TcpConnection(sim, Link(sim))
+        got = []
+        msg = conn.send_message("input", 64, kind="key", on_delivered=got.append)
+        sim.run_until(1_000.0)
+        assert got == [msg]
+        assert msg.delivered_at is not None and msg.delivered_at > 0.0
+        assert conn.retransmits == conn.timeouts_fired == 0
+
+    def test_large_message_segments_at_mtu(self):
+        sim = Simulator()
+        link = Link(sim)
+        conn = TcpConnection(sim, link)
+        conn.send_message("display", 4_000)
+        sim.run_until(1_000.0)
+        assert link.packets_sent == 3  # 4000 B over a 1460 B MSS
+
+    def test_message_validation(self):
+        with pytest.raises(NetworkError):
+            Message("input", 0)
+
+    def test_channel_accounting(self):
+        sim = Simulator()
+        conn = TcpConnection(sim, Link(sim))
+        conn.send_message("input", 10)
+        conn.send_message("display", 10)
+        conn.send_message("input", 10)
+        assert len(conn.channel_messages("input")) == 2
+        assert len(conn.channel_messages("display")) == 1
+
+
+class TestReliablePath:
+    def test_clean_link_needs_no_retransmits(self):
+        sim = Simulator()
+        conn = TcpConnection(sim, Link(sim), reliable=True)
+        got = []
+        conn.send_message("input", 64, on_delivered=got.append)
+        sim.run_until(10_000.0)
+        assert len(got) == 1
+        assert conn.retransmits == conn.timeouts_fired == 0
+        # The delivery produced an RTT sample.
+        assert conn.rto.srtt_ms is not None
+
+    def test_multi_segment_message_completes_when_all_segments_land(self):
+        sim = Simulator()
+        conn = TcpConnection(sim, Link(sim), reliable=True)
+        got = []
+        conn.send_message("display", 4_000, on_delivered=got.append)
+        sim.run_until(10_000.0)
+        assert len(got) == 1
+
+    def test_loss_is_recovered_by_retransmission(self):
+        sim = Simulator()
+        link = FaultyLink(sim, FaultPlan(loss=0.3, seed=4))
+        conn = TcpConnection(sim, link, reliable=True)
+        got = []
+        for __ in range(20):
+            conn.send_message("input", 64, on_delivered=got.append)
+        sim.run_until(60_000.0)
+        assert len(got) == 20
+        assert conn.retransmits > 0
+        assert conn.segments_abandoned == 0
+
+    def test_backoff_doubles_per_attempt(self):
+        """RTO backoff timing: with no RTT samples the timer fires at
+        rto, 2*rto, 4*rto ... after each (re)transmission."""
+        with observe() as obs:
+            sim = Simulator()
+            link = FaultyLink(sim, FaultPlan(loss=1.0))  # nothing survives
+            conn = TcpConnection(sim, link, reliable=True, max_retries=3)
+            conn.send_message("input", 64)
+            sim.run_until(60_000.0)
+        rexmit_times = [
+            e["t"] for e in obs.tracer.events if e["kind"] == "net.retransmit"
+        ]
+        abandon_times = [
+            e["t"]
+            for e in obs.tracer.events
+            if e["kind"] == "net.segment_abandoned"
+        ]
+        r = RTO_INITIAL_MS
+        # Retransmissions at r, r+2r, r+2r+4r; abandonment one 8r wait later.
+        assert rexmit_times == pytest.approx([r, 3 * r, 7 * r])
+        assert abandon_times == pytest.approx([15 * r])
+        assert conn.retransmits == 3
+        assert conn.timeouts_fired == 4
+        assert conn.segments_abandoned == 1
+
+    def test_backoff_is_capped_at_rto_max(self):
+        sim = Simulator()
+        link = FaultyLink(sim, FaultPlan(loss=1.0))
+        conn = TcpConnection(sim, link, reliable=True)  # 8 retries
+        conn.send_message("input", 64)
+        sim.run_until(10 * 60_000.0)
+        # Sum of the waits: initial*2^k capped at RTO_MAX each round.
+        waits = [
+            min(RTO_MAX_MS, RTO_INITIAL_MS * (2**k))
+            for k in range(DEFAULT_MAX_RETRIES + 1)
+        ]
+        assert conn.segments_abandoned == 1
+        assert conn.timeouts_fired == DEFAULT_MAX_RETRIES + 1
+        assert sim.now >= sum(waits)
+
+    def test_abandoned_message_never_reports_delivery(self):
+        sim = Simulator()
+        link = FaultyLink(sim, FaultPlan(loss=1.0))
+        conn = TcpConnection(sim, link, reliable=True, max_retries=1)
+        got = []
+        msg = conn.send_message("input", 64, on_delivered=got.append)
+        sim.run_until(60_000.0)
+        assert got == []
+        assert msg.delivered_at is None
+        assert conn.segments_abandoned == 1
+
+    def test_karns_rule_ignores_retransmitted_samples(self):
+        """A segment that was retransmitted must not feed the estimator:
+        on a slow wire the original outlives the timer, gets retransmitted,
+        then arrives — and srtt stays unseeded."""
+        sim = Simulator()
+        link = Link(sim, bandwidth_mbps=0.001)  # 64 B wire-framed ~ 850 ms
+        conn = TcpConnection(sim, link, reliable=True, max_retries=2)
+        got = []
+        conn.send_message("input", 64, on_delivered=got.append)
+        sim.run_until(60_000.0)
+        assert len(got) == 1  # the original did arrive eventually
+        assert conn.retransmits >= 1
+        assert conn.rto.srtt_ms is None  # Karn: no ambiguous samples
+
+    def test_duplicate_delivery_acks_once(self):
+        """The retransmitted copy of an already-acked segment is ignored:
+        message completion fires exactly once."""
+        sim = Simulator()
+        link = Link(sim, bandwidth_mbps=0.001)
+        conn = TcpConnection(sim, link, reliable=True, max_retries=3)
+        got = []
+        conn.send_message("input", 64, on_delivered=got.append)
+        sim.run_until(600_000.0)
+        assert len(got) == 1
+
+    def test_max_retries_zero_abandons_on_first_timeout(self):
+        sim = Simulator()
+        link = FaultyLink(sim, FaultPlan(loss=1.0))
+        conn = TcpConnection(sim, link, reliable=True, max_retries=0)
+        conn.send_message("input", 64)
+        sim.run_until(10_000.0)
+        assert conn.timeouts_fired == 1
+        assert conn.retransmits == 0
+        assert conn.segments_abandoned == 1
+
+    def test_negative_max_retries_rejected(self):
+        sim = Simulator()
+        with pytest.raises(NetworkError):
+            TcpConnection(sim, Link(sim), max_retries=-1)
+
+    def test_recovery_counters_reach_the_obs_layer(self):
+        with observe() as obs:
+            sim = Simulator()
+            link = FaultyLink(sim, FaultPlan(loss=1.0))
+            conn = TcpConnection(sim, link, reliable=True, max_retries=2)
+            conn.send_message("input", 64)
+            sim.run_until(60_000.0)
+        counters = obs.snapshot()["metrics"]["counters"]
+        assert counters["net.retransmits"] == conn.retransmits == 2
+        assert counters["net.timeouts_fired"] == conn.timeouts_fired == 3
+        assert counters["net.segments_abandoned"] == 1

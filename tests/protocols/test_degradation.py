@@ -1,0 +1,193 @@
+"""Graceful-degradation policies: how each protocol rides out a bad wire.
+
+The fault layer (:mod:`repro.net.faults`) notifies protocol encoders of
+corruption and outages; each protocol degrades the way its real
+implementation would:
+
+* **RDP** — a corrupt frame may have carried a cache install, so the
+  client bitmap cache is suspect: the next N draws ship in full even on a
+  server-side hit, re-priming the client copy.
+* **X** — during an outage Xlib's buffer keeps filling; the encoder
+  batches more requests per write until the wire returns.
+* **LBX** — the proxy's delta chain desynchronizes on loss; the next N
+  input events travel full-size to re-sync, then compression resumes.
+"""
+
+from repro.gui.drawing import Bitmap, DrawBitmap, DrawText
+from repro.gui.input import KeyPress
+from repro.net import FaultPlan, FaultyLink, Packet
+from repro.protocols import make_protocol
+from repro.protocols.base import RemoteDisplayProtocol
+from repro.protocols.lbx import LBX_FULL_EVENT_BYTES, LBX_RESYNC_EVENTS, LBXProtocol
+from repro.protocols.rdp import (
+    ORDER_MEMBLT,
+    RDP_CORRUPTION_BYPASS_DRAWS,
+    RDPProtocol,
+)
+from repro.protocols.x11 import X_OUTAGE_BATCH_FACTOR, XLIB_FLUSH_BYTES, XProtocol
+from repro.sim import Simulator
+
+BITMAP = Bitmap("banner", 64, 64)
+
+
+class TestBaseHooks:
+    def test_default_hooks_are_no_ops(self):
+        for name in ("rdp", "x", "lbx"):
+            proto = make_protocol(name)
+            assert isinstance(proto, RemoteDisplayProtocol)
+            # The base contract: hooks exist, never raise, report state.
+            proto.on_corruption()
+            proto.on_outage(True)
+            proto.on_outage(False)
+            assert isinstance(proto.degradation_state(), dict)
+
+    def test_retry_policy_surface(self):
+        for name in ("rdp", "x", "lbx"):
+            proto = make_protocol(name)
+            assert proto.max_message_retries >= 0
+            assert proto.message_timeout_ms is None or proto.message_timeout_ms > 0
+
+
+class TestRdpCacheBypass:
+    def hit_size(self, rdp):
+        """Order bytes for a draw of BITMAP (already cached iff hit)."""
+        return sum(rdp.order_sizes_for(DrawBitmap(BITMAP)))
+
+    def test_corruption_forces_full_bitmaps_despite_cache_hits(self):
+        rdp = RDPProtocol()
+        first = self.hit_size(rdp)  # miss: cache install + memblt
+        assert self.hit_size(rdp) == ORDER_MEMBLT  # now a pure hit
+        rdp.on_corruption()
+        assert rdp.degradation_state()["cache_bypass_draws"] == (
+            RDP_CORRUPTION_BYPASS_DRAWS
+        )
+        # A hit during re-sync ships the full bitmap again.
+        assert self.hit_size(rdp) == first
+        assert rdp.degradation_state()["cache_bypass_draws"] == (
+            RDP_CORRUPTION_BYPASS_DRAWS - 1
+        )
+
+    def test_bypass_window_expires(self):
+        rdp = RDPProtocol()
+        self.hit_size(rdp)  # prime
+        rdp.on_corruption()
+        for __ in range(RDP_CORRUPTION_BYPASS_DRAWS):
+            assert self.hit_size(rdp) > ORDER_MEMBLT
+        # Window exhausted: hits are cheap again.
+        assert self.hit_size(rdp) == ORDER_MEMBLT
+        assert rdp.degradation_state()["cache_bypass_draws"] == 0
+
+    def test_non_bitmap_orders_unaffected(self):
+        rdp = RDPProtocol()
+        before = rdp.order_sizes_for(DrawText(10))
+        rdp.on_corruption()
+        assert rdp.order_sizes_for(DrawText(10)) == before
+
+    def test_reset_clears_bypass(self):
+        rdp = RDPProtocol()
+        rdp.on_corruption()
+        rdp.reset()
+        assert rdp.degradation_state()["cache_bypass_draws"] == 0
+
+
+class TestXOutageBatching:
+    # Enough small text runs to overflow several Xlib buffers.
+    OPS = [DrawText(40) for __ in range(120)]
+
+    def test_outage_quadruples_the_flush_threshold(self):
+        x = XProtocol()
+        assert x.flush_bytes == XLIB_FLUSH_BYTES
+        x.on_outage(True)
+        assert x.flush_bytes == XLIB_FLUSH_BYTES * X_OUTAGE_BATCH_FACTOR
+        x.on_outage(False)
+        assert x.flush_bytes == XLIB_FLUSH_BYTES
+
+    def test_batching_produces_fewer_larger_writes(self):
+        clean = XProtocol().encode_display_step(self.OPS)
+        x = XProtocol()
+        x.on_outage(True)
+        batched = x.encode_display_step(self.OPS)
+        assert len(batched) < len(clean)
+        assert sum(m.payload_bytes for m in batched) == sum(
+            m.payload_bytes for m in clean
+        )
+
+    def test_nested_outages_restore_only_at_depth_zero(self):
+        x = XProtocol()
+        x.on_outage(True)
+        x.on_outage(True)  # overlapping windows
+        x.on_outage(False)
+        assert x.flush_bytes == XLIB_FLUSH_BYTES * X_OUTAGE_BATCH_FACTOR
+        assert x.degradation_state()["outage_depth"] == 1
+        x.on_outage(False)
+        assert x.flush_bytes == XLIB_FLUSH_BYTES
+        assert x.degradation_state()["outage_depth"] == 0
+
+    def test_spurious_outage_end_is_ignored(self):
+        x = XProtocol()
+        x.on_outage(False)  # no outage open
+        assert x.flush_bytes == XLIB_FLUSH_BYTES
+        assert x.degradation_state()["outage_depth"] == 0
+
+
+class TestLbxResync:
+    def test_corruption_ships_full_events(self):
+        lbx = LBXProtocol()
+        lbx.on_corruption()
+        assert lbx.degradation_state()["resync_events"] == LBX_RESYNC_EVENTS
+        (msg,) = lbx.encode_input_step([KeyPress(65)])
+        assert msg.payload_bytes == LBX_FULL_EVENT_BYTES
+        assert msg.kind == "full-event"
+        assert lbx.degradation_state()["resync_events"] == LBX_RESYNC_EVENTS - 1
+
+    def test_resync_window_expires_and_compression_resumes(self):
+        lbx = LBXProtocol()
+        baseline = lbx.encode_input_step([KeyPress(65)])
+        lbx.on_corruption()
+        for __ in range(LBX_RESYNC_EVENTS):
+            (msg,) = lbx.encode_input_step([KeyPress(65)])
+            assert msg.kind == "full-event"
+        after = lbx.encode_input_step([KeyPress(65)])
+        assert [m.payload_bytes for m in after] == [
+            m.payload_bytes for m in baseline
+        ]
+        assert lbx.degradation_state()["resync_events"] == 0
+
+    def test_outage_delegates_to_the_proxied_x_stream(self):
+        lbx = LBXProtocol()
+        lbx.on_outage(True)
+        assert lbx.x.flush_bytes == XLIB_FLUSH_BYTES * X_OUTAGE_BATCH_FACTOR
+        assert lbx.degradation_state()["outage_depth"] == 1
+        lbx.on_outage(False)
+        assert lbx.x.flush_bytes == XLIB_FLUSH_BYTES
+
+    def test_reset_clears_resync(self):
+        lbx = LBXProtocol()
+        lbx.on_corruption()
+        lbx.reset()
+        assert lbx.degradation_state()["resync_events"] == 0
+
+
+class TestEndToEndNotification:
+    """A FaultyLink actually drives these hooks — no manual calls."""
+
+    def test_corrupt_wire_triggers_rdp_bypass(self):
+        sim = Simulator()
+        link = FaultyLink(sim, FaultPlan(corrupt=1.0))
+        rdp = RDPProtocol()
+        link.add_listener(rdp)
+        link.send(Packet(200), lambda p: None)
+        sim.run_until(1_000.0)
+        assert rdp.degradation_state()["cache_bypass_draws"] == (
+            RDP_CORRUPTION_BYPASS_DRAWS
+        )
+
+    def test_outage_window_batches_x(self):
+        sim = Simulator()
+        link = FaultyLink(sim, FaultPlan(outages=((10.0, 20.0),)))
+        x = XProtocol()
+        link.add_listener(x)
+        sim.run_until(15.0)
+        assert x.flush_bytes == XLIB_FLUSH_BYTES * X_OUTAGE_BATCH_FACTOR
+        sim.run_until(1_000.0)
+        assert x.flush_bytes == XLIB_FLUSH_BYTES
