@@ -1,0 +1,282 @@
+#!/usr/bin/env python
+"""Kernel micro/macro performance suite — writes and checks BENCH_kernel.json.
+
+Micro benchmarks drive the two kernel implementations (the optimized
+:mod:`repro.sim.engine` and the frozen :mod:`repro.sim.engine_reference`)
+through the event patterns that dominate real experiment profiles:
+
+* ``one_shot``      — distinct-timestamp one-shot events (heap-bound path);
+* ``periodic``      — many fixed-interval clock ticks (the timer-wheel lane);
+* ``signal_storm``  — equal-timestamp wake bursts (bucket FIFO lane);
+* ``cancel_churn``  — events cancelled while sitting in the wheel;
+* ``process_sleep`` — generator processes sleeping in a loop.
+
+Macro benchmarks time full CLI experiments (``repro run <exp>``) end to end
+on the optimized kernel; the per-experiment wall times feed the
+EXPERIMENTS.md wall-time column.
+
+Usage::
+
+    python benchmarks/perf/bench_kernel.py --out BENCH_kernel.json
+    python benchmarks/perf/bench_kernel.py --check BENCH_kernel.json
+
+``--check`` re-runs the micro suite and fails (exit 1) when either the
+fast-vs-reference *speedup ratio* of any micro benchmark regresses by more
+than 25% against the committed file, or the overall untraced speedup falls
+below the 2x floor this PR claims.  Ratios, not absolute ops/s, are
+compared so the gate is stable across differently-sized CI machines.
+"""
+
+from __future__ import annotations
+
+import argparse
+import io
+import json
+import os
+import sys
+import time
+from typing import Callable, Dict
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.dirname(os.path.abspath(__file__))))
+sys.path.insert(0, os.path.join(REPO_ROOT, "src"))
+
+from repro.sim import engine as fast_engine  # noqa: E402
+from repro.sim import engine_reference as ref_engine  # noqa: E402
+
+#: Headline floor: untraced event throughput must be at least this multiple
+#: of the reference kernel's (ISSUE 4 acceptance criterion).
+SPEEDUP_FLOOR = 2.0
+#: --check fails when a per-benchmark speedup drops below this fraction of
+#: the committed value.
+REGRESSION_TOLERANCE = 0.75
+
+MACRO_EXPERIMENTS = (
+    "fig1", "fig2", "fig3", "fig4", "fig5", "fig6", "fig7",
+    "fig8", "fig9", "chaos", "tab-mem", "tab-sessions", "tab-proto",
+    "tab-setup",
+)
+
+
+# -- micro benchmarks ---------------------------------------------------------
+
+
+def _bench_one_shot(mod) -> int:
+    """Distinct-timestamp one-shot events: the pure queue discipline."""
+    sim = mod.Simulator()
+    n = 120_000
+    noop = lambda: None  # noqa: E731
+    schedule = sim.schedule
+    for i in range(n):
+        schedule(float(i % 997) + i * 1e-6, noop)
+    sim.run_until(2_000.0)
+    return n
+
+
+def _bench_periodic(mod) -> int:
+    """50 fixed-interval tickers — the dominant clock-tick pattern."""
+    sim = mod.Simulator()
+    tasks = [
+        sim.every(1.0, (lambda: None), start=float(i % 10) / 10.0)
+        for i in range(50)
+    ]
+    sim.run_until(2_000.0)  # 50 x 2000 ticks
+    for task in tasks:
+        task.stop()
+    return 50 * 2_000
+
+
+def _bench_signal_storm(mod) -> int:
+    """Equal-timestamp wake bursts: many waiters resumed at one instant."""
+    sim = mod.Simulator()
+    fired = 0
+    rounds, waiters = 300, 100
+
+    def count(_value) -> None:
+        nonlocal fired
+        fired += 1
+
+    for r in range(rounds):
+        sig = mod.Signal(sim)
+        for _ in range(waiters):
+            sig.add_waiter(count)
+        sim.schedule_at(float(r), sig.succeed)
+    sim.run_until(float(rounds) + 1.0)
+    assert fired == rounds * waiters
+    return rounds * waiters
+
+
+def _bench_cancel_churn(mod) -> int:
+    """Half the scheduled events are cancelled while queued."""
+    sim = mod.Simulator()
+    n = 60_000
+    noop = lambda: None  # noqa: E731
+    events = [sim.schedule(float(i % 500), noop) for i in range(n)]
+    for event in events[::2]:
+        event.cancel()
+    sim.run_until(1_000.0)
+    return n
+
+
+def _bench_process_sleep(mod) -> int:
+    """Generator processes sleeping in a tight loop."""
+    sim = mod.Simulator()
+    laps = 2_000
+
+    def sleeper():
+        for _ in range(laps):
+            yield 1.0
+
+    for _ in range(20):
+        mod.Process(sim, sleeper())
+    sim.run_until(float(laps) + 10.0)
+    return 20 * laps
+
+
+MICRO_BENCHMARKS: Dict[str, Callable] = {
+    "one_shot": _bench_one_shot,
+    "periodic": _bench_periodic,
+    "signal_storm": _bench_signal_storm,
+    "cancel_churn": _bench_cancel_churn,
+    "process_sleep": _bench_process_sleep,
+}
+
+
+def _time_ops(fn: Callable, mod, repeats: int = 3) -> float:
+    """Best-of-*repeats* ops/s for one benchmark on one kernel module."""
+    best = 0.0
+    for _ in range(repeats):
+        start = time.perf_counter()
+        ops = fn(mod)
+        elapsed = time.perf_counter() - start
+        best = max(best, ops / elapsed)
+    return best
+
+
+def run_micro() -> dict:
+    results = {}
+    for name, fn in MICRO_BENCHMARKS.items():
+        fast = _time_ops(fn, fast_engine)
+        ref = _time_ops(fn, ref_engine)
+        results[name] = {
+            "fast_ops_per_s": round(fast),
+            "reference_ops_per_s": round(ref),
+            "speedup": round(fast / ref, 3),
+        }
+        print(
+            f"  {name:<14} fast {fast:>12,.0f} ops/s   "
+            f"reference {ref:>12,.0f} ops/s   {fast / ref:.2f}x",
+            file=sys.stderr,
+        )
+    return results
+
+
+def untraced_speedup(micro: dict) -> float:
+    """Aggregate untraced event-throughput speedup (geometric mean)."""
+    product = 1.0
+    for entry in micro.values():
+        product *= entry["speedup"]
+    return round(product ** (1.0 / len(micro)), 3)
+
+
+# -- macro benchmarks ---------------------------------------------------------
+
+
+def run_macro() -> dict:
+    from repro.cli import main as cli_main
+
+    results = {}
+    for name in MACRO_EXPERIMENTS:
+        sink = io.StringIO()
+        start = time.perf_counter()
+        code = cli_main(["run", name, "--seed", "1"], out=sink)
+        elapsed = time.perf_counter() - start
+        if code != 0:
+            raise SystemExit(f"experiment {name} failed during macro bench")
+        results[name] = {"wall_s": round(elapsed, 3)}
+        print(f"  {name:<12} {elapsed:.2f}s", file=sys.stderr)
+    return results
+
+
+# -- entry points -------------------------------------------------------------
+
+
+def write_bench(path: str, skip_macro: bool = False) -> dict:
+    print("micro (kernel event throughput):", file=sys.stderr)
+    micro = run_micro()
+    doc = {
+        "schema": 1,
+        "kernel_micro": micro,
+        "untraced_speedup": untraced_speedup(micro),
+    }
+    if not skip_macro:
+        print("macro (full experiments, optimized kernel):", file=sys.stderr)
+        doc["experiments"] = run_macro()
+    with open(path, "w") as fh:
+        json.dump(doc, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    print(
+        f"untraced speedup {doc['untraced_speedup']}x -> {path}",
+        file=sys.stderr,
+    )
+    return doc
+
+
+def check_bench(path: str) -> int:
+    with open(path) as fh:
+        committed = json.load(fh)
+    print("micro (kernel event throughput):", file=sys.stderr)
+    micro = run_micro()
+    failures = []
+    for name, entry in micro.items():
+        baseline = committed.get("kernel_micro", {}).get(name)
+        if baseline is None:
+            continue
+        floor = baseline["speedup"] * REGRESSION_TOLERANCE
+        if entry["speedup"] < floor:
+            failures.append(
+                f"{name}: speedup {entry['speedup']:.2f}x is below "
+                f"{floor:.2f}x (>25% regression vs committed "
+                f"{baseline['speedup']:.2f}x)"
+            )
+    overall = untraced_speedup(micro)
+    if overall < SPEEDUP_FLOOR:
+        failures.append(
+            f"untraced speedup {overall:.2f}x is below the "
+            f"{SPEEDUP_FLOOR:.1f}x floor"
+        )
+    if failures:
+        for failure in failures:
+            print(f"PERF REGRESSION: {failure}", file=sys.stderr)
+        return 1
+    print(f"perf smoke ok: untraced speedup {overall:.2f}x", file=sys.stderr)
+    return 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    group = parser.add_mutually_exclusive_group(required=True)
+    group.add_argument("--out", metavar="FILE", help="write BENCH_kernel.json")
+    group.add_argument(
+        "--check",
+        metavar="FILE",
+        help="re-run micro benches; fail on >25% speedup regression",
+    )
+    parser.add_argument(
+        "--micro-only",
+        action="store_true",
+        help="with --out, skip the macro experiment timings",
+    )
+    args = parser.parse_args(argv)
+    if fast_engine.KERNEL != "fast":
+        parser.error(
+            "benchmarks must run with the optimized kernel selected "
+            "(unset REPRO_KERNEL)"
+        )
+    if args.check:
+        return check_bench(args.check)
+    write_bench(args.out, skip_macro=args.micro_only)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -68,6 +68,13 @@ class CPU:
         self._last_thread: Optional[Thread] = None
         self._dispatching = False
         self._obs = current_observation()
+        # Instrument handles resolved lazily on first use, so a CPU that
+        # never switches/dispatches registers exactly the metrics the seed
+        # kernel's artifacts would contain — and the per-slice bookkeeping
+        # below skips the registry's name lookups.
+        self._switch_counter = None
+        self._dispatch_counter = None
+        self._rq_gauge = None
 
     # -- thread management --------------------------------------------------
 
@@ -153,30 +160,39 @@ class CPU:
         self.scheduler.enqueue_preempted(thread)
 
     def _charge_current(self) -> None:
-        """Account for the partial slice the current thread has run."""
+        """Account for the partial slice the current thread has run.
+
+        This is the per-quantum bookkeeping hot spot: one call per slice
+        boundary, so the whole account — time, quantum, burst progress,
+        both interval traces — is computed once on locals and written back
+        in a single pass.
+        """
         thread = self.current
         assert thread is not None
-        elapsed = self.sim.now - self._slice_start
+        now = self.sim.now
+        start = self._slice_start
+        elapsed = now - start
         if elapsed <= 0:
             return
-        overhead = min(self._slice_cs, elapsed)
+        overhead = self._slice_cs
+        if overhead > elapsed:
+            overhead = elapsed
         self._slice_cs -= overhead
         thread.cpu_time += elapsed
-        thread.last_ran_at = self.sim.now
+        thread.last_ran_at = now
         thread.remaining_quantum -= elapsed
         burst = thread.current_burst
         assert burst is not None
         if not burst.is_infinite:
-            burst.remaining = max(
-                0.0, burst.remaining - (elapsed - overhead) * self.speed
-            )
-        self.busy_trace.record(self._slice_start, self.sim.now)
+            remaining = burst.remaining - (elapsed - overhead) * self.speed
+            burst.remaining = remaining if remaining > 0.0 else 0.0
+        self.busy_trace.record(start, now)
         trace = self.thread_traces.get(thread.name)
         if trace is None:
             trace = IntervalTrace(thread.name)
             self.thread_traces[thread.name] = trace
-        trace.record(self._slice_start, self.sim.now)
-        self._slice_start = self.sim.now
+        trace.record(start, now)
+        self._slice_start = now
 
     def _cancel_slice(self) -> None:
         if self._slice_event is not None:
@@ -223,24 +239,34 @@ class CPU:
         thread.dispatch_count += 1
         self.current = thread
         self._slice_start = self.sim.now
+        obs = self._obs
         if thread is not self._last_thread:
             self._slice_cs = self.context_switch_ms
             if self._last_thread is not None:
                 self.context_switches += 1
-                if self._obs is not None:
-                    self._obs.metrics.counter("cpu.context_switches").inc()
-                    self._obs.trace(
+                if obs is not None:
+                    counter = self._switch_counter
+                    if counter is None:
+                        counter = self._switch_counter = obs.metrics.counter(
+                            "cpu.context_switches"
+                        )
+                    counter.inc()
+                    obs.trace(
                         self.sim.now,
                         "cpu.switch",
                         cpu=self.name,
                         prev=self._last_thread.name,
                         next=thread.name,
                     )
-        if self._obs is not None:
-            self._obs.metrics.counter("cpu.dispatches").inc()
-            self._obs.metrics.gauge("cpu.run_queue_depth").set(
-                self.scheduler.runnable_count()
-            )
+        if obs is not None:
+            counter = self._dispatch_counter
+            if counter is None:
+                counter = self._dispatch_counter = obs.metrics.counter(
+                    "cpu.dispatches"
+                )
+                self._rq_gauge = obs.metrics.gauge("cpu.run_queue_depth")
+            counter.inc()
+            self._rq_gauge.set(self.scheduler.runnable_count())
         self._last_thread = thread
 
         self._slice_event = self.sim.schedule(

@@ -109,6 +109,12 @@ class SweepExecutor:
         self.last_fallback_reason: Optional[str] = None
         #: The backend the last sweep actually used.
         self.last_backend_used: Optional[str] = None
+        #: Wall time of the last sweep, seconds (cache lookups included).
+        self.last_elapsed_s: float = 0.0
+        #: Per-point compute seconds from the last sweep, keyed by parameter
+        #: index; cached points are absent.  ``benchmarks/perf`` reads this
+        #: to attribute experiment wall time to individual sweep points.
+        self.last_point_seconds: dict = {}
 
     # -- the engine -----------------------------------------------------
 
@@ -145,9 +151,11 @@ class SweepExecutor:
                     continue
             pending.append((index, value))
 
+        self.last_point_seconds = point_seconds = {}
         backend = self._resolve_backend(run_fn, len(pending))
         for index, seconds, result in backend.map(run_fn, pending):
             results[index] = result
+            point_seconds[index] = seconds
             if self.cache is not None:
                 self.cache.store(cache_name, values[index], seed, result)
             self._progress(
@@ -156,6 +164,7 @@ class SweepExecutor:
             )
 
         elapsed = time.perf_counter() - start
+        self.last_elapsed_s = elapsed
         cached = total - len(pending)
         self._progress(
             f"{name}: {total} points in {elapsed:.2f}s "

@@ -8,6 +8,7 @@ from .drawing import (
     DrawText,
     DrawWidget,
     FillRect,
+    RestoreRegion,
 )
 from .input import InputEvent, KeyPress, KeyRelease, MouseButton, MouseMove
 from .session import (
@@ -33,6 +34,7 @@ __all__ = [
     "KeyRelease",
     "MouseButton",
     "MouseMove",
+    "RestoreRegion",
     "SessionSetup",
     "SetupMessage",
     "TO_CLIENT",

@@ -74,6 +74,11 @@ class VirtualMemory:
         self.total_evictions = 0
         self.total_writebacks = 0
         self._obs = current_observation()
+        # Lazily-resolved instrument handle: the hit path is the hottest
+        # loop in the memory experiments and must not pay a registry name
+        # lookup per access (and a VM that is never touched must not
+        # register a zero-valued counter).
+        self._hits_counter = None
 
     # -- process management ----------------------------------------------------
 
@@ -110,7 +115,7 @@ class VirtualMemory:
             space.hits += 1
             self.total_hits += 1
             if self._obs is not None:
-                self._obs.metrics.counter("mem.hits").inc()
+                self._count_hits(1)
             return AccessResult(self.HIT_LATENCY_MS, False, 0, 0)
 
         # Page fault: bring in vpn plus up to read_cluster-1 following pages.
@@ -152,11 +157,43 @@ class VirtualMemory:
     def touch_sequential(
         self, space: AddressSpace, start_vpn: int, npages: int, *, write: bool = False
     ) -> float:
-        """Touch ``[start_vpn, start_vpn + npages)`` in order; total latency."""
+        """Touch ``[start_vpn, start_vpn + npages)`` in order; total latency.
+
+        Batch-aware: runs of hits are accounted inline — no per-page
+        :class:`AccessResult` allocation, one counter update per run —
+        and only faults take the full :meth:`touch` path.  Totals
+        (``space.hits``, ``total_hits``, the ``mem.hits`` counter) end
+        identical to *npages* individual :meth:`touch` calls.
+        """
         total = 0.0
+        hit_run = 0
+        hit_latency = self.HIT_LATENCY_MS
+        lookup = space.lookup
+        access = self.policy.access
+        num_pages = space.num_pages
         for vpn in range(start_vpn, start_vpn + npages):
-            total += self.touch(space, vpn % space.num_pages, write=write).latency_ms
+            v = vpn % num_pages
+            frame = lookup(v)
+            if frame is not None:
+                access(frame)
+                if write:
+                    frame.dirty = True
+                hit_run += 1
+                total += hit_latency
+            else:
+                total += self.touch(space, v, write=write).latency_ms
+        if hit_run:
+            space.hits += hit_run
+            self.total_hits += hit_run
+            if self._obs is not None:
+                self._count_hits(hit_run)
         return total
+
+    def _count_hits(self, n: int) -> None:
+        counter = self._hits_counter
+        if counter is None:
+            counter = self._hits_counter = self._obs.metrics.counter("mem.hits")
+        counter.inc(n)
 
     def resident_fraction(self, space: AddressSpace) -> float:
         """Fraction of *space*'s pages currently in physical memory."""

@@ -15,6 +15,7 @@ for coax).
 from __future__ import annotations
 
 from collections import deque
+from functools import partial
 from typing import Callable, Deque, Optional, Tuple
 
 from ..errors import NetworkError
@@ -59,11 +60,18 @@ class Link:
 
         self._queue: Deque[Tuple[Packet, Optional[DeliveryCallback]]] = deque()
         self._transmitting = False
+        self._in_flight: Optional[Tuple[Packet, Optional[DeliveryCallback]]] = None
         self.trace = ByteTrace(name)  #: every packet, stamped at send-complete
         self.packets_sent = 0
         self.bytes_sent = 0
         self.packets_dropped = 0
         self._obs = current_observation()
+        # Instrument handles, resolved lazily on first use (not in __init__:
+        # a link that never sends/drops must not register zero-valued
+        # metrics the seed kernel's artifacts wouldn't contain).
+        self._sent_counter = None
+        self._bytes_counter = None
+        self._depth_gauge = None
 
     @property
     def queue_depth(self) -> int:
@@ -82,7 +90,7 @@ class Link:
                 # Publish the depth that caused the drop *before* counting
                 # it, so a consumer never sees the drop counter move while
                 # the gauge still shows a non-full queue.
-                self._obs.metrics.gauge("net.queue_depth").set(len(self._queue))
+                self._queue_depth_gauge().set(len(self._queue))
             self.packets_dropped += 1
             if self._obs is not None:
                 self._obs.metrics.counter("net.packets_dropped").inc()
@@ -97,38 +105,57 @@ class Link:
         packet.enqueued_at = self.sim.now
         self._queue.append((packet, on_delivered))
         if self._obs is not None:
-            self._obs.metrics.gauge("net.queue_depth").set(len(self._queue))
+            self._queue_depth_gauge().set(len(self._queue))
         if not self._transmitting:
             self._transmit_next()
 
+    def _queue_depth_gauge(self):
+        gauge = self._depth_gauge
+        if gauge is None:
+            gauge = self._depth_gauge = self._obs.metrics.gauge(
+                "net.queue_depth"
+            )
+        return gauge
+
     def _transmit_next(self) -> None:
+        # The wire is a single server, so exactly one packet is in flight at
+        # a time: its state lives on the link and send-complete is a reused
+        # bound method instead of a fresh closure per packet.
         if not self._queue:
             self._transmitting = False
             return
         self._transmitting = True
-        packet, on_delivered = self._queue.popleft()
-        transmit_ms = packet.wire_bytes / self.bytes_per_ms
+        entry = self._queue.popleft()
+        self._in_flight = entry
+        self.sim.schedule(entry[0].wire_bytes / self.bytes_per_ms, self._tx_done)
 
-        def done() -> None:
-            self.trace.record(self.sim.now, packet.wire_bytes)
-            self.packets_sent += 1
-            self.bytes_sent += packet.wire_bytes
-            if self._obs is not None:
-                self._obs.metrics.counter("net.packets_sent").inc()
-                self._obs.metrics.counter("net.bytes_sent").inc(
-                    packet.wire_bytes
-                )
-            if on_delivered is not None:
-                delivery_time = self.sim.now + self.propagation_ms
+    def _tx_done(self) -> None:
+        entry = self._in_flight
+        assert entry is not None
+        packet, on_delivered = entry
+        wire_bytes = packet.wire_bytes
+        self.trace.record(self.sim.now, wire_bytes)
+        self.packets_sent += 1
+        self.bytes_sent += wire_bytes
+        if self._obs is not None:
+            sent = self._sent_counter
+            if sent is None:
+                metrics = self._obs.metrics
+                sent = self._sent_counter = metrics.counter("net.packets_sent")
+                self._bytes_counter = metrics.counter("net.bytes_sent")
+            sent.inc()
+            self._bytes_counter.inc(wire_bytes)
+        if on_delivered is not None:
+            # Propagation delays overlap across packets, so delivery still
+            # needs per-packet state — a partial, not a nested closure pair.
+            self.sim.schedule(
+                self.propagation_ms, partial(self._deliver, packet, on_delivered)
+            )
+        self._transmit_next()
 
-                def deliver() -> None:
-                    packet.delivered_at = self.sim.now
-                    on_delivered(packet)
-
-                self.sim.schedule(self.propagation_ms, deliver)
-            self._transmit_next()
-
-        self.sim.schedule(transmit_ms, done)
+    def _deliver(self, packet: Packet, on_delivered: DeliveryCallback) -> None:
+        packet.delivered_at = self.sim.now
+        on_delivered(packet)
 
     def utilization(self, t0: float, t1: float) -> float:
         """Fraction of link capacity used over ``[t0, t1)``."""

@@ -1,8 +1,20 @@
-"""Deterministic discrete-event simulation kernel (optimized).
+"""The frozen *reference* discrete-event kernel.
+
+This module is the seed implementation of the simulation kernel, kept
+verbatim as the semantic baseline for the optimized kernel in
+:mod:`repro.sim.engine`.  Selecting it (``REPRO_KERNEL=reference`` in the
+environment before the first import) must produce **byte-identical**
+experiment artifacts — CSV, trace JSONL, metrics JSON — to the optimized
+path; ``tests/integration/test_kernel_equivalence.py`` enforces exactly
+that over every CLI experiment.
+
+Do not optimize this file.  It exists to stay slow and obviously correct.
+
+The original kernel description:
 
 This is the substrate under every experiment in the package.  It provides:
 
-* :class:`Simulator` — a clock plus a timestamp-bucketed event queue.
+* :class:`Simulator` — a clock plus a priority queue of timestamped events.
 * :class:`Event` — a cancellable handle for a scheduled callback.
 * :class:`Signal` — a one-shot condition that coroutine processes can wait on.
 * :class:`Process` — a lightweight generator-based process: the generator
@@ -15,53 +27,17 @@ increasing sequence number breaks ties), so a run is a pure function of its
 inputs and seeds.  No wall-clock time or global state is consulted anywhere.
 
 Time is in **milliseconds** (see :mod:`repro.units`).
-
-The fast queue
---------------
-The seed kernel kept a binary heap of :class:`Event` objects, which made
-every push/pop perform ``O(log n)`` *Python-level* ``Event.__lt__`` calls —
-the single largest cost in profile traces of the figure experiments.  This
-kernel replaces it with a hashed timer wheel:
-
-* ``_buckets`` maps each distinct pending timestamp to the FIFO list of
-  events scheduled at it (append order *is* sequence order, so the
-  equal-timestamp FIFO guarantee is structural);
-* ``_times`` is a heap of the distinct timestamps only, so every heap
-  comparison is a C-level float compare and repeated timestamps — periodic
-  clock ticks, same-tick signal wakes, t=0 spawn storms — cost one dict
-  append instead of a heap reshuffle.
-
-Cancelled events are never re-wrapped or re-heapified: cancellation sets a
-flag and dispatch skips the corpse when its bucket drains (lazy deletion).
-A fired event marks itself by dropping its action reference, which both
-releases the closure early and lets :attr:`Simulator.pending` distinguish
-fired from cancelled from live entries exactly.
-
-Observation hooks are bound once at construction: with tracing off every
-hook is a single ``is None`` test, so the untraced hot loop pays one pointer
-test per event.
-
-``REPRO_KERNEL=reference`` in the environment (read at import time) swaps
-in the frozen seed kernel from :mod:`repro.sim.engine_reference`; the
-differential-equivalence suite proves the two produce byte-identical
-experiment artifacts.
 """
 
 from __future__ import annotations
 
-import os
-from functools import partial
-from heapq import heappop, heappush
-from typing import Any, Callable, Dict, Generator, Iterable, List, Optional, Tuple
+import heapq
+from typing import Any, Callable, Generator, Iterable, List, Optional, Tuple
 
 from ..errors import SimulationError
 from ..obs import current_observation
 
 Action = Callable[[], Any]
-
-#: Which kernel implementation this module exports: ``"fast"`` (default) or
-#: ``"reference"`` (the frozen seed kernel, via ``REPRO_KERNEL=reference``).
-KERNEL = os.environ.get("REPRO_KERNEL", "fast").strip().lower() or "fast"
 
 
 class Event:
@@ -69,13 +45,12 @@ class Event:
 
     Instances are created by :meth:`Simulator.schedule` /
     :meth:`Simulator.schedule_at`; user code only ever calls :meth:`cancel`
-    and reads :attr:`time`.  After firing, :attr:`action` is cleared — the
-    kernel uses that as the "already fired" marker.
+    and reads :attr:`time`.
     """
 
     __slots__ = ("time", "seq", "action", "canceled")
 
-    def __init__(self, time: float, seq: int, action: Optional[Action]) -> None:
+    def __init__(self, time: float, seq: int, action: Action) -> None:
         self.time = time
         self.seq = seq
         self.action = action
@@ -117,14 +92,13 @@ class Signal:
         self.fired = True
         self.value = value
         waiters, self._waiters = self._waiters, []
-        schedule = self.sim.schedule
         for resume in waiters:
-            schedule(0.0, partial(resume, value))
+            self.sim.schedule(0.0, lambda r=resume: r(self.value))
 
     def add_waiter(self, resume: Callable[[Any], None]) -> None:
         """Register *resume* to be called with the signal's value on fire."""
         if self.fired:
-            self.sim.schedule(0.0, partial(resume, self.value))
+            self.sim.schedule(0.0, lambda: resume(self.value))
         else:
             self._waiters.append(resume)
 
@@ -145,65 +119,43 @@ class Process:
     processes can wait on each other.
     """
 
-    __slots__ = ("sim", "gen", "name", "done", "_wake")
-
     def __init__(self, sim: "Simulator", gen: ProcessGen, name: str = "") -> None:
         self.sim = sim
         self.gen = gen
         self.name = name or getattr(gen, "__name__", "process")
         self.done = Signal(sim)
-        # One resume callable for the process's whole life: sleeps reuse it
-        # instead of allocating a fresh closure per yield.
-        self._wake = partial(self._step, None)
         if sim.obs is not None:
             sim.obs.trace(sim.now, "proc.spawn", proc=self.name)
-        sim.schedule(0.0, self._wake)
+        sim.schedule(0.0, lambda: self._step(None))
 
     def _step(self, value: Any) -> None:
-        sim = self.sim
-        obs = sim.obs
+        obs = self.sim.obs
         if obs is not None:
-            obs.trace(sim.now, "proc.wake", proc=self.name)
+            obs.trace(self.sim.now, "proc.wake", proc=self.name)
         try:
             yielded = self.gen.send(value)
         except StopIteration as stop:
             if obs is not None:
-                obs.trace(sim.now, "proc.exit", proc=self.name)
+                obs.trace(self.sim.now, "proc.exit", proc=self.name)
             self.done.succeed(stop.value)
             return
-        tp = type(yielded)
-        if tp is float or tp is int:
-            # The dominant case: a plain sleep.  Checked first, via exact
-            # type, so the hot path skips two isinstance() calls.
-            if yielded < 0:
-                raise SimulationError(
-                    f"process {self.name!r} yielded a negative delay: {yielded}"
-                )
+        if isinstance(yielded, Signal):
             if obs is not None:
-                obs.trace(
-                    sim.now,
-                    "proc.sleep",
-                    proc=self.name,
-                    delay_ms=float(yielded),
-                )
-            sim.schedule(float(yielded), self._wake)
-        elif isinstance(yielded, Signal):
-            if obs is not None:
-                obs.trace(sim.now, "proc.wait", proc=self.name)
+                obs.trace(self.sim.now, "proc.wait", proc=self.name)
             yielded.add_waiter(self._step)
-        elif isinstance(yielded, (int, float)):  # int/float subclasses (bool)
+        elif isinstance(yielded, (int, float)):
             if yielded < 0:
                 raise SimulationError(
                     f"process {self.name!r} yielded a negative delay: {yielded}"
                 )
             if obs is not None:
                 obs.trace(
-                    sim.now,
+                    self.sim.now,
                     "proc.sleep",
                     proc=self.name,
                     delay_ms=float(yielded),
                 )
-            sim.schedule(float(yielded), self._wake)
+            self.sim.schedule(float(yielded), lambda: self._step(None))
         else:
             raise SimulationError(
                 f"process {self.name!r} yielded {yielded!r}; "
@@ -224,23 +176,10 @@ class Simulator:
         sim.run_until(1000.0)
     """
 
-    __slots__ = (
-        "_now",
-        "_seq",
-        "_times",
-        "_buckets",
-        "_running",
-        "obs",
-        "_dispatch_counter",
-    )
-
     def __init__(self) -> None:
         self._now = 0.0
         self._seq = 0
-        #: Heap of *distinct* pending timestamps (plain floats: C compares).
-        self._times: List[float] = []
-        #: timestamp -> FIFO list of events scheduled at it.
-        self._buckets: Dict[float, List[Event]] = {}
+        self._queue: List[Event] = []
         self._running = False
         # Ambient observation, bound at construction.  When tracing is off
         # this is None and every hook below is a single pointer test.
@@ -264,16 +203,7 @@ class Simulator:
         """Run *action* ``delay`` ms from now.  Returns a cancellable handle."""
         if delay < 0:
             raise SimulationError(f"cannot schedule {delay} ms in the past")
-        time = self._now + delay
-        event = Event(time, self._seq, action)
-        self._seq += 1
-        bucket = self._buckets.get(time)
-        if bucket is None:
-            self._buckets[time] = [event]
-            heappush(self._times, time)
-        else:
-            bucket.append(event)
-        return event
+        return self.schedule_at(self._now + delay, action)
 
     def schedule_at(self, time: float, action: Action) -> Event:
         """Run *action* at absolute simulation time *time* (ms)."""
@@ -283,12 +213,7 @@ class Simulator:
             )
         event = Event(time, self._seq, action)
         self._seq += 1
-        bucket = self._buckets.get(time)
-        if bucket is None:
-            self._buckets[time] = [event]
-            heappush(self._times, time)
-        else:
-            bucket.append(event)
+        heapq.heappush(self._queue, event)
         return event
 
     def every(
@@ -297,15 +222,13 @@ class Simulator:
         action: Action,
         *,
         start: Optional[float] = None,
-        jitter: Optional[Callable[[], float]] = None,
+        jitter: Callable[[], float] = lambda: 0.0,
     ) -> "PeriodicTask":
         """Run *action* every *interval* ms until the returned task is stopped.
 
         ``start`` defaults to one interval from now.  ``jitter`` is called
         before each firing and its result (ms) is added to that firing's
         delay — pass a seeded RNG-backed callable for noisy periodic work.
-        Omitting it takes the no-jitter fast lane (no callable invocation
-        per tick).
         """
         if interval <= 0:
             raise SimulationError("periodic interval must be positive")
@@ -329,35 +252,15 @@ class Simulator:
 
     def step(self) -> bool:
         """Fire the single next pending event.  Returns False if queue empty."""
-        times = self._times
-        buckets = self._buckets
-        while times:
-            t = times[0]
-            bucket = buckets[t]
-            i = 0
-            n = len(bucket)
-            while i < n:
-                event = bucket[i]
-                i += 1
-                action = event.action
-                if action is None or event.canceled:
-                    continue
-                # Trim the consumed prefix (fired/cancelled corpses plus
-                # this event) before running the action, so a same-time
-                # reschedule lands *after* the surviving remainder.
-                del bucket[:i]
-                if not bucket:
-                    heappop(times)
-                    del buckets[t]
-                event.action = None
-                self._now = t
-                if self._dispatch_counter is not None:
-                    self._dispatch_counter.inc()
-                action()
-                return True
-            # Every entry was cancelled or already fired: drop the bucket.
-            heappop(times)
-            del buckets[t]
+        while self._queue:
+            event = heapq.heappop(self._queue)
+            if event.canceled:
+                continue
+            self._now = event.time
+            if self._dispatch_counter is not None:
+                self._dispatch_counter.inc()
+            event.action()
+            return True
         return False
 
     def run_until(self, time: float) -> None:
@@ -374,37 +277,18 @@ class Simulator:
         if self._running:
             raise SimulationError("Simulator.run_until() is not reentrant")
         self._running = True
-        times = self._times
-        buckets = self._buckets
-        counter = self._dispatch_counter
         try:
-            while times:
-                t = times[0]
-                if t > time:
+            while self._queue:
+                event = self._queue[0]
+                if event.time > time:
                     break
-                self._now = t
-                # The bucket stays in the dict while it drains: actions
-                # that schedule back at time t append to this same list and
-                # the iterator picks them up, preserving sequence order
-                # without touching the heap.
-                bucket = buckets[t]
-                if counter is None:
-                    for event in bucket:
-                        action = event.action
-                        if action is None or event.canceled:
-                            continue
-                        event.action = None
-                        action()
-                else:
-                    for event in bucket:
-                        action = event.action
-                        if action is None or event.canceled:
-                            continue
-                        event.action = None
-                        counter.inc()
-                        action()
-                heappop(times)
-                del buckets[t]
+                heapq.heappop(self._queue)
+                if event.canceled:
+                    continue
+                self._now = event.time
+                if self._dispatch_counter is not None:
+                    self._dispatch_counter.inc()
+                event.action()
             self._now = time
         finally:
             self._running = False
@@ -427,27 +311,12 @@ class Simulator:
 
     @property
     def pending(self) -> int:
-        """Number of queued live events — a debugging aid.
-
-        Cancelled entries and already-fired corpses awaiting lazy cleanup
-        are never counted.
-        """
-        return sum(
-            1
-            for bucket in self._buckets.values()
-            for e in bucket
-            if e.action is not None and not e.canceled
-        )
-
-    def __len__(self) -> int:
-        """``len(sim)`` is the number of live (uncancelled, unfired) events."""
-        return self.pending
+        """Number of queued (possibly canceled) events — a debugging aid."""
+        return sum(1 for e in self._queue if not e.canceled)
 
 
 class PeriodicTask:
     """A repeating action created by :meth:`Simulator.every`."""
-
-    __slots__ = ("sim", "interval", "action", "jitter", "_stopped", "_event")
 
     def __init__(
         self,
@@ -456,7 +325,7 @@ class PeriodicTask:
         action: Action,
         *,
         start: Optional[float] = None,
-        jitter: Optional[Callable[[], float]] = None,
+        jitter: Callable[[], float] = lambda: 0.0,
     ) -> None:
         self.sim = sim
         self.interval = interval
@@ -464,21 +333,14 @@ class PeriodicTask:
         self.jitter = jitter
         self._stopped = False
         first_delay = interval if start is None else max(0.0, start - sim.now)
-        if jitter is not None:
-            first_delay += max(0.0, jitter())
-        self._event = sim.schedule(first_delay, self._fire)
+        self._event = sim.schedule(first_delay + max(0.0, jitter()), self._fire)
 
     def _fire(self) -> None:
         if self._stopped:
             return
         self.action()
         if not self._stopped:
-            jitter = self.jitter
-            if jitter is None:
-                # The fixed-interval fast lane: no jitter callable, no max().
-                delay = self.interval
-            else:
-                delay = self.interval + max(0.0, jitter())
+            delay = self.interval + max(0.0, self.jitter())
             self._event = self.sim.schedule(delay, self._fire)
 
     def stop(self) -> None:
@@ -515,21 +377,3 @@ def all_of(sim: Simulator, signals: Iterable[Signal]) -> Signal:
     for i, sig in enumerate(sigs):
         sig.add_waiter(make_waiter(i))
     return combined
-
-
-if KERNEL == "reference":
-    # The frozen seed kernel, selected via REPRO_KERNEL=reference.  Shadowing
-    # the names here means every `from repro.sim.engine import ...` in the
-    # package transparently gets the reference implementations.
-    from .engine_reference import (  # noqa: F811
-        Event,
-        PeriodicTask,
-        Process,
-        Signal,
-        Simulator,
-        all_of,
-    )
-elif KERNEL != "fast":
-    raise SimulationError(
-        f"unknown REPRO_KERNEL {KERNEL!r}; expected 'fast' or 'reference'"
-    )

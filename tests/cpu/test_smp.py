@@ -120,3 +120,15 @@ def test_interactive_latency_improves_with_more_cpus():
     assert latencies[4] <= latencies[2] <= latencies[1]
     # On 4 CPUs the echo shares with at most one sink: one quantum's wait.
     assert latencies[4] < 15.0
+
+
+def test_blocked_threads_still_spread_across_cpus():
+    """The placement tie-break: a fleet of *blocked* threads (all load 0 at
+    placement time) must round-robin across processors, not pile onto cpu0."""
+    sim, smp = make(cpu_count=4)
+    threads = [Thread(f"idle{i}") for i in range(8)]
+    for t in threads:
+        smp.add_thread(t)  # no bursts: every CPU reports load 0 throughout
+    homes = [smp.cpu_of(t).name for t in threads]
+    per_cpu = {name: homes.count(name) for name in set(homes)}
+    assert sorted(per_cpu.values()) == [2, 2, 2, 2]

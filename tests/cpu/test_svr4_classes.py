@@ -1,0 +1,132 @@
+"""Class-plumbing coverage for the SVR4 scheduler: SYS class, validation,
+queue maintenance (the paths the dynamics-focused tests never touch)."""
+
+import pytest
+
+from repro.cpu import CPU, DispatchTable, SVR4Scheduler, Thread
+from repro.cpu.svr4 import GLOBAL_LEVELS, SYS_BASE, TS_LEVELS
+from repro.errors import SchedulerError
+from repro.sim import Simulator
+
+
+def make(table=None):
+    sim = Simulator()
+    cpu = CPU(sim, SVR4Scheduler(table))
+    return sim, cpu
+
+
+def test_sys_class_defaults_to_mid_sys_priority():
+    sched = SVR4Scheduler()
+    daemon = Thread("pagedaemon", sched_class="sys")
+    sched.register(daemon)
+    assert daemon.base_priority == 20
+    assert daemon.priority == SYS_BASE + 20
+    assert daemon.sched_data["user_priority"] is None
+
+
+def test_sys_priority_out_of_range_rejected():
+    sched = SVR4Scheduler()
+    too_high = Thread("intr", base_priority=GLOBAL_LEVELS - SYS_BASE, sched_class="sys")
+    with pytest.raises(SchedulerError):
+        sched.register(too_high)
+    negative = Thread("neg", base_priority=-1, sched_class="sys")
+    with pytest.raises(SchedulerError):
+        sched.register(negative)
+
+
+def test_ts_priority_out_of_range_rejected():
+    sched = SVR4Scheduler()
+    with pytest.raises(SchedulerError):
+        sched.register(Thread("hot", base_priority=TS_LEVELS))
+    with pytest.raises(SchedulerError):
+        sched.register(Thread("cold", base_priority=-3))
+
+
+def test_unknown_class_rejected():
+    sched = SVR4Scheduler()
+    with pytest.raises(SchedulerError):
+        sched.register(Thread("rt", sched_class="rt"))
+
+
+def test_sys_class_keeps_priority_and_long_quantum():
+    """SYS threads neither decay on expiry nor climb on sleep return."""
+    sched = SVR4Scheduler()
+    daemon = Thread("flusher", base_priority=30, sched_class="sys")
+    sched.register(daemon)
+    assert daemon.priority == SYS_BASE + 30
+    sched.enqueue_expired(daemon)
+    assert daemon.priority == SYS_BASE + 30
+    assert daemon.remaining_quantum == 100.0
+    assert sched.select() is daemon
+    sched.enqueue_woken(daemon)
+    assert daemon.priority == SYS_BASE + 30
+    assert sched.select() is daemon
+
+
+def test_select_refills_exhausted_quantum():
+    sched = SVR4Scheduler()
+    thread = Thread("t")
+    sched.register(thread)
+    sched.enqueue_woken(thread)
+    thread.remaining_quantum = 0.0
+    selected = sched.select()
+    assert selected is thread
+    assert selected.remaining_quantum == sched.table.quantum(thread.priority)
+
+
+def test_preempted_thread_requeues_at_front_keeping_quantum():
+    sched = SVR4Scheduler()
+    first, second = Thread("first"), Thread("second")
+    for thread in (first, second):
+        sched.register(thread)
+        thread.priority = 10
+        sched.enqueue_woken(thread)
+    victim = sched.select()
+    victim.remaining_quantum = 3.5
+    sched.enqueue_preempted(victim)
+    assert sched.select() is victim
+    assert victim.remaining_quantum == 3.5
+
+
+def test_preempted_with_spent_quantum_gets_a_fresh_one():
+    sched = SVR4Scheduler()
+    thread = Thread("t")
+    sched.register(thread)
+    thread.remaining_quantum = 0.0
+    sched.enqueue_preempted(thread)
+    assert sched.select() is thread
+    assert thread.remaining_quantum > 0.0
+
+
+def test_runnable_count_and_remove():
+    sched = SVR4Scheduler()
+    threads = [Thread(f"t{i}") for i in range(3)]
+    for thread in threads:
+        sched.register(thread)
+        sched.enqueue_woken(thread)
+    assert sched.runnable_count() == 3
+    sched.remove(threads[1])
+    assert sched.runnable_count() == 2
+    picked = {sched.select() for _ in range(2)}
+    assert picked == {threads[0], threads[2]}
+    assert sched.select() is None
+    assert sched.runnable_count() == 0
+
+
+def test_dispatch_table_shape():
+    table = DispatchTable()
+    # Quantum grows as priority drops; tqexp demotes, slpret promotes,
+    # both clamped to the TS range.
+    assert table.quantum(0) > table.quantum(TS_LEVELS - 1)
+    assert table.tqexp(5) == 0
+    assert table.tqexp(40) == 30
+    assert table.slpret(50) == TS_LEVELS - 1
+    assert table.slpret(10) == 35
+
+
+def test_ia_boost_clamps_at_top_of_ts_range():
+    sched = SVR4Scheduler()
+    gui = Thread("xterm", base_priority=TS_LEVELS - 1, gui=True)
+    sched.register(gui)
+    assert gui.sched_class == "ia"
+    assert gui.priority == TS_LEVELS - 1  # boost cannot escape the TS band

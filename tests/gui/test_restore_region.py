@@ -1,0 +1,38 @@
+"""RestoreRegion: the occlusion-repaint op and its package export."""
+
+import pytest
+
+import repro.gui as gui
+from repro.errors import ProtocolError
+from repro.gui import RestoreRegion
+
+
+def test_exported_from_package():
+    assert "RestoreRegion" in gui.__all__
+    assert gui.RestoreRegion is RestoreRegion
+
+
+def test_is_a_display_op():
+    op = RestoreRegion(width=200, height=150, key="menu", complexity=12)
+    assert isinstance(op, gui.DisplayOp)
+    assert op.width * op.height == 30_000
+
+
+def test_rejects_degenerate_regions():
+    with pytest.raises(ProtocolError):
+        RestoreRegion(width=0, height=10, key="k", complexity=1)
+    with pytest.raises(ProtocolError):
+        RestoreRegion(width=10, height=-1, key="k", complexity=1)
+
+
+def test_rejects_nonpositive_complexity():
+    with pytest.raises(ProtocolError):
+        RestoreRegion(width=10, height=10, key="k", complexity=0)
+
+
+def test_frozen_and_hashable():
+    op = RestoreRegion(width=8, height=8, key="dialog", complexity=3)
+    assert op == RestoreRegion(width=8, height=8, key="dialog", complexity=3)
+    assert hash(op) == hash(RestoreRegion(width=8, height=8, key="dialog", complexity=3))
+    with pytest.raises(Exception):
+        op.width = 9  # type: ignore[misc]

@@ -1,0 +1,183 @@
+"""Differential equivalence: optimized kernel vs. the frozen reference.
+
+Every CLI experiment runs twice in subprocesses — once on the optimized
+kernel (the default) and once with ``REPRO_KERNEL=reference`` selecting the
+frozen seed kernel — and every artifact the run produces (stdout, CSV
+series, trace JSONL, metrics JSON) must be **byte-identical** between the
+two.  This is the lock on the ISSUE 4 speedup: the fast path is only
+allowed to be fast, never different.
+
+Set ``REPRO_EQUIV_JOBS=4`` (the CI differential job does) to re-run the
+whole suite through the process-pool executor path as well.
+"""
+
+from __future__ import annotations
+
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+SRC = str(REPO_ROOT / "src")
+
+#: Extra --jobs N to push both kernels through the parallel executor.
+JOBS = os.environ.get("REPRO_EQUIV_JOBS", "1")
+
+CHAOS_SPEC = "loss=0.05,corrupt=0.01,jitter_ms=2,outage=5000-6000"
+
+
+def _run_cli(args, kernel, out_dir):
+    env = dict(os.environ)
+    env["PYTHONPATH"] = SRC + os.pathsep + env.get("PYTHONPATH", "")
+    if kernel == "reference":
+        env["REPRO_KERNEL"] = "reference"
+    else:
+        env.pop("REPRO_KERNEL", None)
+    stdout_path = out_dir / "stdout.txt"
+    with open(stdout_path, "w") as stdout:
+        proc = subprocess.run(
+            [sys.executable, "-m", "repro", *args],
+            stdout=stdout,
+            stderr=subprocess.PIPE,
+            env=env,
+            cwd=str(REPO_ROOT),
+            text=True,
+        )
+    assert proc.returncode == 0, (
+        f"{kernel} kernel run failed for {args}:\n{proc.stderr[-2000:]}"
+    )
+
+
+def _artifact_map(root: Path):
+    """Every regular file under *root*, keyed by relative path."""
+    return {
+        str(path.relative_to(root)): path
+        for path in sorted(root.rglob("*"))
+        if path.is_file()
+    }
+
+
+def _assert_dirs_identical(fast_dir: Path, ref_dir: Path):
+    fast_files = _artifact_map(fast_dir)
+    ref_files = _artifact_map(ref_dir)
+    assert set(fast_files) == set(ref_files), (
+        "kernel paths produced different artifact sets: "
+        f"only-fast={sorted(set(fast_files) - set(ref_files))} "
+        f"only-reference={sorted(set(ref_files) - set(fast_files))}"
+    )
+    for rel, fast_path in fast_files.items():
+        assert fast_path.read_bytes() == ref_files[rel].read_bytes(), (
+            f"artifact {rel} differs between optimized and reference kernels"
+        )
+
+
+@pytest.fixture(scope="module")
+def equivalence_runs(tmp_path_factory):
+    """One batched run of every experiment per (command, kernel) pair.
+
+    ``run all`` exercises the untraced hot path (the one the speedup claims
+    target); ``trace all`` exercises the instrumented path and emits the
+    trace JSONL + metrics JSON artifacts.  Batching all experiments into a
+    single CLI invocation keeps the suite to four subprocesses.
+    """
+    root = tmp_path_factory.mktemp("kernel_equiv")
+    layout = {}
+    for command in ("run", "trace"):
+        for kernel in ("fast", "reference"):
+            out_dir = root / f"{command}-{kernel}"
+            csv_dir = out_dir / "csv"
+            out_dir.mkdir()
+            args = [command, "all", "--seed", "1", "--csv", str(csv_dir)]
+            if JOBS != "1":
+                args += ["--jobs", JOBS]
+            if command == "trace":
+                args += ["--trace-dir", str(out_dir / "artifacts")]
+            _run_cli(args, kernel, out_dir)
+            layout[(command, kernel)] = out_dir
+    return layout
+
+
+@pytest.mark.parametrize("command", ["run", "trace"])
+def test_stdout_byte_identical(equivalence_runs, command):
+    fast = (equivalence_runs[(command, "fast")] / "stdout.txt").read_bytes()
+    ref = (equivalence_runs[(command, "reference")] / "stdout.txt").read_bytes()
+    assert fast == ref
+
+
+@pytest.mark.parametrize("command", ["run", "trace"])
+def test_csv_artifacts_byte_identical(equivalence_runs, command):
+    _assert_dirs_identical(
+        equivalence_runs[(command, "fast")] / "csv",
+        equivalence_runs[(command, "reference")] / "csv",
+    )
+
+
+def test_trace_and_metrics_artifacts_byte_identical(equivalence_runs):
+    fast_dir = equivalence_runs[("trace", "fast")] / "artifacts"
+    ref_dir = equivalence_runs[("trace", "reference")] / "artifacts"
+    fast_files = _artifact_map(fast_dir)
+    # Sanity: the batched run really produced per-experiment trace+metrics.
+    kinds = {Path(rel).suffix for rel in fast_files}
+    assert ".jsonl" in kinds and ".json" in kinds
+    assert any("fig8" in rel for rel in fast_files)
+    _assert_dirs_identical(fast_dir, ref_dir)
+
+
+def test_faulted_chaos_byte_identical(tmp_path):
+    """The chaos experiment under an active fault plan, both kernels."""
+    dirs = {}
+    for kernel in ("fast", "reference"):
+        out_dir = tmp_path / kernel
+        out_dir.mkdir()
+        _run_cli(
+            [
+                "trace", "chaos", "--seed", "1",
+                "--faults", CHAOS_SPEC, "--fault-seed", "7",
+                "--csv", str(out_dir / "csv"),
+                "--trace-dir", str(out_dir / "artifacts"),
+            ],
+            kernel,
+            out_dir,
+        )
+        dirs[kernel] = out_dir
+    assert (
+        (dirs["fast"] / "stdout.txt").read_bytes()
+        == (dirs["reference"] / "stdout.txt").read_bytes()
+    )
+    _assert_dirs_identical(dirs["fast"], dirs["reference"])
+
+
+def test_reference_toggle_actually_selects_reference_kernel():
+    """REPRO_KERNEL=reference must swap the implementation, not just a flag.
+
+    Otherwise every diff above compares the optimized kernel to itself.
+    """
+    env = dict(os.environ)
+    env["PYTHONPATH"] = SRC + os.pathsep + env.get("PYTHONPATH", "")
+    env["REPRO_KERNEL"] = "reference"
+    probe = (
+        "import repro.sim.engine as e, repro.sim.engine_reference as r;"
+        "print(e.Simulator is r.Simulator, e.KERNEL)"
+    )
+    out = subprocess.run(
+        [sys.executable, "-c", probe],
+        capture_output=True,
+        text=True,
+        env=env,
+        cwd=str(REPO_ROOT),
+    )
+    assert out.returncode == 0, out.stderr
+    assert out.stdout.split() == ["True", "reference"]
+    env.pop("REPRO_KERNEL")
+    out = subprocess.run(
+        [sys.executable, "-c", probe],
+        capture_output=True,
+        text=True,
+        env=env,
+        cwd=str(REPO_ROOT),
+    )
+    assert out.returncode == 0, out.stderr
+    assert out.stdout.split() == ["False", "fast"]

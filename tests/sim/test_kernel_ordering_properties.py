@@ -1,0 +1,170 @@
+"""Property tests for the kernel's ordering invariants, on both kernels.
+
+The optimized kernel replaced the seed's event heap with a hashed timer
+wheel (a heap of distinct timestamps plus FIFO buckets).  These properties
+pin the contract the experiments depend on — and run each invariant against
+*both* implementations, plus differentially (same random program, firing
+sequences must match exactly).
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim import engine, engine_reference
+
+KERNELS = [
+    pytest.param(engine, id="fast"),
+    pytest.param(engine_reference, id="reference"),
+]
+
+# Millisecond-ish timestamps; bounded so run_until horizons stay cheap.
+times = st.floats(
+    min_value=0.0, max_value=50.0, allow_nan=False, allow_infinity=False
+)
+
+
+@pytest.mark.parametrize("mod", KERNELS)
+@given(ts=st.lists(times, min_size=1, max_size=40))
+@settings(max_examples=100, deadline=None)
+def test_equal_timestamps_fire_in_schedule_order(mod, ts):
+    """FIFO tie-break: (time, seq) order, stable for equal timestamps."""
+    sim = mod.Simulator()
+    fired = []
+    for i, t in enumerate(ts):
+        sim.schedule_at(t, lambda i=i: fired.append(i))
+    sim.run_until(100.0)
+    expected = [i for __, i in sorted((t, i) for i, t in enumerate(ts))]
+    assert fired == expected
+
+
+@pytest.mark.parametrize("mod", KERNELS)
+@given(
+    ts=st.lists(times, min_size=1, max_size=40),
+    cancel_mask=st.lists(st.booleans(), min_size=1, max_size=40),
+)
+@settings(max_examples=100, deadline=None)
+def test_cancel_before_fire_is_idempotent_and_silent(mod, ts, cancel_mask):
+    """Cancelled events never fire, however many times they're cancelled,
+    and the survivors still fire in (time, seq) order."""
+    sim = mod.Simulator()
+    fired = []
+    events = [
+        sim.schedule_at(t, lambda i=i: fired.append(i))
+        for i, t in enumerate(ts)
+    ]
+    cancelled = set()
+    for i, (event, cancel) in enumerate(zip(events, cancel_mask)):
+        if cancel:
+            event.cancel()
+            event.cancel()  # idempotent: double-cancel must be harmless
+            cancelled.add(i)
+    sim.run_until(100.0)
+    expected = [
+        i
+        for __, i in sorted((t, i) for i, t in enumerate(ts))
+        if i not in cancelled
+    ]
+    assert fired == expected
+
+
+@pytest.mark.parametrize("mod", KERNELS)
+@given(n=st.integers(min_value=1, max_value=30), at=times)
+@settings(max_examples=100, deadline=None)
+def test_signal_wakes_waiters_in_registration_order(mod, n, at):
+    sim = mod.Simulator()
+    sig = mod.Signal(sim)
+    woken = []
+    for i in range(n):
+        sig.add_waiter(lambda value, i=i: woken.append((i, value)))
+    sim.schedule_at(at, lambda: sig.succeed("v"))
+    sim.run_until(at + 1.0)
+    assert woken == [(i, "v") for i in range(n)]
+
+
+@given(
+    interval=st.floats(min_value=0.5, max_value=5.0, allow_nan=False),
+    cancel_at=st.floats(min_value=0.0, max_value=40.0, allow_nan=False),
+)
+@settings(max_examples=100, deadline=None)
+def test_cancel_while_queued_in_timer_lane(interval, cancel_at):
+    """Stopping a periodic task cancels the tick sitting in the wheel: no
+    tick after the stop time ever fires, on either kernel, and both kernels
+    observe the identical tick sequence (stop-vs-tick tie-breaks included)."""
+
+    def execute(mod):
+        sim = mod.Simulator()
+        ticks = []
+        task = sim.every(interval, lambda: ticks.append(sim.now))
+        sim.schedule_at(cancel_at, task.stop)
+        sim.run_until(60.0)
+        return ticks
+
+    fast_ticks = execute(engine)
+    assert fast_ticks == execute(engine_reference)
+    assert all(t <= cancel_at for t in fast_ticks)
+    assert fast_ticks == sorted(set(fast_ticks))  # strictly increasing
+
+
+# -- differential: random programs, identical firing sequences ----------------
+
+
+@given(
+    program=st.lists(
+        st.tuples(times, st.integers(min_value=0, max_value=3)),
+        min_size=1,
+        max_size=50,
+    )
+)
+@settings(max_examples=100, deadline=None)
+def test_random_schedule_cancel_programs_fire_identically(program):
+    """Run one random schedule/cancel program on both kernels; the observed
+    (time, id) firing sequences must be exactly equal."""
+
+    def execute(mod):
+        sim = mod.Simulator()
+        fired = []
+        events = []
+        for i, (t, op) in enumerate(program):
+            event = sim.schedule_at(t, lambda i=i: fired.append((sim.now, i)))
+            events.append(event)
+            if op == 1 and events:
+                events[i // 2].cancel()
+            elif op == 2:
+                event.cancel()
+            elif op == 3 and i % 3 == 0:
+                # Nested schedule from inside an action, same timestamp.
+                def chain(i=i, t=t):
+                    fired.append((sim.now, 1000 + i))
+                sim.schedule_at(t, chain)
+        sim.run_until(100.0)
+        return fired
+
+    assert execute(engine) == execute(engine_reference)
+
+
+@given(
+    sleeps=st.lists(
+        st.floats(min_value=0.1, max_value=3.0, allow_nan=False),
+        min_size=1,
+        max_size=15,
+    )
+)
+@settings(max_examples=50, deadline=None)
+def test_process_sleep_sequences_match_reference(sleeps):
+    def execute(mod):
+        sim = mod.Simulator()
+        log = []
+
+        def proc():
+            for s in sleeps:
+                yield s
+                log.append(round(sim.now, 9))
+
+        mod.Process(sim, proc())
+        sim.run_until(1_000.0)
+        return log
+
+    assert execute(engine) == execute(engine_reference)
