@@ -1,0 +1,359 @@
+#!/usr/bin/env python
+"""Tracing-overhead performance suite — writes and checks BENCH_obs.json.
+
+For every figure/table experiment that runs sweeps, this bench times the
+experiment untraced (``repro run``) and traced (``repro trace``) and reports
+the **tracing overhead** — ``traced_wall / untraced_wall - 1`` — the
+fraction of a run's wall time the observability layer costs.  Overheads are
+dimensionless ratios, so the committed numbers transfer across differently
+sized machines the same way the kernel bench's speedup ratios do.
+
+The headline claim is the *reduction* against the frozen seed overheads:
+the same measurement taken at commit ``f5c440b`` (the dict-per-event
+recorder, per-event ``json.dumps`` encoder, and uncached per-call metric
+lookups), embedded below as ``SEED_OVERHEADS``.  The geometric-mean
+reduction across experiments must stay above the 2x floor this PR claims.
+
+Usage::
+
+    python benchmarks/perf/bench_obs.py --out BENCH_obs.json
+    python benchmarks/perf/bench_obs.py --check BENCH_obs.json
+
+``--check`` re-measures the overheads and fails (exit 1) when the
+geometric-mean overhead reduction falls below the 2x floor.  Individual
+experiments are reported but not gated — sub-100ms runs put several
+percent of noise on a single overhead ratio, and the geomean over the whole
+suite is what the acceptance criterion names.
+
+Secondary comparison: ``--with-reference`` also times every experiment
+traced under the reference (seed, dict-per-event) recorder selected via
+``repro.obs.tracer.RECORDER`` — a same-call-sites A/B of just the recorder
+and encoder, independent of the frozen baseline numbers.
+"""
+
+from __future__ import annotations
+
+import argparse
+import gc
+import io
+import json
+import math
+import os
+import subprocess
+import sys
+import tempfile
+import time
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.dirname(os.path.abspath(__file__))))
+sys.path.insert(0, os.path.join(REPO_ROOT, "src"))
+
+#: Headline floor: the geometric-mean tracing-overhead reduction against the
+#: frozen seed baseline must be at least this (ISSUE 5 acceptance criterion).
+REDUCTION_FLOOR = 2.0
+
+#: Overheads are clamped up to this before ratios are taken, so a traced run
+#: that times *faster* than its untraced twin (pure scheduling noise) cannot
+#: produce an unbounded reduction.
+OVERHEAD_EPS = 0.005
+
+#: Experiments that run sweeps (and therefore record observations), at a
+#: wall time large enough to measure an overhead ratio against.  tab-sessions
+#: and tab-setup run no sweeps; fig5/fig6 finish in a few milliseconds.
+EXPERIMENTS = (
+    "fig1",
+    "fig2",
+    "fig3",
+    "fig4",
+    "fig7",
+    "fig8",
+    "fig9",
+    "chaos",
+    "tab-mem",
+    "tab-proto",
+)
+
+#: Tracing overhead (traced_wall / untraced_wall - 1) per experiment at the
+#: seed commit f5c440b, measured with this script's own timing methodology
+#: (fresh interpreter per experiment, GC-disabled timed regions, interleaved
+#: run/trace pairs, adaptive best-of-N) before the columnar
+#: recorder landed; each number is the median over three full measurement
+#: passes.  Frozen: these are the denominators the reduction claim is made
+#: against.
+SEED_OVERHEADS = {
+    "fig1": 0.1857,
+    "fig2": 0.1226,
+    "fig3": 1.0684,
+    "fig4": 0.0356,
+    "fig7": 0.0700,
+    "fig8": 0.1517,
+    "fig9": 0.1183,
+    "chaos": 0.2103,
+    "tab-mem": 0.3086,
+    "tab-proto": 0.1091,
+}
+SEED_COMMIT = "f5c440b"
+
+
+def _timed_wall(argv) -> float:
+    """Wall seconds for one in-process CLI invocation, GC held off.
+
+    The collector is disabled (after a full collection) for the timed
+    region so a generation-2 pass triggered by one variant's allocations
+    cannot be charged to the other; the overhead ratio stays a property of
+    the code, not of where the GC thresholds happened to fall.
+    """
+    from repro.cli import main as cli_main
+
+    sink = io.StringIO()
+    gc.collect()
+    gc.disable()
+    try:
+        start = time.perf_counter()
+        code = cli_main(argv, out=sink)
+        elapsed = time.perf_counter() - start
+    finally:
+        gc.enable()
+    if code != 0:
+        raise SystemExit(f"{argv!r} failed during obs bench")
+    return elapsed
+
+
+#: Adaptive repeats: a pair keeps being re-timed until at least this much
+#: wall time has been measured (sub-100ms experiments need far more than
+#: best-of-3 for a stable ratio), within the repeat cap.
+MIN_MEASURED_S = 4.0
+MAX_REPEATS = 25
+
+
+def _pair_overhead(run_argv, trace_argv, min_repeats: int) -> tuple:
+    """(best untraced, best traced, overhead) over N interleaved pairs.
+
+    The two variants are timed back to back within each repeat — not as
+    two separate repeat loops — so machine-load drift hits both sides of
+    the comparison instead of skewing one.  The overhead estimate is the
+    ratio of the **fastest observed wall** of each variant: each minimum
+    converges on the variant's noise-free floor, which is the code-inherent
+    cost the reduction claim is about (a median would fold scheduler and
+    filesystem jitter tails back into the ratio and drift with machine
+    load).  At least *min_repeats* pairs are timed; short experiments keep
+    going until :data:`MIN_MEASURED_S` of wall time has been accumulated
+    (capped at :data:`MAX_REPEATS`), because a single sub-100ms sample
+    rarely touches its floor.
+    """
+    best_run = best_trace = math.inf
+    measured = 0.0
+    pairs = 0
+    while pairs < min_repeats or (
+        measured < MIN_MEASURED_S and pairs < MAX_REPEATS
+    ):
+        run = _timed_wall(run_argv)
+        trace = _timed_wall(trace_argv)
+        measured += run + trace
+        pairs += 1
+        if run < best_run:
+            best_run = run
+        if trace < best_trace:
+            best_trace = trace
+    overhead = max(best_trace / best_run - 1.0, OVERHEAD_EPS)
+    return best_run, best_trace, overhead
+
+
+def _measure_one(name: str, repeats: int, with_reference: bool) -> dict:
+    """Measure one experiment in *this* interpreter; used by the child."""
+    from repro.obs import tracer as tracer_mod
+
+    with tempfile.TemporaryDirectory() as tmp:
+        untraced, traced, overhead = _pair_overhead(
+            ["run", name, "--seed", "1"],
+            ["trace", name, "--seed", "1", "--trace-dir", os.path.join(tmp, name)],
+            repeats,
+        )
+        entry = {
+            "untraced_s": untraced,
+            "traced_s": traced,
+            "overhead": overhead,
+        }
+        if with_reference:
+            tracer_mod.RECORDER = "reference"
+            try:
+                entry["reference_traced_s"] = min(
+                    _timed_wall(
+                        [
+                            "trace", name, "--seed", "1",
+                            "--trace-dir", os.path.join(tmp, name + "-ref"),
+                        ]
+                    )
+                    for _ in range(repeats)
+                )
+            finally:
+                tracer_mod.RECORDER = "columnar"
+    return entry
+
+
+def measure(repeats: int, with_reference: bool = False) -> dict:
+    """Untraced/traced wall times and overheads for every experiment.
+
+    Each experiment is measured in a **fresh interpreter**: ten experiments
+    timed back to back in one process inherit each other's allocator state
+    and drift several percent on single-experiment ratios.  A child process
+    per experiment keeps every ratio a clean-slate measurement (the frozen
+    seed baseline was measured the same way).
+    """
+    results = {}
+    for name in EXPERIMENTS:
+        argv = [
+            sys.executable, os.path.abspath(__file__),
+            "--measure-one", name, "--repeats", str(repeats),
+        ]
+        if with_reference:
+            argv.append("--with-reference")
+        proc = subprocess.run(
+            argv, capture_output=True, text=True, check=False
+        )
+        if proc.returncode != 0:
+            raise SystemExit(
+                f"measuring {name} failed:\n{proc.stdout}{proc.stderr}"
+            )
+        timing = json.loads(proc.stdout)
+        untraced = timing["untraced_s"]
+        traced = timing["traced_s"]
+        overhead = timing["overhead"]
+        entry = {
+            "untraced_s": round(untraced, 4),
+            "traced_s": round(traced, 4),
+            "overhead": round(overhead, 4),
+            "reduction": round(SEED_OVERHEADS[name] / overhead, 3),
+        }
+        if with_reference:
+            ref = timing["reference_traced_s"]
+            entry["reference_traced_s"] = round(ref, 4)
+            entry["reference_overhead"] = round(
+                max(ref / untraced - 1.0, OVERHEAD_EPS), 4
+            )
+        results[name] = entry
+        print(
+            f"  {name:<10} untraced {untraced:7.3f}s  "
+            f"traced {traced:7.3f}s  overhead {overhead * 100:5.1f}%  "
+            f"(seed {SEED_OVERHEADS[name] * 100:5.1f}%, "
+            f"{entry['reduction']:.2f}x)",
+            file=sys.stderr,
+        )
+    return results
+
+
+def overhead_reduction(results: dict) -> float:
+    """Geometric-mean reduction in tracing overhead vs the seed baseline."""
+    logs = [
+        math.log(SEED_OVERHEADS[name] / results[name]["overhead"])
+        for name in results
+    ]
+    return round(math.exp(sum(logs) / len(logs)), 3)
+
+
+def write_bench(path: str, repeats: int, with_reference: bool) -> dict:
+    print("tracing overhead (traced vs untraced wall time):", file=sys.stderr)
+    results = measure(repeats, with_reference=with_reference)
+    doc = {
+        "schema": 1,
+        "baseline": {
+            "commit": SEED_COMMIT,
+            "overheads": SEED_OVERHEADS,
+        },
+        "experiments": results,
+        "overhead_reduction": overhead_reduction(results),
+    }
+    with open(path, "w") as fh:
+        json.dump(doc, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    print(
+        f"overhead reduction {doc['overhead_reduction']}x -> {path}",
+        file=sys.stderr,
+    )
+    return doc
+
+
+def check_bench(path: str, repeats: int) -> int:
+    with open(path) as fh:
+        committed = json.load(fh)
+    committed_reduction = committed.get("overhead_reduction")
+    # One retry: a sustained load burst on a shared CI runner can sink a
+    # whole measurement pass, so a failing pass is re-measured once before
+    # the gate fails.  The best of the two passes is the verdict — a real
+    # recorder regression fails both.
+    reduction = 0.0
+    for attempt in (1, 2):
+        print(
+            "tracing overhead (traced vs untraced wall time):", file=sys.stderr
+        )
+        reduction = max(reduction, overhead_reduction(measure(repeats)))
+        if reduction >= REDUCTION_FLOOR:
+            break
+        if attempt == 1:
+            print(
+                f"reduction {reduction:.2f}x below the floor; "
+                "re-measuring once",
+                file=sys.stderr,
+            )
+    if reduction < REDUCTION_FLOOR:
+        print(
+            f"PERF REGRESSION: tracing-overhead reduction {reduction:.2f}x "
+            f"is below the {REDUCTION_FLOOR:.1f}x floor "
+            f"(committed: {committed_reduction}x)",
+            file=sys.stderr,
+        )
+        return 1
+    print(
+        f"perf smoke ok: tracing-overhead reduction {reduction:.2f}x "
+        f"(committed: {committed_reduction}x)",
+        file=sys.stderr,
+    )
+    return 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    group = parser.add_mutually_exclusive_group(required=True)
+    group.add_argument("--out", metavar="FILE", help="write BENCH_obs.json")
+    group.add_argument(
+        "--check",
+        metavar="FILE",
+        help="re-measure overheads; fail below the 2x reduction floor",
+    )
+    group.add_argument(
+        "--measure-one",
+        metavar="EXPERIMENT",
+        help=argparse.SUPPRESS,  # child-process mode used by measure()
+    )
+    parser.add_argument(
+        "--repeats",
+        type=int,
+        default=7,
+        metavar="N",
+        help="minimum timing pairs per experiment (default 7; short "
+        "experiments adaptively run more)",
+    )
+    parser.add_argument(
+        "--with-reference",
+        action="store_true",
+        help="with --out, also time the reference (seed) recorder",
+    )
+    args = parser.parse_args(argv)
+    if os.environ.get("REPRO_OBS", "columnar") != "columnar":
+        parser.error(
+            "benchmarks must run with the columnar recorder selected "
+            "(unset REPRO_OBS)"
+        )
+    if args.measure_one:
+        timing = _measure_one(
+            args.measure_one, args.repeats, args.with_reference
+        )
+        json.dump(timing, sys.stdout)
+        return 0
+    if args.check:
+        return check_bench(args.check, args.repeats)
+    write_bench(args.out, args.repeats, args.with_reference)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

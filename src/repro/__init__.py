@@ -20,7 +20,7 @@ See README.md and DESIGN.md for the full map, and ``examples/`` for runnable
 scenarios.
 """
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 from . import units
 from .errors import ReproError

@@ -52,6 +52,11 @@ class LinuxScheduler(Scheduler):
         self._other: Deque[Thread] = deque()
         self._rt = PriorityReadyQueues(RT_LEVELS)
         self._obs = current_observation()
+        # Lazily-resolved counter handles: wakeups fire once per wake, the
+        # hottest scheduler path, and must not pay a registry lookup each.
+        self._wakeups_counter = None
+        self._expiries_counter = None
+        self._rt_preempt_counter = None
 
     # -- policy ----------------------------------------------------------------
 
@@ -90,7 +95,12 @@ class LinuxScheduler(Scheduler):
     def enqueue_woken(self, thread: Thread) -> None:
         thread.remaining_quantum = self._quantum_for(thread)
         if self._obs is not None:
-            self._obs.metrics.counter("sched.linux.wakeups").inc()
+            counter = self._wakeups_counter
+            if counter is None:
+                counter = self._wakeups_counter = self._obs.metrics.counter(
+                    "sched.linux.wakeups"
+                )
+            counter.value += 1
         if thread.sched_class == "other":
             self._other.append(thread)
         else:
@@ -99,7 +109,12 @@ class LinuxScheduler(Scheduler):
     def enqueue_expired(self, thread: Thread) -> None:
         thread.remaining_quantum = self._quantum_for(thread)
         if self._obs is not None:
-            self._obs.metrics.counter("sched.linux.quantum_expiries").inc()
+            counter = self._expiries_counter
+            if counter is None:
+                counter = self._expiries_counter = self._obs.metrics.counter(
+                    "sched.linux.quantum_expiries"
+                )
+            counter.value += 1
         if thread.sched_class == "other":
             self._other.append(thread)
         else:
@@ -132,7 +147,12 @@ class LinuxScheduler(Scheduler):
             running.sched_class == "other" or woken.priority > running.priority
         )
         if preempted and self._obs is not None:
-            self._obs.metrics.counter("sched.linux.rt_preemptions").inc()
+            counter = self._rt_preempt_counter
+            if counter is None:
+                counter = self._rt_preempt_counter = self._obs.metrics.counter(
+                    "sched.linux.rt_preemptions"
+                )
+            counter.value += 1
         return preempted
 
     def runnable_count(self) -> int:

@@ -106,6 +106,11 @@ class NTScheduler(Scheduler):
         self.queues = PriorityReadyQueues(NT_LEVELS)
         self._balance_task = None
         self._obs = current_observation()
+        # Lazily-resolved instrument handles (first use only, so runs that
+        # never boost/stretch keep the seed's exact metric set).
+        self._stretched_counter = None
+        self._boost_counters: dict = {}
+        self._boost_channel = None
 
     def attach(self, cpu) -> None:
         super().attach(cpu)
@@ -137,7 +142,12 @@ class NTScheduler(Scheduler):
             stretch > 1
             and self._obs is not None
         ):
-            self._obs.metrics.counter("sched.nt.stretched_quanta").inc()
+            counter = self._stretched_counter
+            if counter is None:
+                counter = self._stretched_counter = self._obs.metrics.counter(
+                    "sched.nt.stretched_quanta"
+                )
+            counter.value += 1
         return self.config.quantum_ms * stretch
 
     def enqueue_woken(self, thread: Thread) -> None:
@@ -185,16 +195,20 @@ class NTScheduler(Scheduler):
     # -- internals ----------------------------------------------------------
 
     def _count_boost(self, metric: str, thread: Thread) -> None:
-        if self._obs is not None:
-            self._obs.metrics.counter(metric).inc()
-            self._obs.trace(
-                self.sim.now,
-                "sched.boost",
-                sched=self.name,
-                metric=metric,
-                thread=thread.name,
-                priority=thread.priority,
-            )
+        obs = self._obs
+        if obs is not None:
+            counter = self._boost_counters.get(metric)
+            if counter is None:
+                counter = self._boost_counters[metric] = obs.metrics.counter(
+                    metric
+                )
+            counter.value += 1
+            channel = self._boost_channel
+            if channel is None:
+                channel = self._boost_channel = obs.channel(
+                    "sched.boost", "sched", "metric", "thread", "priority"
+                )
+            channel(self.sim.now, self.name, metric, thread.name, thread.priority)
 
     def _decay_boost(self, thread: Thread) -> None:
         """Expire boost quanta; after the last one, drop straight to base.

@@ -33,8 +33,10 @@ R = TypeVar("R")
 ProgressSink = Union[Callable[[str], None], Any]
 
 #: Observation sinks receive ``(sweep_name, [per-point snapshots])`` after
-#: each observed sweep, snapshots in parameter-index order.
-ObserveSink = Callable[[str, List[dict]], None]
+#: each observed sweep, snapshots in parameter-index order.  Snapshots are
+#: :class:`~repro.obs.CompactSnapshot` instances (columnar transport form)
+#: or, under the reference recorder, classic snapshot dicts.
+ObserveSink = Callable[[str, List[Any]], None]
 
 
 class _ObservedPoint:
@@ -43,7 +45,9 @@ class _ObservedPoint:
     Returns ``(result, snapshot)``, so the trace/metrics record rides the
     same path as the result — through worker pickling and the on-disk
     cache — and is therefore byte-identical across serial, parallel, and
-    warm-cache executions.
+    warm-cache executions.  The snapshot travels in columnar form
+    (:meth:`~repro.obs.Observation.snapshot_compact`, zlib-compressed when
+    large) so IPC and cache bytes stay small for event-heavy points.
     """
 
     __slots__ = ("fn",)
@@ -54,7 +58,7 @@ class _ObservedPoint:
     def __call__(self, value: Any) -> tuple:
         with observe() as obs:
             result = self.fn(value)
-        return result, obs.snapshot()
+        return result, obs.snapshot_compact()
 
     def __getstate__(self):
         return self.fn

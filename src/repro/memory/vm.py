@@ -74,11 +74,16 @@ class VirtualMemory:
         self.total_evictions = 0
         self.total_writebacks = 0
         self._obs = current_observation()
-        # Lazily-resolved instrument handle: the hit path is the hottest
-        # loop in the memory experiments and must not pay a registry name
-        # lookup per access (and a VM that is never touched must not
-        # register a zero-valued counter).
+        # Lazily-resolved instrument handles: the hit/fault paths are the
+        # hottest loops in the memory experiments and must not pay a
+        # registry name lookup per access — but instruments may only be
+        # registered on first actual use, so an untouched VM never emits
+        # zero-valued metrics (which would change the golden snapshots).
         self._hits_counter = None
+        self._faults_counter = None
+        self._fault_latency_hist = None
+        self._writebacks_counter = None
+        self._evictions_counter = None
 
     # -- process management ----------------------------------------------------
 
@@ -122,7 +127,12 @@ class VirtualMemory:
         space.faults += 1
         self.total_faults += 1
         if self._obs is not None:
-            self._obs.metrics.counter("mem.faults").inc()
+            counter = self._faults_counter
+            if counter is None:
+                counter = self._faults_counter = self._obs.metrics.counter(
+                    "mem.faults"
+                )
+            counter.value += 1
         latency = 0.0
         evicted = 0
         to_read = [vpn]
@@ -151,7 +161,12 @@ class VirtualMemory:
 
         latency += self.disk.read_ms(mapped)
         if self._obs is not None:
-            self._obs.metrics.histogram("mem.fault_latency_ms").observe(latency)
+            hist = self._fault_latency_hist
+            if hist is None:
+                hist = self._fault_latency_hist = self._obs.metrics.histogram(
+                    "mem.fault_latency_ms"
+                )
+            hist.observe(latency)
         return AccessResult(latency, True, evicted, mapped)
 
     def touch_sequential(
@@ -193,7 +208,7 @@ class VirtualMemory:
         counter = self._hits_counter
         if counter is None:
             counter = self._hits_counter = self._obs.metrics.counter("mem.hits")
-        counter.inc(n)
+        counter.value += n
 
     def resident_fraction(self, space: AddressSpace) -> float:
         """Fraction of *space*'s pages currently in physical memory."""
@@ -235,10 +250,20 @@ class VirtualMemory:
             if self.synchronous_writeback:
                 latency = write_ms
             if self._obs is not None:
-                self._obs.metrics.counter("mem.writebacks").inc()
+                counter = self._writebacks_counter
+                if counter is None:
+                    counter = self._writebacks_counter = (
+                        self._obs.metrics.counter("mem.writebacks")
+                    )
+                counter.value += 1
         owner.unmap(victim.vpn)
         self.pool.release(victim)
         self.total_evictions += 1
         if self._obs is not None:
-            self._obs.metrics.counter("mem.evictions").inc()
+            counter = self._evictions_counter
+            if counter is None:
+                counter = self._evictions_counter = self._obs.metrics.counter(
+                    "mem.evictions"
+                )
+            counter.value += 1
         return latency

@@ -237,6 +237,14 @@ class FaultyLink(Link):
         self.fault_dropped = 0
         self.fault_corrupted = 0
         self._listeners: List[object] = []
+        # Lazily-resolved instrument handles (first use only, so fault-free
+        # runs keep the seed's exact metric set).
+        self._outage_drops_counter = None
+        self._outage_drop_channel = None
+        self._lost_counter = None
+        self._loss_channel = None
+        self._corrupt_counter = None
+        self._corrupt_channel = None
         self._schedule_outages()
 
     # -- listeners ---------------------------------------------------------
@@ -282,20 +290,30 @@ class FaultyLink(Link):
         if self.plan.outage_at(now):
             self.fault_dropped += 1
             if self._obs is not None:
-                self._obs.metrics.counter("net.fault.outage_drops").inc()
-                self._obs.trace(
-                    now, "net.fault.outage_drop", link=self.name,
-                    wire_bytes=packet.wire_bytes,
-                )
+                counter = self._outage_drops_counter
+                if counter is None:
+                    counter = self._outage_drops_counter = (
+                        self._obs.metrics.counter("net.fault.outage_drops")
+                    )
+                    self._outage_drop_channel = self._obs.channel(
+                        "net.fault.outage_drop", "link", "wire_bytes"
+                    )
+                counter.value += 1
+                self._outage_drop_channel(now, self.name, packet.wire_bytes)
             return
         if fate.lost:
             self.fault_dropped += 1
             if self._obs is not None:
-                self._obs.metrics.counter("net.fault.lost").inc()
-                self._obs.trace(
-                    now, "net.fault.loss", link=self.name,
-                    wire_bytes=packet.wire_bytes,
-                )
+                counter = self._lost_counter
+                if counter is None:
+                    counter = self._lost_counter = self._obs.metrics.counter(
+                        "net.fault.lost"
+                    )
+                    self._loss_channel = self._obs.channel(
+                        "net.fault.loss", "link", "wire_bytes"
+                    )
+                counter.value += 1
+                self._loss_channel(now, self.name, packet.wire_bytes)
             return
         if self.max_queue is not None and len(self._queue) >= self.max_queue:
             # The device queue is full: the base class tail-drops, which is
@@ -314,11 +332,16 @@ class FaultyLink(Link):
             # The frame spent wire time, but the checksum fails here: the
             # receiver discards it and the application callback never runs.
             if self._obs is not None:
-                self._obs.metrics.counter("net.corrupt_drops").inc()
-                self._obs.trace(
-                    self.sim.now, "net.fault.corrupt_drop", link=self.name,
-                    wire_bytes=pkt.wire_bytes,
-                )
+                counter = self._corrupt_counter
+                if counter is None:
+                    counter = self._corrupt_counter = self._obs.metrics.counter(
+                        "net.corrupt_drops"
+                    )
+                    self._corrupt_channel = self._obs.channel(
+                        "net.fault.corrupt_drop", "link", "wire_bytes"
+                    )
+                counter.value += 1
+                self._corrupt_channel(self.sim.now, self.name, pkt.wire_bytes)
             self._notify("on_corruption")
 
         return receive

@@ -72,6 +72,8 @@ class Link:
         self._sent_counter = None
         self._bytes_counter = None
         self._depth_gauge = None
+        self._dropped_counter = None
+        self._drop_channel = None
 
     @property
     def queue_depth(self) -> int:
@@ -93,19 +95,31 @@ class Link:
                 self._queue_depth_gauge().set(len(self._queue))
             self.packets_dropped += 1
             if self._obs is not None:
-                self._obs.metrics.counter("net.packets_dropped").inc()
-                self._obs.trace(
-                    self.sim.now,
-                    "net.drop",
-                    link=self.name,
-                    wire_bytes=packet.wire_bytes,
-                    queue_depth=len(self._queue),
+                counter = self._dropped_counter
+                if counter is None:
+                    counter = self._dropped_counter = self._obs.metrics.counter(
+                        "net.packets_dropped"
+                    )
+                    self._drop_channel = self._obs.channel(
+                        "net.drop", "link", "wire_bytes", "queue_depth"
+                    )
+                counter.value += 1
+                self._drop_channel(
+                    self.sim.now, self.name, packet.wire_bytes, len(self._queue)
                 )
             return
         packet.enqueued_at = self.sim.now
         self._queue.append((packet, on_delivered))
         if self._obs is not None:
-            self._queue_depth_gauge().set(len(self._queue))
+            # Inlined Gauge.set: one sample per offered packet.
+            gauge = self._depth_gauge
+            if gauge is None:
+                gauge = self._queue_depth_gauge()
+            depth = len(self._queue)
+            gauge.last = depth
+            if gauge.samples == 0 or depth > gauge.peak:
+                gauge.peak = depth
+            gauge.samples += 1
         if not self._transmitting:
             self._transmit_next()
 
@@ -143,8 +157,8 @@ class Link:
                 metrics = self._obs.metrics
                 sent = self._sent_counter = metrics.counter("net.packets_sent")
                 self._bytes_counter = metrics.counter("net.bytes_sent")
-            sent.inc()
-            self._bytes_counter.inc(wire_bytes)
+            sent.value += 1
+            self._bytes_counter.value += wire_bytes
         if on_delivered is not None:
             # Propagation delays overlap across packets, so delivery still
             # needs per-packet state — a partial, not a nested closure pair.

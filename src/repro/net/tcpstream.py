@@ -179,6 +179,13 @@ class TcpConnection:
         self.timeouts_fired = 0
         self.segments_abandoned = 0
         self._obs = current_observation()
+        # Lazily-resolved instrument handles (first use only, so loss-free
+        # runs keep the seed's exact metric set).
+        self._timeouts_counter = None
+        self._abandoned_counter = None
+        self._abandoned_channel = None
+        self._retransmits_counter = None
+        self._retransmit_channel = None
 
     def send_message(
         self,
@@ -291,31 +298,48 @@ class TcpConnection:
         if seg.acked:
             return
         self.timeouts_fired += 1
-        if self._obs is not None:
-            self._obs.metrics.counter("net.timeouts_fired").inc()
+        obs = self._obs
+        if obs is not None:
+            counter = self._timeouts_counter
+            if counter is None:
+                counter = self._timeouts_counter = obs.metrics.counter(
+                    "net.timeouts_fired"
+                )
+            counter.value += 1
         if seg.attempt >= self.max_retries:
             self.segments_abandoned += 1
             seg.group["failed"] = True
-            if self._obs is not None:
-                self._obs.metrics.counter("net.segments_abandoned").inc()
-                self._obs.trace(
-                    self.sim.now,
-                    "net.segment_abandoned",
-                    channel=seg.channel,
-                    wire_bytes=seg.wire,
-                    attempts=seg.attempt + 1,
+            if obs is not None:
+                counter = self._abandoned_counter
+                if counter is None:
+                    counter = self._abandoned_counter = obs.metrics.counter(
+                        "net.segments_abandoned"
+                    )
+                    self._abandoned_channel = obs.channel(
+                        "net.segment_abandoned",
+                        "channel",
+                        "wire_bytes",
+                        "attempts",
+                    )
+                counter.value += 1
+                self._abandoned_channel(
+                    self.sim.now, seg.channel, seg.wire, seg.attempt + 1
                 )
             return
         seg.attempt += 1
         self.retransmits += 1
-        if self._obs is not None:
-            self._obs.metrics.counter("net.retransmits").inc()
-            self._obs.trace(
-                self.sim.now,
-                "net.retransmit",
-                channel=seg.channel,
-                wire_bytes=seg.wire,
-                attempt=seg.attempt,
+        if obs is not None:
+            counter = self._retransmits_counter
+            if counter is None:
+                counter = self._retransmits_counter = obs.metrics.counter(
+                    "net.retransmits"
+                )
+                self._retransmit_channel = obs.channel(
+                    "net.retransmit", "channel", "wire_bytes", "attempt"
+                )
+            counter.value += 1
+            self._retransmit_channel(
+                self.sim.now, seg.channel, seg.wire, seg.attempt
             )
         self._transmit(seg)
 

@@ -41,8 +41,10 @@ from .serialize import (
 )
 from .tracer import (
     DEFAULT_MAX_EVENTS,
+    CompactSnapshot,
     NullTracer,
     Observation,
+    ReferenceTracer,
     Tracer,
     current_observation,
     observe,
@@ -51,6 +53,7 @@ from .tracer import (
 __all__ = [
     "DEFAULT_BOUNDS_MS",
     "DEFAULT_MAX_EVENTS",
+    "CompactSnapshot",
     "Counter",
     "Gauge",
     "Histogram",
@@ -58,6 +61,7 @@ __all__ = [
     "NullTracer",
     "ObservabilityError",
     "Observation",
+    "ReferenceTracer",
     "RunObservations",
     "Tracer",
     "current_observation",

@@ -13,6 +13,7 @@ clock, so snapshots are pure functions of the simulated run.
 
 from __future__ import annotations
 
+from bisect import bisect_left
 from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 from ..errors import ReproError
@@ -109,14 +110,14 @@ class Histogram:
         self.vmax = 0.0
 
     def observe(self, value: Number) -> None:
-        """Record one sample."""
+        """Record one sample.
+
+        The bucket is the first whose inclusive upper edge admits the
+        value — ``bisect_left`` finds it in O(log buckets), and lands on
+        ``len(bounds)`` (the overflow bucket) when every edge is smaller.
+        """
         v = float(value)
-        i = 0
-        for bound in self.bounds:
-            if v <= bound:
-                break
-            i += 1
-        self.bucket_counts[i] += 1
+        self.bucket_counts[bisect_left(self.bounds, v)] += 1
         if self.count == 0:
             self.vmin = v
             self.vmax = v

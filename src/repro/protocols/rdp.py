@@ -68,6 +68,13 @@ class RDPProtocol(RemoteDisplayProtocol):
 
     name = "rdp"
 
+    #: Bitmap-cache metric handles, keyed by observation identity (class
+    #: defaults keep the per-draw check a plain attribute read).
+    _c_obs = None
+    _c_hits = None
+    _c_misses = None
+    _c_bypasses = None
+
     # RDP does far more server-side work per byte than X: order building
     # plus interleaved RLE compression of bitmap data.  Calibrated so a
     # 5 fps stream of cache-missing banner frames keeps the server CPU
@@ -133,16 +140,39 @@ class RDPProtocol(RemoteDisplayProtocol):
             hit = self.cache.access(op.bitmap)
             obs = current_observation()
             if obs is not None:
-                obs.metrics.counter(
-                    "proto.rdp.cache_hits" if hit else "proto.rdp.cache_misses"
-                ).inc()
+                # Handles cached per observation identity, each registered
+                # on first actual use (an all-hit run must not grow a
+                # zero-valued miss counter): the draw loop is hot and must
+                # not pay a registry name lookup per bitmap.
+                if obs is not self._c_obs:
+                    self._c_obs = obs
+                    self._c_hits = None
+                    self._c_misses = None
+                    self._c_bypasses = None
+                if hit:
+                    counter = self._c_hits
+                    if counter is None:
+                        counter = self._c_hits = obs.metrics.counter(
+                            "proto.rdp.cache_hits"
+                        )
+                else:
+                    counter = self._c_misses
+                    if counter is None:
+                        counter = self._c_misses = obs.metrics.counter(
+                            "proto.rdp.cache_misses"
+                        )
+                counter.value += 1
             if hit and self._cache_bypass_draws > 0:
                 # Post-corruption re-sync: the client copy is suspect, so a
                 # hit still ships the full bitmap (and re-primes the cache).
                 self._cache_bypass_draws -= 1
                 hit = False
                 if obs is not None:
-                    obs.metrics.counter("proto.rdp.cache_bypasses").inc()
+                    if self._c_bypasses is None:
+                        self._c_bypasses = obs.metrics.counter(
+                            "proto.rdp.cache_bypasses"
+                        )
+                    self._c_bypasses.value += 1
             if hit:
                 return [ORDER_MEMBLT]
             data = max(

@@ -156,19 +156,19 @@ class Process:
         # instead of allocating a fresh closure per yield.
         self._wake = partial(self._step, None)
         if sim.obs is not None:
-            sim.obs.trace(sim.now, "proc.spawn", proc=self.name)
+            sim._tr_spawn(sim.now, self.name)
         sim.schedule(0.0, self._wake)
 
     def _step(self, value: Any) -> None:
         sim = self.sim
         obs = sim.obs
         if obs is not None:
-            obs.trace(sim.now, "proc.wake", proc=self.name)
+            sim._tr_wake(sim.now, self.name)
         try:
             yielded = self.gen.send(value)
         except StopIteration as stop:
             if obs is not None:
-                obs.trace(sim.now, "proc.exit", proc=self.name)
+                sim._tr_exit(sim.now, self.name)
             self.done.succeed(stop.value)
             return
         tp = type(yielded)
@@ -180,16 +180,11 @@ class Process:
                     f"process {self.name!r} yielded a negative delay: {yielded}"
                 )
             if obs is not None:
-                obs.trace(
-                    sim.now,
-                    "proc.sleep",
-                    proc=self.name,
-                    delay_ms=float(yielded),
-                )
+                sim._tr_sleep(sim.now, self.name, float(yielded))
             sim.schedule(float(yielded), self._wake)
         elif isinstance(yielded, Signal):
             if obs is not None:
-                obs.trace(sim.now, "proc.wait", proc=self.name)
+                sim._tr_wait(sim.now, self.name)
             yielded.add_waiter(self._step)
         elif isinstance(yielded, (int, float)):  # int/float subclasses (bool)
             if yielded < 0:
@@ -197,12 +192,7 @@ class Process:
                     f"process {self.name!r} yielded a negative delay: {yielded}"
                 )
             if obs is not None:
-                obs.trace(
-                    sim.now,
-                    "proc.sleep",
-                    proc=self.name,
-                    delay_ms=float(yielded),
-                )
+                sim._tr_sleep(sim.now, self.name, float(yielded))
             sim.schedule(float(yielded), self._wake)
         else:
             raise SimulationError(
@@ -232,6 +222,11 @@ class Simulator:
         "_running",
         "obs",
         "_dispatch_counter",
+        "_tr_spawn",
+        "_tr_wake",
+        "_tr_exit",
+        "_tr_sleep",
+        "_tr_wait",
     )
 
     def __init__(self) -> None:
@@ -243,13 +238,27 @@ class Simulator:
         self._buckets: Dict[float, List[Event]] = {}
         self._running = False
         # Ambient observation, bound at construction.  When tracing is off
-        # this is None and every hook below is a single pointer test.
-        self.obs = current_observation()
-        self._dispatch_counter = (
-            self.obs.metrics.counter("sim.events_dispatched")
-            if self.obs is not None
-            else None
-        )
+        # this is None and every hook below is a single pointer test.  When
+        # it is on, the process-lifecycle trace channels and the dispatch
+        # counter are resolved here, once, so per-event work is a positional
+        # call (no kwargs dict, no registry lookup).
+        obs = current_observation()
+        self.obs = obs
+        if obs is not None:
+            self._dispatch_counter = obs.metrics.counter("sim.events_dispatched")
+            channel = obs.channel
+            self._tr_spawn = channel("proc.spawn", "proc")
+            self._tr_wake = channel("proc.wake", "proc")
+            self._tr_exit = channel("proc.exit", "proc")
+            self._tr_sleep = channel("proc.sleep", "proc", "delay_ms")
+            self._tr_wait = channel("proc.wait", "proc")
+        else:
+            self._dispatch_counter = None
+            self._tr_spawn = None
+            self._tr_wake = None
+            self._tr_exit = None
+            self._tr_sleep = None
+            self._tr_wait = None
 
     # -- clock ---------------------------------------------------------------
 
@@ -351,8 +360,9 @@ class Simulator:
                     del buckets[t]
                 event.action = None
                 self._now = t
-                if self._dispatch_counter is not None:
-                    self._dispatch_counter.inc()
+                counter = self._dispatch_counter
+                if counter is not None:
+                    counter.value += 1
                 action()
                 return True
             # Every entry was cancelled or already fired: drop the bucket.
@@ -401,7 +411,7 @@ class Simulator:
                         if action is None or event.canceled:
                             continue
                         event.action = None
-                        counter.inc()
+                        counter.value += 1
                         action()
                 heappop(times)
                 del buckets[t]

@@ -9,7 +9,7 @@ cache, so the trace a user diffs never depends on how the run executed.
 import json
 
 from repro.exec import ResultCache, SweepExecutor
-from repro.obs import dumps_snapshot
+from repro.obs import CompactSnapshot, dumps_snapshot
 from repro.sim import Simulator
 
 
@@ -71,7 +71,12 @@ class TestBackendEquivalence:
     def test_snapshots_are_json_clean(self):
         __, snapshots, __2 = run_sweep()
         for snapshot in snapshots:
-            assert json.loads(dumps_snapshot(snapshot)) == snapshot
+            assert json.loads(dumps_snapshot(snapshot)) == snapshot.to_dict()
+
+    def test_snapshots_ship_in_compact_form(self):
+        __, snapshots, __2 = run_sweep()
+        for snapshot in snapshots:
+            assert isinstance(snapshot, CompactSnapshot)
 
 
 class TestCacheEquivalence:

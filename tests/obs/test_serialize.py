@@ -51,7 +51,7 @@ class TestEncoders:
 
 class TestTraceLines:
     def test_tags_each_event_with_sweep_and_point(self):
-        lines = trace_lines(sample_observations())
+        lines = list(trace_lines(sample_observations()))
         parsed = [json.loads(line) for line in lines]
         assert [(e["sweep"], e["point"], e["kind"]) for e in parsed] == [
             ("sweep-a", 0, "cpu.switch"),
@@ -59,7 +59,7 @@ class TestTraceLines:
         ]
 
     def test_empty_observations_yield_no_lines(self):
-        assert trace_lines({}) == []
+        assert list(trace_lines({})) == []
 
 
 class TestMetricsDocument:
@@ -110,7 +110,7 @@ class TestSummaryRows:
         rows = dict(summary_rows(sample_observations()))
         assert rows["cpu.dispatches"] == "7"
         assert rows["net.queue_depth (peak)"] == "5"
-        assert rows["mem.fault_latency_ms"] == "n=1 mean=4 max=4"
+        assert rows["mem.fault_latency_ms"] == "n=1 mean=4 min=4 max=4"
         assert rows["trace.events"] == "2"
         assert rows["trace.dropped"] == "0"
 
