@@ -10,6 +10,14 @@ Regenerate any of the paper's tables and figures without writing code::
 Each experiment prints the same rows/series its benchmark emits; ``--csv``
 additionally writes machine-readable series next to the text output.
 
+Experiments self-register through :mod:`repro.core.registry` — each runner
+below carries an ``@experiment(...)`` decorator, and the fleet experiments
+(:mod:`repro.fleet.experiments`) register the same way when this module
+imports them.  ``list`` renders one table per registry group; ``run all``
+executes the registry in registration order, which keeps the paper
+experiments in their historical sequence (goldens and cache keys are
+unchanged) with later groups appended.
+
 Sweeps route through :class:`repro.exec.SweepExecutor`, so runs can be
 parallel and cached:
 
@@ -43,8 +51,9 @@ from __future__ import annotations
 import argparse
 import sys
 from functools import partial
-from typing import Callable, Dict, List, Optional, TextIO, Tuple
+from typing import List, Optional, TextIO, Tuple
 
+from .core.registry import REGISTRY, ExperimentSpec, experiment, groups
 from .core.report import (
     format_metrics_summary,
     format_series,
@@ -55,23 +64,11 @@ from .errors import ReproError
 from .exec import RunContext
 from .obs import summary_rows, write_run_artifacts
 
-
-class Experiment:
-    """One named, runnable reproduction.
-
-    ``run`` receives a single :class:`~repro.exec.RunContext` carrying the
-    seed, output stream, CSV directory, and execution policy.
-    """
-
-    def __init__(
-        self,
-        name: str,
-        title: str,
-        run: Callable[[RunContext], None],
-    ) -> None:
-        self.name = name
-        self.title = title
-        self.run = run
+#: Back-compat aliases: the registry *is* the old hand-built dispatch
+#: table (live mapping, registration order), and a registered spec plays
+#: the old ``Experiment`` role.
+EXPERIMENTS = REGISTRY
+Experiment = ExperimentSpec
 
 
 # --- per-point functions -----------------------------------------------------
@@ -194,8 +191,14 @@ def _tab_proto_point(protocol: str, *, seed: int) -> Tuple[int, int, float, floa
 
 
 # --- experiment runners ------------------------------------------------------
+#
+# Definition order below is registration order, which is ``run all`` order:
+# the paper's figures, then chaos, then the tables — the exact sequence the
+# pre-registry CLI hard-coded.  Keep it that way; goldens and cache keys
+# depend on it.
 
 
+@experiment("fig1", title="Idle-state CPU activity traces")
 def _fig1(ctx: RunContext) -> None:
     from .core.report import sparkline
     from .cpu import OS_NAMES
@@ -224,6 +227,7 @@ def _fig1(ctx: RunContext) -> None:
     )
 
 
+@experiment("fig2", title="Cumulative idle-state latency")
 def _fig2(ctx: RunContext) -> None:
     from .cpu import OS_NAMES
 
@@ -249,6 +253,7 @@ def _fig2(ctx: RunContext) -> None:
     )
 
 
+@experiment("fig3", title="Stall length vs scheduler queue length")
 def _fig3(ctx: RunContext) -> None:
     sweeps = {
         "nt_tse": [0, 5, 10, 15],
@@ -279,104 +284,7 @@ def _fig3(ctx: RunContext) -> None:
     )
 
 
-def _tab_mem(ctx: RunContext) -> None:
-    cells = [
-        (os_name, demand)
-        for os_name in ("linux", "nt_tse")
-        for demand in (0.5, 1.2)
-    ]
-    labels = {0.5: "<100%", 1.2: ">=100%"}
-    points = ctx.executor.map(
-        "tab-mem", partial(_tab_mem_point, seed=ctx.seed), cells, seed=ctx.seed
-    )
-    rows = [
-        (os_name, labels[demand], f"{lo:.0f}", f"{avg:.0f}", f"{hi:.0f}")
-        for (os_name, demand), (lo, avg, hi) in zip(cells, points)
-    ]
-    ctx.out.write(
-        format_table(
-            ["OS", "demand", "min", "avg", "max"],
-            rows,
-            title="§5.2: keystroke latency (ms) under page demand",
-        )
-        + "\n"
-    )
-    if ctx.csv_dir:
-        write_csv(
-            f"{ctx.csv_dir}/tab_mem_latency.csv",
-            ["os", "demand", "min_ms", "avg_ms", "max_ms"],
-            rows,
-        )
-
-
-def _tab_sessions(ctx: RunContext) -> None:
-    from .memory import LINUX_SESSION, TSE_SESSION_LIGHT, TSE_SESSION_TYPICAL
-
-    for session in (LINUX_SESSION, TSE_SESSION_TYPICAL, TSE_SESSION_LIGHT):
-        rows = [(p.name, f"{p.private_kb:,} KB") for p in session.processes]
-        rows.append(("Total", f"{session.total_kb:,} KB"))
-        ctx.out.write(
-            format_table(
-                ["process", "private"],
-                rows,
-                title=f"§5.1.1 login: {session.os_name} ({session.variant})",
-            )
-            + "\n"
-        )
-
-
-def _tab_proto(ctx: RunContext) -> None:
-    protocols = ["rdp", "x", "lbx"]
-    points = ctx.executor.map(
-        "tab-proto",
-        partial(_tab_proto_point, seed=ctx.seed),
-        protocols,
-        seed=ctx.seed,
-    )
-    rows = [
-        (
-            name,
-            f"{total_bytes:,}",
-            f"{total_messages:,}",
-            f"{avg_size:.1f}",
-            f"{savings * 100:.2f}%",
-        )
-        for name, (total_bytes, total_messages, avg_size, savings) in zip(
-            protocols, points
-        )
-    ]
-    ctx.out.write(
-        format_table(
-            ["protocol", "bytes", "messages", "avg size", "VIP savings"],
-            rows,
-            title="§6.1.2: protocol comparison + VIP table",
-        )
-        + "\n"
-    )
-    if ctx.csv_dir:
-        write_csv(
-            f"{ctx.csv_dir}/tab_proto.csv",
-            ["protocol", "bytes", "messages", "avg_size", "vip_savings"],
-            rows,
-        )
-
-
-def _tab_setup(ctx: RunContext) -> None:
-    from .gui import TSE_SETUP, X_SETUP
-
-    ctx.out.write(
-        format_table(
-            ["system", "setup bytes"],
-            [
-                ("nt_tse (RDP)", f"{TSE_SETUP.total_bytes:,}"),
-                ("linux (X)", f"{X_SETUP.total_bytes:,}"),
-            ],
-            title="§6.1.1: session setup costs",
-        )
-        + "\n"
-    )
-
-
+@experiment("fig4", title="Synthetic web page network load")
 def _fig4(ctx: RunContext) -> None:
     variants = ["marquee", "banner", "both"]
     points = ctx.executor.map("fig4", _fig4_point, variants, seed=0)
@@ -399,6 +307,7 @@ def _fig4(ctx: RunContext) -> None:
     )
 
 
+@experiment("fig5", title="10-frame GIF over X/LBX/RDP")
 def _fig5(ctx: RunContext) -> None:
     protocols = ["x", "lbx", "rdp"]
     points = ctx.executor.map("fig5", _fig5_point, protocols, seed=0)
@@ -419,6 +328,7 @@ def _fig5(ctx: RunContext) -> None:
     )
 
 
+@experiment("fig6", title="Cache overflow: hit ratio + CPU")
 def _fig6(ctx: RunContext) -> None:
     (point,) = ctx.executor.map("fig6", _fig6_point, [66], seed=0)
     times_ms, cpu_utilization, cumulative_hit_ratio = point
@@ -440,6 +350,7 @@ def _fig6(ctx: RunContext) -> None:
         )
 
 
+@experiment("fig7", title="Network load vs frame count (cache cliff)")
 def _fig7(ctx: RunContext) -> None:
     frame_counts = [25, 35, 45, 55, 65, 66, 70, 80, 90, 100]
     loads = ctx.executor.map("fig7", _fig7_point, frame_counts, seed=0)
@@ -476,6 +387,7 @@ def _ping_sweep(ctx: RunContext, levels: List[float]) -> List[Tuple[float, float
     )
 
 
+@experiment("fig8", title="RTT vs offered load")
 def _fig8(ctx: RunContext) -> None:
     levels = [0, 1, 2, 3, 4, 5, 6, 7, 8, 9, 9.6]
     # figs 8 and 9 share the "ping" sweep, so a cached fig8 run also
@@ -502,6 +414,7 @@ def _fig8(ctx: RunContext) -> None:
         )
 
 
+@experiment("fig9", title="RTT variance vs offered load")
 def _fig9(ctx: RunContext) -> None:
     levels = [0, 2, 4, 6, 8, 9, 9.6]
     points = _ping_sweep(ctx, levels)
@@ -518,6 +431,11 @@ def _fig9(ctx: RunContext) -> None:
     )
 
 
+@experiment(
+    "chaos",
+    title="Message latency vs loss rate (faulted wire)",
+    group="chaos",
+)
 def _chaos(ctx: RunContext) -> None:
     """Latency vs loss rate on a faulted wire — the robustness axis the
     paper's perfect testbed never exercised."""
@@ -568,25 +486,111 @@ def _chaos(ctx: RunContext) -> None:
         )
 
 
-EXPERIMENTS: Dict[str, Experiment] = {
-    e.name: e
-    for e in (
-        Experiment("fig1", "Idle-state CPU activity traces", _fig1),
-        Experiment("fig2", "Cumulative idle-state latency", _fig2),
-        Experiment("fig3", "Stall length vs scheduler queue length", _fig3),
-        Experiment("fig4", "Synthetic web page network load", _fig4),
-        Experiment("fig5", "10-frame GIF over X/LBX/RDP", _fig5),
-        Experiment("fig6", "Cache overflow: hit ratio + CPU", _fig6),
-        Experiment("fig7", "Network load vs frame count (cache cliff)", _fig7),
-        Experiment("fig8", "RTT vs offered load", _fig8),
-        Experiment("fig9", "RTT variance vs offered load", _fig9),
-        Experiment("chaos", "Message latency vs loss rate (faulted wire)", _chaos),
-        Experiment("tab-mem", "Keystroke latency under page demand", _tab_mem),
-        Experiment("tab-sessions", "Per-login session memory", _tab_sessions),
-        Experiment("tab-proto", "Protocol comparison + VIP savings", _tab_proto),
-        Experiment("tab-setup", "Session setup costs", _tab_setup),
+@experiment("tab-mem", title="Keystroke latency under page demand")
+def _tab_mem(ctx: RunContext) -> None:
+    cells = [
+        (os_name, demand)
+        for os_name in ("linux", "nt_tse")
+        for demand in (0.5, 1.2)
+    ]
+    labels = {0.5: "<100%", 1.2: ">=100%"}
+    points = ctx.executor.map(
+        "tab-mem", partial(_tab_mem_point, seed=ctx.seed), cells, seed=ctx.seed
     )
-}
+    rows = [
+        (os_name, labels[demand], f"{lo:.0f}", f"{avg:.0f}", f"{hi:.0f}")
+        for (os_name, demand), (lo, avg, hi) in zip(cells, points)
+    ]
+    ctx.out.write(
+        format_table(
+            ["OS", "demand", "min", "avg", "max"],
+            rows,
+            title="§5.2: keystroke latency (ms) under page demand",
+        )
+        + "\n"
+    )
+    if ctx.csv_dir:
+        write_csv(
+            f"{ctx.csv_dir}/tab_mem_latency.csv",
+            ["os", "demand", "min_ms", "avg_ms", "max_ms"],
+            rows,
+        )
+
+
+@experiment("tab-sessions", title="Per-login session memory")
+def _tab_sessions(ctx: RunContext) -> None:
+    from .memory import LINUX_SESSION, TSE_SESSION_LIGHT, TSE_SESSION_TYPICAL
+
+    for session in (LINUX_SESSION, TSE_SESSION_TYPICAL, TSE_SESSION_LIGHT):
+        rows = [(p.name, f"{p.private_kb:,} KB") for p in session.processes]
+        rows.append(("Total", f"{session.total_kb:,} KB"))
+        ctx.out.write(
+            format_table(
+                ["process", "private"],
+                rows,
+                title=f"§5.1.1 login: {session.os_name} ({session.variant})",
+            )
+            + "\n"
+        )
+
+
+@experiment("tab-proto", title="Protocol comparison + VIP savings")
+def _tab_proto(ctx: RunContext) -> None:
+    protocols = ["rdp", "x", "lbx"]
+    points = ctx.executor.map(
+        "tab-proto",
+        partial(_tab_proto_point, seed=ctx.seed),
+        protocols,
+        seed=ctx.seed,
+    )
+    rows = [
+        (
+            name,
+            f"{total_bytes:,}",
+            f"{total_messages:,}",
+            f"{avg_size:.1f}",
+            f"{savings * 100:.2f}%",
+        )
+        for name, (total_bytes, total_messages, avg_size, savings) in zip(
+            protocols, points
+        )
+    ]
+    ctx.out.write(
+        format_table(
+            ["protocol", "bytes", "messages", "avg size", "VIP savings"],
+            rows,
+            title="§6.1.2: protocol comparison + VIP table",
+        )
+        + "\n"
+    )
+    if ctx.csv_dir:
+        write_csv(
+            f"{ctx.csv_dir}/tab_proto.csv",
+            ["protocol", "bytes", "messages", "avg_size", "vip_savings"],
+            rows,
+        )
+
+
+@experiment("tab-setup", title="Session setup costs")
+def _tab_setup(ctx: RunContext) -> None:
+    from .gui import TSE_SETUP, X_SETUP
+
+    ctx.out.write(
+        format_table(
+            ["system", "setup bytes"],
+            [
+                ("nt_tse (RDP)", f"{TSE_SETUP.total_bytes:,}"),
+                ("linux (X)", f"{X_SETUP.total_bytes:,}"),
+            ],
+            title="§6.1.1: session setup costs",
+        )
+        + "\n"
+    )
+
+
+# Fleet experiments register themselves on import — after the paper set,
+# so ``run all`` appends them without disturbing the historical order.
+from .fleet import experiments as _fleet_experiments  # noqa: E402,F401
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -675,14 +679,15 @@ def main(
     """
     args = build_parser().parse_args(argv)
     if args.command == "list":
-        out.write(
+        tables = [
             format_table(
                 ["id", "reproduces"],
-                [(e.name, e.title) for e in EXPERIMENTS.values()],
-                title="Available experiments",
+                [(spec.name, spec.title) for spec in group_specs],
+                title=f"Available experiments — {group}",
             )
-            + "\n"
-        )
+            for group, group_specs in groups().items()
+        ]
+        out.write("\n\n".join(tables) + "\n")
         return 0
 
     if args.jobs < 1:
@@ -714,14 +719,14 @@ def main(
     )
     names = list(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
     for name in names:
-        experiment = EXPERIMENTS.get(name)
-        if experiment is None:
+        experiment_spec = EXPERIMENTS.get(name)
+        if experiment_spec is None:
             out.write(
                 f"unknown experiment {name!r}; try 'python -m repro list'\n"
             )
             return 2
         try:
-            experiment.run(ctx)
+            experiment_spec.run(ctx)
         except ReproError as exc:
             out.write(f"experiment {name} failed: {exc}\n")
             return 1

@@ -2,9 +2,12 @@
 
 from .capacity import (
     CapacityReport,
+    FleetCapacityReport,
     blend_profiles,
     plan_capacity,
+    plan_fleet_capacity,
     plan_mixed_capacity,
+    plan_mixed_fleet_capacity,
 )
 from .client import ThinClient
 from .experiment import ParameterSweep, SweepResult
@@ -27,6 +30,7 @@ from .latency import (
     assess,
     threshold_for,
 )
+from .registry import ExperimentSpec, experiment
 from .report import format_series, format_table, sparkline
 from .server import ServerConfig, ThinClientServer, UserSession
 
@@ -34,6 +38,8 @@ __all__ = [
     "CONTINUOUS_THRESHOLD_MS",
     "CapacityReport",
     "DISCRETE_THRESHOLD_MS",
+    "ExperimentSpec",
+    "FleetCapacityReport",
     "LatencyAssessment",
     "LoadKind",
     "LoadProfile",
@@ -53,10 +59,13 @@ __all__ = [
     "blend_profiles",
     "compare",
     "evaluate",
+    "experiment",
     "format_series",
     "format_table",
     "plan_capacity",
+    "plan_fleet_capacity",
     "plan_mixed_capacity",
+    "plan_mixed_fleet_capacity",
     "sparkline",
     "threshold_for",
 ]

@@ -9,13 +9,21 @@ value" (§3.1).
 exposing *which* resource gates the deployment, the way the paper's
 §6.1.3 does for the network ("if just five users open their browsers to a
 page like this, the network link becomes saturated").
+
+:func:`plan_fleet_capacity` generalizes the same arithmetic to a *fleet*
+of identical servers behind a shared backbone link — the NC-farm sizing
+question of Gray's *Locally Served Network Computers*: per-server ceilings
+sum across the pool until the backbone's aggregate-traffic ceiling takes
+over as the binding constraint.  The single-server planners are thin
+wrappers over the fleet path (a one-server fleet with no backbone), so
+their outputs are unchanged.
 """
 
 from __future__ import annotations
 
 import math
 from dataclasses import dataclass, replace
-from typing import Dict, Mapping
+from typing import Dict, Mapping, Optional, Tuple
 
 from ..cpu.idle import idle_profile
 from ..errors import ExperimentError
@@ -59,6 +67,77 @@ class CapacityReport:
         )
 
 
+@dataclass(frozen=True)
+class FleetCapacityReport:
+    """Capacity of N identical servers behind a shared backbone link.
+
+    Per-server ceilings come from the single-server planner; the fleet
+    adds one more dimension — the backbone that aggregates every session's
+    display/input traffic on its way to the client population.  Below the
+    backbone knee the fleet scales linearly with servers; above it, adding
+    servers buys nothing (Gray's NC-farm economics in one inequality).
+    """
+
+    servers: Tuple[CapacityReport, ...]
+    profile_name: str
+    per_user_backbone_mbps: float
+    backbone_mbps: Optional[float]  #: ``None`` = unconstrained backbone
+    backbone_utilization_cap: float = 0.8
+
+    #: Sentinel ceiling for dimensions a deployment cannot saturate.
+    UNLIMITED = 10**9
+
+    @property
+    def num_servers(self) -> int:
+        """How many servers the fleet composes."""
+        return len(self.servers)
+
+    @property
+    def server_users(self) -> int:
+        """Aggregate ceiling from the server pool alone (sum of per-server)."""
+        return sum(report.max_users for report in self.servers)
+
+    @property
+    def backbone_users(self) -> int:
+        """Ceiling from the shared backbone's usable bandwidth."""
+        if self.backbone_mbps is None or self.per_user_backbone_mbps <= 0:
+            return self.UNLIMITED
+        usable = self.backbone_mbps * self.backbone_utilization_cap
+        return max(0, math.floor(usable / self.per_user_backbone_mbps))
+
+    @property
+    def max_users(self) -> int:
+        """The deployable fleet-wide user count (pool vs backbone minimum)."""
+        return min(self.server_users, self.backbone_users)
+
+    @property
+    def limiting_resource(self) -> str:
+        """What gates the fleet: ``"backbone"`` or a per-server resource."""
+        if self.backbone_users < self.server_users:
+            return "backbone"
+        return self.servers[0].limiting_resource
+
+    @property
+    def backbone_headroom(self) -> float:
+        """Unused fraction of usable backbone capacity at ``max_users``."""
+        if self.backbone_mbps is None or self.per_user_backbone_mbps <= 0:
+            return 1.0
+        usable = self.backbone_mbps * self.backbone_utilization_cap
+        used = self.max_users * self.per_user_backbone_mbps
+        return max(0.0, min(1.0, 1.0 - used / usable))
+
+    def describe(self) -> str:
+        """One-line human summary naming the binding constraint."""
+        per_server = self.servers[0].max_users if self.servers else 0
+        return (
+            f"{self.num_servers}x {self.profile_name}: {self.max_users} users "
+            f"(limited by {self.limiting_resource}; "
+            f"servers={self.server_users} [{per_server}/server], "
+            f"backbone={'inf' if self.backbone_users >= self.UNLIMITED else self.backbone_users}, "
+            f"backbone headroom={self.backbone_headroom * 100:.0f}%)"
+        )
+
+
 def plan_capacity(
     os_name: str,
     profile: BehaviorProfile,
@@ -80,7 +159,88 @@ def plan_capacity(
       dynamic working set must stay resident (§5.2's paging pathology);
     * **network**: aggregate display/input traffic must stay below the
       saturation knee of Figures 8–9.
+
+    A thin wrapper over :func:`plan_fleet_capacity` with one server and no
+    backbone; the report is byte-for-byte what the pre-fleet planner
+    produced.
     """
+    fleet = plan_fleet_capacity(
+        os_name,
+        profile,
+        num_servers=1,
+        backbone_mbps=None,
+        physical_bytes=physical_bytes,
+        bandwidth_mbps=bandwidth_mbps,
+        cpu_count=cpu_count,
+        cpu_speed=cpu_speed,
+        cpu_headroom=cpu_headroom,
+        network_utilization_cap=network_utilization_cap,
+        session_variant=session_variant,
+    )
+    return fleet.servers[0]
+
+
+def plan_fleet_capacity(
+    os_name: str,
+    profile: BehaviorProfile,
+    *,
+    num_servers: int = 1,
+    backbone_mbps: Optional[float] = None,
+    backbone_utilization_cap: float = 0.8,
+    physical_bytes: int = mb(256),
+    bandwidth_mbps: float = 10.0,
+    cpu_count: int = 1,
+    cpu_speed: float = 1.0,
+    cpu_headroom: float = 0.7,
+    network_utilization_cap: float = 0.8,
+    session_variant: str = "typical",
+) -> FleetCapacityReport:
+    """Capacity of ``num_servers`` identical servers sharing a backbone.
+
+    Per-server dimensions are exactly :func:`plan_capacity`'s; the fleet
+    adds the backbone dimension (``backbone_mbps`` of shared aggregate
+    bandwidth, ``None`` for unconstrained) that every session's traffic
+    crosses regardless of which server hosts it.
+    """
+    if num_servers < 1:
+        raise ExperimentError("a fleet needs at least one server")
+    if backbone_mbps is not None and backbone_mbps <= 0:
+        raise ExperimentError("backbone bandwidth must be positive")
+    if not 0 < backbone_utilization_cap <= 1:
+        raise ExperimentError("backbone utilization cap must be in (0, 1]")
+    server = _plan_server_capacity(
+        os_name,
+        profile,
+        physical_bytes=physical_bytes,
+        bandwidth_mbps=bandwidth_mbps,
+        cpu_count=cpu_count,
+        cpu_speed=cpu_speed,
+        cpu_headroom=cpu_headroom,
+        network_utilization_cap=network_utilization_cap,
+        session_variant=session_variant,
+    )
+    return FleetCapacityReport(
+        servers=(server,) * num_servers,
+        profile_name=profile.name,
+        per_user_backbone_mbps=profile.network_mbps,
+        backbone_mbps=backbone_mbps,
+        backbone_utilization_cap=backbone_utilization_cap,
+    )
+
+
+def _plan_server_capacity(
+    os_name: str,
+    profile: BehaviorProfile,
+    *,
+    physical_bytes: int,
+    bandwidth_mbps: float,
+    cpu_count: int,
+    cpu_speed: float,
+    cpu_headroom: float,
+    network_utilization_cap: float,
+    session_variant: str,
+) -> CapacityReport:
+    """The per-server arithmetic (the pre-fleet ``plan_capacity`` body)."""
     if cpu_count < 1 or cpu_speed <= 0:
         raise ExperimentError("need at least one CPU of positive speed")
     if not 0 < cpu_headroom <= 1 or not 0 < network_utilization_cap <= 1:
@@ -159,3 +319,16 @@ def plan_mixed_capacity(
     the blended user.
     """
     return plan_capacity(os_name, blend_profiles(mix), **kwargs)
+
+
+def plan_mixed_fleet_capacity(
+    os_name: str,
+    mix: Mapping[BehaviorProfile, float],
+    **kwargs,
+) -> FleetCapacityReport:
+    """Fleet capacity for a weighted population of user classes.
+
+    The fleet analogue of :func:`plan_mixed_capacity`: blends the mix and
+    delegates to :func:`plan_fleet_capacity` (same keyword surface).
+    """
+    return plan_fleet_capacity(os_name, blend_profiles(mix), **kwargs)

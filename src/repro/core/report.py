@@ -6,6 +6,7 @@ figures report; these helpers keep that output aligned and consistent.
 
 from __future__ import annotations
 
+import re
 from typing import Iterable, List, Optional, Sequence
 
 from ..errors import ExperimentError
@@ -79,6 +80,57 @@ def write_csv(
             writer.writerow(list(row))
 
 
+#: Per-server fleet gauge rows, e.g. ``fleet.load.s03 (peak)`` — the
+#: ``sNN`` label is the zero-padded server index the fleet layer assigns.
+_FLEET_SERVER_ROW = re.compile(
+    r"^(?P<base>fleet\.[A-Za-z0-9_.]+)\.s(?P<index>\d+) \(peak\)$"
+)
+
+
+def _collapse_fleet_rows(
+    rows: Sequence[Sequence[object]],
+) -> List[Sequence[object]]:
+    """Fold per-server ``fleet.*.sNN`` gauge rows into one row per metric.
+
+    A 64-server fleet publishes 64 ``fleet.load.sNN`` gauges; the summary
+    table wants the fleet's *shape*, not a page of near-identical rows.
+    Each group collapses — at the position of its first member — into
+    ``fleet.<metric> (per-server peak)`` with count/min/mean/max and a
+    per-server sparkline (servers in index order).  Rows that do not match
+    the fleet naming scheme (every pre-fleet experiment) pass through
+    untouched, so existing metrics-summary output is byte-identical.
+    """
+    collapsed: List[Sequence[object]] = []
+    groups: dict = {}
+    for metric, value in rows:
+        match = _FLEET_SERVER_ROW.match(str(metric))
+        if match is None:
+            collapsed.append((metric, value))
+            continue
+        try:
+            reading = float(str(value).replace(",", ""))
+        except ValueError:
+            collapsed.append((metric, value))
+            continue
+        base = match.group("base")
+        group = groups.get(base)
+        if group is None:
+            # Placeholder keeps the group anchored where it first appeared.
+            groups[base] = group = (len(collapsed), [])
+            collapsed.append(None)  # type: ignore[arg-type]
+        group[1].append((int(match.group("index")), reading))
+    for base, (position, members) in groups.items():
+        members.sort()
+        readings = [reading for __, reading in members]
+        mean = sum(readings) / len(readings)
+        collapsed[position] = (
+            f"{base} (per-server peak)",
+            f"n={len(readings)} min={min(readings):.6g} "
+            f"mean={mean:.6g} max={max(readings):.6g} {sparkline(readings)}",
+        )
+    return collapsed
+
+
 def format_metrics_summary(
     experiment: str, rows: Sequence[Sequence[object]]
 ) -> str:
@@ -86,11 +138,13 @@ def format_metrics_summary(
 
     *rows* are ``(metric, value)`` pairs, typically produced by
     :func:`repro.obs.summary_rows`; values arrive pre-formatted so the
-    table stays byte-stable across executor backends.
+    table stays byte-stable across executor backends.  Per-server fleet
+    gauges (``fleet.*.sNN``) are collapsed to one row per metric — see
+    :func:`_collapse_fleet_rows`; all other rows render verbatim.
     """
     return format_table(
         ["metric", "value"],
-        rows,
+        _collapse_fleet_rows(rows),
         title=f"{experiment}: metrics summary",
     )
 

@@ -45,3 +45,7 @@ class WorkloadError(ReproError):
 
 class ExperimentError(ReproError):
     """An experiment harness was configured or driven incorrectly."""
+
+
+class FleetError(ReproError):
+    """A fleet composition was configured or driven incorrectly."""

@@ -1,0 +1,44 @@
+"""Fleet-scale composition: many thin-client servers behind one backbone.
+
+The paper sizes one multi-user server; this package composes N of them on
+a shared simulator clock with pluggable session placement, admission
+control, and a shared client-side backbone — the substrate the registered
+``fleet_capacity`` and ``fleet_placement`` experiments run on.
+"""
+
+from .admission import (
+    ADMISSION_MODES,
+    AdmissionController,
+    AdmissionPolicy,
+    planned_session_capacity,
+)
+from .cluster import Fleet, FleetConfig, FleetSession, ServerState
+from .placement import (
+    PLACEMENT_POLICIES,
+    LatencyAwarePlacement,
+    LeastLoadedPlacement,
+    PlacementPolicy,
+    RandomPlacement,
+    RoundRobinPlacement,
+    SessionAffinityPlacement,
+    make_placement,
+)
+
+__all__ = [
+    "ADMISSION_MODES",
+    "AdmissionController",
+    "AdmissionPolicy",
+    "Fleet",
+    "FleetConfig",
+    "FleetSession",
+    "LatencyAwarePlacement",
+    "LeastLoadedPlacement",
+    "PLACEMENT_POLICIES",
+    "PlacementPolicy",
+    "RandomPlacement",
+    "RoundRobinPlacement",
+    "ServerState",
+    "SessionAffinityPlacement",
+    "make_placement",
+    "planned_session_capacity",
+]

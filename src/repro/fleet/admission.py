@@ -1,0 +1,136 @@
+"""Admission control: the fleet's answer to "how many users fit?".
+
+The paper's capacity question (§3.1) becomes operational at fleet scale:
+every server has a planned session ceiling — by default the
+:func:`~repro.core.capacity.plan_capacity` maximum for the fleet's user
+profile on the server's hardware — and the admission controller enforces
+it at session-arrival time.  Above capacity the fleet either **rejects**
+the login (the deployer's overload contract) or **queues** it FIFO until a
+session departs (the login-storm contract).
+
+Determinism: admission decisions are pure functions of fleet state and
+arrival order, so sweeps reproduce byte-for-byte across executor paths.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Deque, List, Optional, Sequence
+
+from ..core.capacity import plan_capacity
+from ..core.server import ServerConfig
+from ..errors import FleetError
+from ..workloads.behavior import BehaviorProfile
+
+#: Admission outcomes, in the order the counters report them.
+ADMITTED, QUEUED, REJECTED = "admitted", "queued", "rejected"
+
+#: Recognized overload behaviours.
+ADMISSION_MODES = ("reject", "queue")
+
+
+def planned_session_capacity(
+    config: ServerConfig,
+    profile: BehaviorProfile,
+    *,
+    cpu_count: int = 1,
+    cpu_headroom: float = 0.7,
+    network_utilization_cap: float = 0.8,
+) -> int:
+    """One server's session ceiling from the capacity planner.
+
+    Maps the :class:`~repro.core.server.ServerConfig` hardware onto
+    :func:`~repro.core.capacity.plan_capacity` and takes the planned
+    maximum (at least 1, so a fleet of viable servers is never planned to
+    zero).
+    """
+    report = plan_capacity(
+        config.os_name,
+        profile,
+        physical_bytes=config.physical_bytes,
+        bandwidth_mbps=config.bandwidth_mbps,
+        cpu_count=cpu_count,
+        cpu_speed=config.cpu_speed,
+        cpu_headroom=cpu_headroom,
+        network_utilization_cap=network_utilization_cap,
+        session_variant=config.session_variant,
+    )
+    return max(1, report.max_users)
+
+
+@dataclass(frozen=True)
+class AdmissionPolicy:
+    """Per-server ceiling plus the overload behaviour.
+
+    ``capacity`` is sessions per server; ``mode`` is ``"reject"`` or
+    ``"queue"``; ``max_queue`` bounds the waiting line (``None`` =
+    unbounded) — an arrival past a full queue is rejected even in queue
+    mode.
+    """
+
+    capacity: int
+    mode: str = "reject"
+    max_queue: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        """Validate the ceiling, mode, and queue bound."""
+        if self.capacity < 1:
+            raise FleetError("per-server capacity must be at least 1")
+        if self.mode not in ADMISSION_MODES:
+            raise FleetError(
+                f"unknown admission mode {self.mode!r}; expected one of "
+                f"{ADMISSION_MODES}"
+            )
+        if self.max_queue is not None and self.max_queue < 0:
+            raise FleetError("max_queue cannot be negative")
+
+
+class AdmissionController:
+    """Stateful gate in front of the fleet's placement policy.
+
+    The controller owns the waiting line; the fleet consults
+    :meth:`admissible` for placement candidates and reports outcomes back
+    through :meth:`decide` / :meth:`release`.
+    """
+
+    def __init__(self, policy: AdmissionPolicy) -> None:
+        self.policy = policy
+        self.waiting: Deque[str] = deque()
+        self.admitted_total = 0
+        self.queued_total = 0
+        self.rejected_total = 0
+
+    def admissible(self, states: Sequence) -> List:
+        """Healthy servers with admission headroom, in index order."""
+        return [
+            state
+            for state in states
+            if not state.failed and state.active < self.policy.capacity
+        ]
+
+    def decide(self, session_id: str, states: Sequence) -> str:
+        """Classify one arrival: ``admitted``, ``queued``, or ``rejected``.
+
+        ``admitted`` means at least one admissible server exists (the
+        placement policy then picks among them); the caller must actually
+        place the session.  ``queued`` appends the id to the waiting line.
+        """
+        if self.admissible(states):
+            self.admitted_total += 1
+            return ADMITTED
+        if self.policy.mode == "queue" and (
+            self.policy.max_queue is None
+            or len(self.waiting) < self.policy.max_queue
+        ):
+            self.waiting.append(session_id)
+            self.queued_total += 1
+            return QUEUED
+        self.rejected_total += 1
+        return REJECTED
+
+    def release(self) -> Optional[str]:
+        """A session departed: pop the next waiting id (FIFO), if any."""
+        if self.waiting:
+            return self.waiting.popleft()
+        return None

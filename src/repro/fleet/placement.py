@@ -1,0 +1,180 @@
+"""Pluggable session-placement policies for a server fleet.
+
+Where the paper sizes *one* multi-user server, a fleet must decide *which*
+server each arriving session lands on — the bin-packing-vs-spreading choice
+that Gray's NC-farm analysis prices out.  A policy sees the admissible
+candidates (healthy servers with admission headroom) and picks one:
+
+``random``
+    Uniform choice from a named RNG stream — the stateless baseline.
+``round_robin``
+    Cycle through server indices; the classic spreader.
+``least_loaded``
+    Fewest active sessions wins; ties break on the lowest server index,
+    so placement is a pure function of fleet state.
+``latency_aware``
+    Greedy on an estimated session latency: each server's observed
+    latency EWMA plus a load-proportional queueing penalty.  Servers
+    without observations score on load alone, so the policy explores
+    before it exploits.
+``session_affinity``
+    A deterministic hash of the session id picks a home server; the
+    session sticks to it (probing forward only past full or failed
+    servers).  The fleet invariant — an affinity session never migrates
+    unless its server is marked failed — is tested explicitly.
+
+Policies are deterministic given (fleet state, RNG stream state), which is
+what lets fleet sweeps reproduce byte-for-byte across ``--jobs N`` and
+warm-cache replays.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Callable, Dict, Protocol, Sequence
+
+from ..errors import FleetError
+from ..sim.rng import derive_seed
+
+
+class PlacementCandidate(Protocol):
+    """What a policy may inspect about one admissible server."""
+
+    index: int  #: stable server id within the fleet
+    capacity: int  #: admission ceiling (sessions)
+
+    @property
+    def active(self) -> int:
+        """Sessions currently placed on this server."""
+        ...  # pragma: no cover - protocol declaration
+
+    @property
+    def latency_estimate_ms(self) -> float:
+        """EWMA of observed session latencies (0 before any sample)."""
+        ...  # pragma: no cover - protocol declaration
+
+
+class PlacementPolicy:
+    """Base class: pick one server from the admissible candidates."""
+
+    #: Registry id; subclasses override.
+    name = "abstract"
+
+    def choose(
+        self,
+        session_id: str,
+        candidates: Sequence[PlacementCandidate],
+        *,
+        total_servers: int,
+        rng: random.Random,
+    ) -> PlacementCandidate:
+        """Return the chosen candidate.  *candidates* is never empty."""
+        raise NotImplementedError  # pragma: no cover - abstract
+
+
+class RandomPlacement(PlacementPolicy):
+    """Uniform random spreading from the fleet's placement RNG stream."""
+
+    name = "random"
+
+    def choose(self, session_id, candidates, *, total_servers, rng):
+        """Pick uniformly among admissible servers."""
+        return candidates[rng.randrange(len(candidates))]
+
+
+class RoundRobinPlacement(PlacementPolicy):
+    """Cycle through server indices, skipping inadmissible servers."""
+
+    name = "round_robin"
+
+    def __init__(self) -> None:
+        self._cursor = 0
+
+    def choose(self, session_id, candidates, *, total_servers, rng):
+        """Pick the first admissible server at or after the cursor."""
+        chosen = min(
+            candidates,
+            key=lambda c: ((c.index - self._cursor) % total_servers, c.index),
+        )
+        self._cursor = (chosen.index + 1) % total_servers
+        return chosen
+
+
+class LeastLoadedPlacement(PlacementPolicy):
+    """Fewest active sessions wins; ties break on the lowest server id."""
+
+    name = "least_loaded"
+
+    def choose(self, session_id, candidates, *, total_servers, rng):
+        """Pick the least-loaded admissible server (index breaks ties)."""
+        return min(candidates, key=lambda c: (c.active, c.index))
+
+
+class LatencyAwarePlacement(PlacementPolicy):
+    """Greedy on estimated latency: observed EWMA + load penalty.
+
+    The penalty charges ``penalty_ms`` per unit of fractional load
+    (``active / capacity``), so an empty server with no history beats a
+    busy server with a good history — exploration falls out of the score.
+    """
+
+    name = "latency_aware"
+
+    def __init__(self, penalty_ms: float = 50.0) -> None:
+        self.penalty_ms = penalty_ms
+
+    def score(self, candidate: PlacementCandidate) -> float:
+        """Estimated session latency on *candidate*, in ms."""
+        load = candidate.active / candidate.capacity if candidate.capacity else 1.0
+        return candidate.latency_estimate_ms + self.penalty_ms * load
+
+    def choose(self, session_id, candidates, *, total_servers, rng):
+        """Pick the lowest-scoring admissible server (index breaks ties)."""
+        return min(candidates, key=lambda c: (self.score(c), c.index))
+
+
+class SessionAffinityPlacement(PlacementPolicy):
+    """Stable hash of the session id, probing forward past full servers.
+
+    The home index is ``sha256(session_id) % total_servers`` (via
+    :func:`repro.sim.rng.derive_seed`, so it is stable across processes
+    and Python versions); if the home server is inadmissible the probe
+    walks forward cyclically.  Re-placing the *same* session id lands on
+    the same server while it remains admissible — the affinity property.
+    """
+
+    name = "session_affinity"
+
+    @staticmethod
+    def home_index(session_id: str, total_servers: int) -> int:
+        """The hashed home server index for *session_id*."""
+        return derive_seed(0, f"affinity:{session_id}") % total_servers
+
+    def choose(self, session_id, candidates, *, total_servers, rng):
+        """Pick the first admissible server in probe order from home."""
+        home = self.home_index(session_id, total_servers)
+        return min(
+            candidates, key=lambda c: ((c.index - home) % total_servers,)
+        )
+
+
+#: Factory table; every policy the CLI and fleet experiments accept.
+PLACEMENT_POLICIES: Dict[str, Callable[[], PlacementPolicy]] = {
+    "random": RandomPlacement,
+    "round_robin": RoundRobinPlacement,
+    "least_loaded": LeastLoadedPlacement,
+    "latency_aware": LatencyAwarePlacement,
+    "session_affinity": SessionAffinityPlacement,
+}
+
+
+def make_placement(name: str) -> PlacementPolicy:
+    """Instantiate the placement policy registered under *name*."""
+    try:
+        factory = PLACEMENT_POLICIES[name]
+    except KeyError:
+        raise FleetError(
+            f"unknown placement policy {name!r}; expected one of "
+            f"{sorted(PLACEMENT_POLICIES)}"
+        ) from None
+    return factory()

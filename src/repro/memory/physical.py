@@ -20,7 +20,7 @@ DEFAULT_PAGE_SIZE = 4 * KB
 class Frame:
     """One physical page frame."""
 
-    __slots__ = ("index", "owner", "vpn", "dirty", "referenced", "pinned")
+    __slots__ = ("index", "owner", "vpn", "dirty", "referenced", "pinned", "free")
 
     def __init__(self, index: int) -> None:
         self.index = index
@@ -29,6 +29,7 @@ class Frame:
         self.dirty = False
         self.referenced = False
         self.pinned = False
+        self.free = False  #: tracks free-list membership in O(1)
 
     @property
     def in_use(self) -> bool:
@@ -51,6 +52,8 @@ class FramePool:
         self.total_frames = total_bytes // page_size
         self.frames: List[Frame] = [Frame(i) for i in range(self.total_frames)]
         self._free: List[Frame] = list(reversed(self.frames))
+        for frame in self._free:
+            frame.free = True
 
     @property
     def free_frames(self) -> int:
@@ -75,6 +78,7 @@ class FramePool:
             )
         for _ in range(npages):
             frame = self._free.pop()
+            frame.free = False
             frame.pinned = True
         return npages
 
@@ -83,6 +87,7 @@ class FramePool:
         if not self._free:
             return None
         frame = self._free.pop()
+        frame.free = False
         frame.dirty = False
         frame.referenced = False
         return frame
@@ -91,10 +96,11 @@ class FramePool:
         """Return *frame* to the free list."""
         if frame.pinned:
             raise MemoryError_(f"cannot release pinned frame {frame.index}")
-        if frame in self._free:
+        if frame.free:
             raise MemoryError_(f"double free of frame {frame.index}")
         frame.owner = None
         frame.vpn = None
         frame.dirty = False
         frame.referenced = False
+        frame.free = True
         self._free.append(frame)

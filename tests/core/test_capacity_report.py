@@ -154,6 +154,89 @@ class TestReport:
             sparkline([])
 
 
+class TestFleetCapacity:
+    def test_single_server_wrapper_output_unchanged(self):
+        """`plan_capacity` is now a one-server fleet; its report must be
+        exactly what the pre-fleet planner produced."""
+        from repro.core import plan_fleet_capacity
+
+        single = plan_capacity("nt_tse", WEB_BROWSER_USER)
+        fleet = plan_fleet_capacity(
+            "nt_tse", WEB_BROWSER_USER, num_servers=1, backbone_mbps=None
+        )
+        assert fleet.servers == (single,)
+        assert single == CapacityReport(
+            os_name="nt_tse",
+            profile_name=single.profile_name,
+            cpu_users=single.cpu_users,
+            memory_users=single.memory_users,
+            network_users=single.network_users,
+        )
+        assert fleet.max_users == single.max_users
+        assert fleet.limiting_resource == single.limiting_resource
+
+    def test_unconstrained_backbone_scales_linearly(self):
+        from repro.core import plan_fleet_capacity
+
+        one = plan_fleet_capacity("nt_tse", TASK_WORKER, num_servers=1)
+        four = plan_fleet_capacity("nt_tse", TASK_WORKER, num_servers=4)
+        assert four.num_servers == 4
+        assert four.server_users == 4 * one.server_users
+        assert four.max_users == 4 * one.max_users
+        assert four.backbone_users == four.UNLIMITED
+        assert four.backbone_headroom == 1.0
+
+    def test_backbone_becomes_the_binding_constraint(self):
+        from repro.core import plan_fleet_capacity
+
+        # Per web user: 1.6 Mbps.  An 8 Mbps backbone at the 0.8 cap
+        # carries floor(6.4 / 1.6) = 4 users, fewer than even one server.
+        fleet = plan_fleet_capacity(
+            "nt_tse", WEB_BROWSER_USER, num_servers=8, backbone_mbps=8.0
+        )
+        assert fleet.backbone_users == 4
+        assert fleet.max_users == 4
+        assert fleet.limiting_resource == "backbone"
+        assert "backbone" in fleet.describe()
+
+    def test_wide_backbone_defers_to_server_resources(self):
+        from repro.core import plan_fleet_capacity
+
+        fleet = plan_fleet_capacity(
+            "nt_tse", WEB_BROWSER_USER, num_servers=2, backbone_mbps=1000.0
+        )
+        assert fleet.max_users == fleet.server_users
+        assert fleet.limiting_resource == "network"  # per-server LAN
+        assert 0.0 < fleet.backbone_headroom <= 1.0
+
+    def test_fleet_validation(self):
+        from repro.core import plan_fleet_capacity
+
+        with pytest.raises(ExperimentError):
+            plan_fleet_capacity("linux", TASK_WORKER, num_servers=0)
+        with pytest.raises(ExperimentError):
+            plan_fleet_capacity("linux", TASK_WORKER, backbone_mbps=0.0)
+        with pytest.raises(ExperimentError):
+            plan_fleet_capacity(
+                "linux", TASK_WORKER, backbone_utilization_cap=0.0
+            )
+
+    def test_mixed_fleet_wrapper(self):
+        from repro.core import plan_fleet_capacity, plan_mixed_fleet_capacity
+
+        mixed = plan_mixed_fleet_capacity(
+            "nt_tse",
+            {TASK_WORKER: 1, WEB_BROWSER_USER: 1},
+            num_servers=2,
+            backbone_mbps=10.0,
+        )
+        pure = plan_fleet_capacity(
+            "nt_tse", TASK_WORKER, num_servers=2, backbone_mbps=10.0
+        )
+        assert mixed.num_servers == 2
+        assert mixed.max_users < pure.max_users  # browsers drag the blend
+
+
 class TestMixedCapacity:
     def test_blend_is_weighted_average(self):
         from repro.core import blend_profiles

@@ -26,8 +26,28 @@ class TestList:
     def test_registry_covers_all_figures_and_tables(self):
         figs = {f"fig{i}" for i in range(1, 10)}
         tabs = {"tab-mem", "tab-sessions", "tab-proto", "tab-setup"}
-        extras = {"chaos"}
+        extras = {"chaos", "fleet_capacity", "fleet_placement"}
         assert figs | tabs | extras == set(EXPERIMENTS)
+
+    def test_run_all_keeps_paper_experiments_first(self):
+        """Registration appends new groups, never reorders the paper set.
+
+        ``run all`` executes in registry order, and sweep cache keys embed
+        that order's experiment names — so the historical sequence is part
+        of the compatibility surface.
+        """
+        names = list(EXPERIMENTS)
+        legacy = (
+            [f"fig{i}" for i in range(1, 10)]
+            + ["chaos", "tab-mem", "tab-sessions", "tab-proto", "tab-setup"]
+        )
+        assert names[: len(legacy)] == legacy
+
+    def test_list_shows_group_headers(self):
+        code, text = run_cli("list")
+        assert code == 0
+        for group in ("paper", "chaos", "fleet"):
+            assert f"Available experiments — {group}" in text
 
 
 class TestRun:

@@ -1,0 +1,78 @@
+"""Metrics-summary rendering, including the per-server fleet collapse."""
+
+from repro.core.report import _collapse_fleet_rows, format_metrics_summary
+
+
+class TestCollapseFleetRows:
+    def test_non_fleet_rows_pass_through_verbatim(self):
+        rows = [
+            ("sim.events_dispatched", "1,234"),
+            ("net.bytes_sent", "5,678"),
+            ("latency_ms (mean)", "3.21"),
+        ]
+        assert _collapse_fleet_rows(rows) == rows
+
+    def test_per_server_gauges_collapse_to_one_row(self):
+        rows = [
+            ("fleet.admitted", "8"),
+            ("fleet.load.s00 (peak)", "4"),
+            ("fleet.load.s01 (peak)", "2"),
+            ("fleet.load.s02 (peak)", "3"),
+            ("net.bytes_sent", "99"),
+        ]
+        collapsed = _collapse_fleet_rows(rows)
+        assert len(collapsed) == 3
+        assert collapsed[0] == ("fleet.admitted", "8")
+        metric, value = collapsed[1]
+        assert metric == "fleet.load (per-server peak)"
+        assert "n=3" in value
+        assert "min=2" in value and "max=4" in value and "mean=3" in value
+        assert collapsed[2] == ("net.bytes_sent", "99")
+
+    def test_collapse_anchors_at_first_member(self):
+        rows = [
+            ("alpha", "1"),
+            ("fleet.load.s01 (peak)", "5"),
+            ("beta", "2"),
+            ("fleet.load.s00 (peak)", "7"),
+        ]
+        collapsed = _collapse_fleet_rows(rows)
+        assert [m for m, __ in collapsed] == [
+            "alpha",
+            "fleet.load (per-server peak)",
+            "beta",
+        ]
+        # Members sort by server index regardless of arrival order.
+        assert "min=5" in collapsed[1][1] and "max=7" in collapsed[1][1]
+
+    def test_unparseable_fleet_value_passes_through(self):
+        rows = [("fleet.load.s00 (peak)", "n/a")]
+        assert _collapse_fleet_rows(rows) == rows
+
+    def test_counters_with_server_like_names_untouched(self):
+        # Only the fleet.* namespace collapses; a non-fleet sNN metric is
+        # someone else's naming scheme.
+        rows = [("disk.load.s00 (peak)", "4")]
+        assert _collapse_fleet_rows(rows) == rows
+
+
+class TestFormatMetricsSummary:
+    def test_renders_collapsed_table(self):
+        text = format_metrics_summary(
+            "fleet_capacity",
+            [
+                ("fleet.admitted", "8"),
+                ("fleet.load.s00 (peak)", "4"),
+                ("fleet.load.s01 (peak)", "2"),
+            ],
+        )
+        assert "fleet_capacity: metrics summary" in text
+        assert "fleet.load (per-server peak)" in text
+        assert "fleet.load.s00" not in text
+
+    def test_prefleet_rows_byte_identical(self):
+        rows = [("sim.events_dispatched", "42"), ("latency_ms (p99)", "9.9")]
+        assert format_metrics_summary("fig8", rows) == format_metrics_summary(
+            "fig8", list(rows)
+        )
+        assert "42" in format_metrics_summary("fig8", rows)

@@ -1,0 +1,102 @@
+"""The experiment registry: registration, ordering, groups, lookups."""
+
+import pytest
+
+from repro.core.registry import (
+    REGISTRY,
+    ExperimentSpec,
+    experiment,
+    get,
+    names,
+    register,
+    specs,
+)
+from repro.errors import ExperimentError
+
+
+@pytest.fixture
+def scratch_registry(monkeypatch):
+    """Run the test against an empty registry, restoring the real one."""
+    monkeypatch.setattr("repro.core.registry.REGISTRY", {})
+    import repro.core.registry as registry
+
+    return registry
+
+
+class TestDecorator:
+    def test_registers_and_returns_the_runner(self, scratch_registry):
+        @experiment("exp-a", title="A", group="g")
+        def runner(ctx):
+            """Doc."""
+
+        spec = scratch_registry.REGISTRY["exp-a"]
+        assert spec == ExperimentSpec("exp-a", "A", "g", runner)
+        assert spec.run is runner
+
+    def test_group_defaults_to_paper(self, scratch_registry):
+        @experiment("exp-a", title="A")
+        def runner(ctx):
+            """Doc."""
+
+        assert scratch_registry.REGISTRY["exp-a"].group == "paper"
+
+    def test_duplicate_name_is_a_hard_error(self, scratch_registry):
+        @experiment("exp-a", title="A")
+        def runner(ctx):
+            """Doc."""
+
+        with pytest.raises(ExperimentError):
+
+            @experiment("exp-a", title="A again")
+            def other(ctx):
+                """Doc."""
+
+
+class TestOrdering:
+    def test_registration_order_is_iteration_order(self, scratch_registry):
+        for name in ("zeta", "alpha", "mid"):
+            register(ExperimentSpec(name, name.title(), "g", lambda ctx: None))
+        assert list(scratch_registry.REGISTRY) == ["zeta", "alpha", "mid"]
+
+    def test_unregister_keeps_the_rest_in_order(self, scratch_registry):
+        for name in ("a", "b", "c"):
+            register(ExperimentSpec(name, name, "g", lambda ctx: None))
+        scratch_registry.unregister("b")
+        assert list(scratch_registry.REGISTRY) == ["a", "c"]
+
+    def test_unregister_unknown_raises(self, scratch_registry):
+        with pytest.raises(ExperimentError):
+            scratch_registry.unregister("ghost")
+
+    def test_groups_ordered_by_first_registration(self, scratch_registry):
+        register(ExperimentSpec("p1", "P1", "paper", lambda ctx: None))
+        register(ExperimentSpec("f1", "F1", "fleet", lambda ctx: None))
+        register(ExperimentSpec("p2", "P2", "paper", lambda ctx: None))
+        grouped = scratch_registry.groups()
+        assert list(grouped) == ["paper", "fleet"]
+        assert [s.name for s in grouped["paper"]] == ["p1", "p2"]
+
+
+class TestLiveRegistry:
+    """The real registry, as populated by importing the CLI."""
+
+    def test_cli_import_populates_the_registry(self):
+        import repro.cli  # noqa: F401  (registers on import)
+
+        assert "fig1" in REGISTRY
+        assert "fleet_capacity" in REGISTRY
+
+    def test_lookup_helpers_agree_with_the_mapping(self):
+        import repro.cli  # noqa: F401
+
+        assert names() == list(REGISTRY)
+        assert specs() == list(REGISTRY.values())
+        assert get("fig1") is REGISTRY["fig1"]
+        assert get("ghost") is None
+
+    def test_every_spec_is_well_formed(self):
+        import repro.cli  # noqa: F401
+
+        for spec in specs():
+            assert spec.name and spec.title and spec.group
+            assert callable(spec.run)

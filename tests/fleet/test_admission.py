@@ -1,0 +1,112 @@
+"""Admission control: ceilings, overload modes, and the waiting line."""
+
+import pytest
+
+from repro.core.server import ServerConfig
+from repro.errors import FleetError
+from repro.fleet import (
+    ADMISSION_MODES,
+    AdmissionController,
+    AdmissionPolicy,
+    planned_session_capacity,
+)
+from repro.workloads.behavior import TASK_WORKER
+
+
+class FakeServer:
+    """The minimal admission-visible surface of a pool member."""
+
+    def __init__(self, index, active=0, failed=False):
+        self.index = index
+        self.capacity = 0  # unused by admission; kept for the protocol
+        self._active = active
+        self.failed = failed
+
+    @property
+    def active(self):
+        return self._active
+
+
+class TestAdmissionPolicy:
+    def test_modes_are_the_documented_pair(self):
+        assert ADMISSION_MODES == ("reject", "queue")
+
+    def test_rejects_zero_capacity(self):
+        with pytest.raises(FleetError):
+            AdmissionPolicy(capacity=0)
+
+    def test_rejects_unknown_mode(self):
+        with pytest.raises(FleetError):
+            AdmissionPolicy(capacity=1, mode="redirect")
+
+    def test_rejects_negative_queue_bound(self):
+        with pytest.raises(FleetError):
+            AdmissionPolicy(capacity=1, mode="queue", max_queue=-1)
+
+
+class TestAdmissionController:
+    def controller(self, mode="reject", capacity=2, max_queue=None):
+        return AdmissionController(
+            AdmissionPolicy(capacity=capacity, mode=mode, max_queue=max_queue)
+        )
+
+    def test_admissible_excludes_failed_and_full(self):
+        gate = self.controller(capacity=2)
+        pool = [
+            FakeServer(0, active=2),  # full
+            FakeServer(1, active=1),
+            FakeServer(2, failed=True),
+            FakeServer(3, active=0),
+        ]
+        assert [s.index for s in gate.admissible(pool)] == [1, 3]
+
+    def test_admit_while_headroom_exists(self):
+        gate = self.controller()
+        assert gate.decide("u0", [FakeServer(0, active=1)]) == "admitted"
+        assert gate.admitted_total == 1
+
+    def test_reject_mode_rejects_when_full(self):
+        gate = self.controller(mode="reject", capacity=1)
+        assert gate.decide("u0", [FakeServer(0, active=1)]) == "rejected"
+        assert gate.rejected_total == 1
+        assert not gate.waiting
+
+    def test_queue_mode_queues_when_full(self):
+        gate = self.controller(mode="queue", capacity=1)
+        assert gate.decide("u0", [FakeServer(0, active=1)]) == "queued"
+        assert list(gate.waiting) == ["u0"]
+        assert gate.queued_total == 1
+
+    def test_full_queue_rejects_even_in_queue_mode(self):
+        gate = self.controller(mode="queue", capacity=1, max_queue=1)
+        full = [FakeServer(0, active=1)]
+        assert gate.decide("u0", full) == "queued"
+        assert gate.decide("u1", full) == "rejected"
+        assert list(gate.waiting) == ["u0"]
+
+    def test_release_pops_fifo(self):
+        gate = self.controller(mode="queue", capacity=1)
+        full = [FakeServer(0, active=1)]
+        gate.decide("u0", full)
+        gate.decide("u1", full)
+        assert gate.release() == "u0"
+        assert gate.release() == "u1"
+        assert gate.release() is None
+
+
+class TestPlannedSessionCapacity:
+    def test_matches_single_server_planner(self):
+        from repro.core import plan_capacity
+
+        config = ServerConfig.tse()
+        planned = planned_session_capacity(config, TASK_WORKER)
+        report = plan_capacity(
+            config.os_name,
+            TASK_WORKER,
+            physical_bytes=config.physical_bytes,
+            bandwidth_mbps=config.bandwidth_mbps,
+            cpu_speed=config.cpu_speed,
+            session_variant=config.session_variant,
+        )
+        assert planned == max(1, report.max_users)
+        assert planned >= 1

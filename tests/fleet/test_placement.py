@@ -1,0 +1,187 @@
+"""Placement policies: unit behaviour plus the fleet-level invariants."""
+
+import random
+
+import pytest
+
+from repro.errors import FleetError
+from repro.fleet import (
+    PLACEMENT_POLICIES,
+    Fleet,
+    FleetConfig,
+    LatencyAwarePlacement,
+    LeastLoadedPlacement,
+    RandomPlacement,
+    RoundRobinPlacement,
+    SessionAffinityPlacement,
+    make_placement,
+)
+
+
+class FakeServer:
+    """The candidate surface a policy is allowed to inspect."""
+
+    def __init__(self, index, active=0, capacity=8, latency=None):
+        self.index = index
+        self.capacity = capacity
+        self._active = active
+        self._latency = latency
+
+    @property
+    def active(self):
+        return self._active
+
+    @property
+    def latency_estimate_ms(self):
+        return self._latency if self._latency is not None else 0.0
+
+
+def pick(policy, candidates, session_id="u0", total=None, seed=0):
+    return policy.choose(
+        session_id,
+        candidates,
+        total_servers=total if total is not None else len(candidates),
+        rng=random.Random(seed),
+    ).index
+
+
+class TestFactory:
+    def test_every_registered_name_instantiates(self):
+        for name in PLACEMENT_POLICIES:
+            assert make_placement(name).name == name
+
+    def test_unknown_policy_raises(self):
+        with pytest.raises(FleetError):
+            make_placement("tarot")
+
+
+class TestRoundRobin:
+    def test_cycles_through_indices(self):
+        policy = RoundRobinPlacement()
+        pool = [FakeServer(i) for i in range(3)]
+        assert [pick(policy, pool) for __ in range(4)] == [0, 1, 2, 0]
+
+    def test_cursor_skips_missing_servers(self):
+        policy = RoundRobinPlacement()
+        pool = [FakeServer(0), FakeServer(2)]  # server 1 inadmissible
+        assert [pick(policy, pool, total=3) for __ in range(3)] == [0, 2, 0]
+
+
+class TestLeastLoaded:
+    def test_fewest_sessions_wins(self):
+        policy = LeastLoadedPlacement()
+        pool = [FakeServer(0, active=3), FakeServer(1, active=1), FakeServer(2, active=2)]
+        assert pick(policy, pool) == 1
+
+    def test_ties_break_on_lowest_index(self):
+        policy = LeastLoadedPlacement()
+        pool = [FakeServer(2, active=1), FakeServer(0, active=1), FakeServer(1, active=1)]
+        assert pick(policy, pool) == 0
+
+
+class TestLatencyAware:
+    def test_prefers_observed_fast_server(self):
+        policy = LatencyAwarePlacement()
+        pool = [
+            FakeServer(0, active=2, latency=40.0),
+            FakeServer(1, active=2, latency=8.0),
+        ]
+        assert pick(policy, pool) == 1
+
+    def test_load_penalty_beats_stale_good_history(self):
+        policy = LatencyAwarePlacement(penalty_ms=50.0)
+        # s0: great history but full (score 5 + 50*1.0 = 55);
+        # s1: never observed, empty (score 0 + 0 = 0).
+        pool = [
+            FakeServer(0, active=8, capacity=8, latency=5.0),
+            FakeServer(1, active=0, capacity=8),
+        ]
+        assert pick(policy, pool) == 1
+
+
+class TestRandom:
+    def test_deterministic_under_a_seeded_stream(self):
+        policy = RandomPlacement()
+        pool = [FakeServer(i) for i in range(5)]
+        rng_a, rng_b = random.Random(7), random.Random(7)
+        picks_a = [
+            policy.choose("u", pool, total_servers=5, rng=rng_a).index
+            for __ in range(20)
+        ]
+        picks_b = [
+            policy.choose("u", pool, total_servers=5, rng=rng_b).index
+            for __ in range(20)
+        ]
+        assert picks_a == picks_b
+        assert len(set(picks_a)) > 1  # actually spreads
+
+
+class TestSessionAffinity:
+    def test_home_index_is_stable(self):
+        home = SessionAffinityPlacement.home_index("alice", 4)
+        assert home == SessionAffinityPlacement.home_index("alice", 4)
+        assert 0 <= home < 4
+
+    def test_chooses_home_when_admissible(self):
+        policy = SessionAffinityPlacement()
+        pool = [FakeServer(i) for i in range(4)]
+        home = SessionAffinityPlacement.home_index("alice", 4)
+        assert pick(policy, pool, session_id="alice", total=4) == home
+
+    def test_probes_forward_past_missing_home(self):
+        policy = SessionAffinityPlacement()
+        home = SessionAffinityPlacement.home_index("alice", 4)
+        pool = [FakeServer(i) for i in range(4) if i != home]
+        assert pick(policy, pool, session_id="alice", total=4) == (home + 1) % 4
+
+
+def affinity_fleet(**overrides):
+    from repro.core.server import ServerConfig
+
+    defaults = dict(
+        server=ServerConfig.tse(include_idle_activity=False),
+        num_servers=3,
+        placement="session_affinity",
+        capacity_per_server=4,
+        backbone_mbps=10.0,
+    )
+    defaults.update(overrides)
+    return Fleet(FleetConfig(**defaults), seed=5)
+
+
+class TestAffinityInvariant:
+    """An affinity session never migrates unless its server failed."""
+
+    def test_sessions_stay_put_across_churn(self):
+        fleet = affinity_fleet()
+        for i in range(6):
+            fleet.open_session(f"user{i}", start_typing=False)
+        fleet.run(2_000.0)
+        # Churn: close two sessions, admit two more, keep running.
+        fleet.close_session("user0")
+        fleet.close_session("user3")
+        fleet.open_session("user6", start_typing=False)
+        fleet.run(2_000.0)
+        for session in fleet.sessions.values():
+            assert len(set(session.placements)) == 1, (
+                f"{session.name} moved without a failure: "
+                f"{session.placements}"
+            )
+
+    def test_failure_is_the_only_move(self):
+        fleet = affinity_fleet()
+        for i in range(6):
+            fleet.open_session(f"user{i}", start_typing=False)
+        homes = {
+            name: session.placements[0]
+            for name, session in fleet.sessions.items()
+        }
+        failed = fleet.servers[0].index
+        migrated = fleet.fail_server(failed)
+        for name, session in fleet.sessions.items():
+            if homes[name] == failed:
+                assert name in migrated
+                assert len(session.placements) == 2
+                assert session.placements[1] != failed
+            else:
+                assert session.placements == [homes[name]]
