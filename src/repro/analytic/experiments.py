@@ -1,0 +1,215 @@
+"""Registered analytic experiments: predicted-vs-simulated overlay curves.
+
+Two experiments put the closed-form models next to live simulation through
+the standard executor pipeline (``--jobs``, result cache, tracing, CSV all
+compose), the way Gunther's *X-Files* overlays queueing models on measured
+X11 latency:
+
+``analytic_link``
+    The Figures 8–9 medium as an M/G/1 queue: one-way 64-byte probe delay
+    through the shared 10 Mbps link across offered utilization
+    ρ ∈ [0.1, 0.9], simulated vs Pollaczek–Khinchine.  Light traffic
+    agrees within a few percent; the high-ρ rows show the widening
+    sampling error a finite window pays near saturation.
+
+``analytic_closed``
+    The fleet's closed-loop shape as a closed network: N think/interact
+    sessions sharing one server, simulated vs exact Mean Value Analysis
+    throughput X(N) and response R(N) across session counts straddling
+    the saturation knee N* = (Z + D)/D.
+
+Both sweeps are pure functions of (parameters, seed): artifacts are
+byte-identical across serial, ``--jobs N``, and warm-cache runs, on both
+kernels and both recorders — which is what makes them a standing oracle
+rather than a demo.
+"""
+
+from __future__ import annotations
+
+from functools import partial
+from typing import List, Tuple
+
+# The paper experiments register during ``repro.cli``'s import, and
+# registry order is a compatibility surface (``run all`` order, cache
+# keys).  Importing the CLI first guarantees this module appends after
+# the paper set no matter which module a caller imports first.
+from .. import cli as _cli  # noqa: F401
+from ..core.registry import experiment
+from ..core.report import format_overlay, write_csv
+from ..sim.rng import derive_seed
+
+#: Offered-utilization grid swept by ``analytic_link``.
+LINK_RHO_LEVELS = [0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9]
+
+#: Simulated window per link point (ms); ~6k probe samples per point.
+LINK_DURATION_MS = 30_000.0
+
+#: Session counts swept by ``analytic_closed`` — the knee sits at
+#: N* = (Z + D)/D = 21 for the think/service pair below.
+CLOSED_SESSION_COUNTS = [1, 2, 4, 8, 16, 24, 32]
+
+#: Closed-loop think and service means (ms): a 5 Hz-thinking user against
+#: a 10 ms interaction, the fleet experiments' order of magnitude.
+CLOSED_THINK_MS = 200.0
+CLOSED_SERVICE_MS = 10.0
+
+#: Simulated window per closed point (ms); long enough that the N=1
+#: point's ~1400 cycles keep sampling error well inside the oracle band.
+CLOSED_DURATION_MS = 300_000.0
+
+
+def _analytic_link_point(
+    rho: float, *, seed: int
+) -> Tuple[float, float, float, float, float, int]:
+    """One ρ cell: (pred delay, sim delay, pred L, sim L, utilization, n)."""
+    from .validate import compare_link_probe
+
+    rows, observed = compare_link_probe(
+        rho,
+        duration_ms=LINK_DURATION_MS,
+        seed=derive_seed(seed, f"analytic_link:{rho}"),
+    )
+    delay, in_system = rows
+    return (
+        delay.predicted,
+        delay.simulated,
+        in_system.predicted,
+        in_system.simulated,
+        observed.utilization,
+        observed.samples,
+    )
+
+
+def _analytic_closed_point(
+    sessions: int, *, seed: int
+) -> Tuple[float, float, float, float, int]:
+    """One N cell: (pred X, sim X, pred R, sim R, completions)."""
+    from .validate import compare_closed_loop
+
+    rows, observed = compare_closed_loop(
+        sessions,
+        think_ms=CLOSED_THINK_MS,
+        service_ms=CLOSED_SERVICE_MS,
+        duration_ms=CLOSED_DURATION_MS,
+        seed=derive_seed(seed, f"analytic_closed:{sessions}"),
+    )
+    throughput, response = rows
+    return (
+        throughput.predicted,
+        throughput.simulated,
+        response.predicted,
+        response.simulated,
+        observed.completions,
+    )
+
+
+@experiment(
+    "analytic_link",
+    title="M/G/1 vs simulated shared-link probe delay across rho",
+    group="analytic",
+)
+def _analytic_link(ctx) -> None:
+    """Overlay P–K predictions on the simulated link across utilization."""
+    points = ctx.executor.map(
+        "analytic_link" + ctx.fault_suffix,
+        partial(_analytic_link_point, seed=ctx.seed),
+        list(LINK_RHO_LEVELS),
+        seed=ctx.seed,
+    )
+    xs = [f"{rho:.1f}" for rho in LINK_RHO_LEVELS]
+    ctx.out.write(
+        format_overlay(
+            "rho",
+            xs,
+            [
+                (
+                    "delay_ms",
+                    [p[0] for p in points],
+                    [p[1] for p in points],
+                ),
+                (
+                    "in_system",
+                    [p[2] for p in points],
+                    [p[3] for p in points],
+                ),
+            ],
+            title=(
+                "analytic_link: one-way 64B probe delay on the shared "
+                "10 Mbps link — M/G/1 (P-K) vs simulation"
+            ),
+        )
+        + "\n"
+    )
+    if ctx.csv_dir:
+        write_csv(
+            f"{ctx.csv_dir}/analytic_link.csv",
+            [
+                "rho",
+                "predicted_delay_ms",
+                "simulated_delay_ms",
+                "predicted_in_system",
+                "simulated_in_system",
+                "utilization",
+                "samples",
+            ],
+            [
+                (rho, *point)
+                for rho, point in zip(LINK_RHO_LEVELS, points)
+            ],
+        )
+
+
+@experiment(
+    "analytic_closed",
+    title="Exact MVA vs simulated closed-loop sessions across N",
+    group="analytic",
+)
+def _analytic_closed(ctx) -> None:
+    """Overlay exact MVA on the simulated closed loop across populations."""
+    points = ctx.executor.map(
+        "analytic_closed" + ctx.fault_suffix,
+        partial(_analytic_closed_point, seed=ctx.seed),
+        list(CLOSED_SESSION_COUNTS),
+        seed=ctx.seed,
+    )
+    ctx.out.write(
+        format_overlay(
+            "sessions",
+            CLOSED_SESSION_COUNTS,
+            [
+                (
+                    "X (1/ms)",
+                    [p[0] for p in points],
+                    [p[1] for p in points],
+                ),
+                (
+                    "R (ms)",
+                    [p[2] for p in points],
+                    [p[3] for p in points],
+                ),
+            ],
+            title=(
+                "analytic_closed: N think/interact sessions on one server "
+                f"(Z={CLOSED_THINK_MS:.0f} ms, D={CLOSED_SERVICE_MS:.0f} ms, "
+                f"knee N*={(CLOSED_THINK_MS + CLOSED_SERVICE_MS) / CLOSED_SERVICE_MS:.0f}) "
+                "— exact MVA vs simulation"
+            ),
+        )
+        + "\n"
+    )
+    if ctx.csv_dir:
+        write_csv(
+            f"{ctx.csv_dir}/analytic_closed.csv",
+            [
+                "sessions",
+                "predicted_throughput",
+                "simulated_throughput",
+                "predicted_response_ms",
+                "simulated_response_ms",
+                "completions",
+            ],
+            [
+                (sessions, *point)
+                for sessions, point in zip(CLOSED_SESSION_COUNTS, points)
+            ],
+        )

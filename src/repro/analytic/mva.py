@@ -1,0 +1,140 @@
+"""Exact Mean Value Analysis for closed single-class queueing networks.
+
+The fleet's sessions are **closed-loop**: a user thinks, submits one
+interaction, waits for the echo, thinks again — at most one request in
+flight per session (:class:`repro.fleet.cluster.FleetSession` enforces
+exactly this).  The right analytic model is therefore a closed network:
+``N`` customers cycling between a think-time (delay) station ``Z`` and one
+or more FIFO queueing stations with per-visit service demands ``D_i``.
+
+Reiser–Lavenberg exact MVA computes the steady state by recursion on the
+population, using the arrival theorem (a customer arriving at station *i*
+in a network of *n* customers sees the station as the ``n-1``-customer
+network left it)::
+
+    R_i(n) = D_i * (1 + Q_i(n-1))      # response per visit
+    X(n)   = n / (Z + sum_i R_i(n))    # cycle throughput
+    Q_i(n) = X(n) * R_i(n)             # Little, per station
+
+Exact for product-form networks (exponential FIFO service, random
+routing); the light-traffic oracle tolerance in ``tests/analytic`` covers
+the regimes where the simulated fleet shape satisfies those assumptions
+approximately.
+
+The asymptotic bounds the planner cross-check leans on::
+
+    X(N) <= 1/D_max                    # the bottleneck ceiling
+    X(N) <= N/(Z + sum_i D_i)          # the no-queueing ceiling
+    N*    = (Z + sum_i D_i) / D_max    # where the two cross (the knee)
+
+Times are milliseconds; throughput is cycles per millisecond.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+from ..errors import AnalyticError
+
+
+@dataclass(frozen=True)
+class MvaSolution:
+    """Steady state of a closed network at one population ``n``.
+
+    ``response_ms`` sums the queueing stations only (the think station is
+    not part of response time); ``cycle_ms = think + response`` is one full
+    think+interact loop, and ``throughput = n / cycle_ms`` by the response
+    time law.
+    """
+
+    population: int  #: N, customers in the network
+    think_ms: float  #: Z, the delay station's mean
+    demands_ms: Tuple[float, ...]  #: D_i per queueing station
+    throughput: float  #: X(N), cycles per ms
+    response_ms: float  #: R(N) = Σ R_i, total time at queueing stations
+    station_response_ms: Tuple[float, ...]  #: R_i(N) per station
+    station_queue: Tuple[float, ...]  #: Q_i(N) per station
+
+    @property
+    def cycle_ms(self) -> float:
+        """One full loop: think plus response."""
+        return self.think_ms + self.response_ms
+
+    @property
+    def utilizations(self) -> Tuple[float, ...]:
+        """Per-station utilization ``U_i = X·D_i`` (utilization law)."""
+        return tuple(self.throughput * d for d in self.demands_ms)
+
+
+def solve_mva(
+    population: int,
+    think_ms: float,
+    demands_ms: Sequence[float],
+) -> MvaSolution:
+    """Exact MVA at one population; see the module formulas.
+
+    *population* customers cycle between a *think_ms* delay station and
+    one FIFO station per entry of *demands_ms* (mean service demand per
+    visit, ms).  Returns the ``N = population`` point of the recursion.
+    """
+    return solve_mva_curve(population, think_ms, demands_ms)[-1]
+
+
+def solve_mva_curve(
+    max_population: int,
+    think_ms: float,
+    demands_ms: Sequence[float],
+) -> List[MvaSolution]:
+    """The full MVA recursion: solutions for ``n = 1 .. max_population``.
+
+    One pass of the exact recursion yields every intermediate population
+    for free; sweeps over session counts use the curve directly instead of
+    re-running the recursion per point.
+    """
+    demands = tuple(float(d) for d in demands_ms)
+    if max_population < 1:
+        raise AnalyticError("a closed network needs at least one customer")
+    if think_ms < 0:
+        raise AnalyticError("think time cannot be negative")
+    if not demands:
+        raise AnalyticError("a closed network needs at least one station")
+    if any(d <= 0 for d in demands):
+        raise AnalyticError("station demands must be positive")
+    queue = [0.0] * len(demands)
+    curve: List[MvaSolution] = []
+    for n in range(1, max_population + 1):
+        responses = tuple(d * (1.0 + q) for d, q in zip(demands, queue))
+        response = sum(responses)
+        throughput = n / (think_ms + response)
+        queue = [throughput * r for r in responses]
+        curve.append(
+            MvaSolution(
+                population=n,
+                think_ms=think_ms,
+                demands_ms=demands,
+                throughput=throughput,
+                response_ms=response,
+                station_response_ms=responses,
+                station_queue=tuple(queue),
+            )
+        )
+    return curve
+
+
+def saturation_population(
+    think_ms: float, demands_ms: Sequence[float]
+) -> float:
+    """The knee ``N* = (Z + Σ D_i) / D_max`` of the closed network.
+
+    Below ``N*`` the network is think-limited (throughput grows almost
+    linearly with customers); above it the bottleneck station is saturated
+    and added customers only queue.  Gray's NC-farm sizing is exactly this
+    number for the station that binds.
+    """
+    demands = [float(d) for d in demands_ms]
+    if think_ms < 0:
+        raise AnalyticError("think time cannot be negative")
+    if not demands or any(d <= 0 for d in demands):
+        raise AnalyticError("station demands must be positive")
+    return (think_ms + sum(demands)) / max(demands)

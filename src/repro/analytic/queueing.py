@@ -1,0 +1,157 @@
+"""Closed-form open-queue models: M/M/1 and M/G/1 (Pollaczek–Khinchine).
+
+The simulated shared link (:mod:`repro.net.link`) is a single-server FIFO
+queue; when the offered traffic is Poisson, queueing theory predicts its
+waiting time and queue length exactly.  Gunther's *The X-Files* analyzes
+X11 thin-client traffic with these same models — they are the external
+oracle the differential-equivalence suites (which only prove kernel A ==
+kernel B) cannot provide.
+
+Conventions match the simulator: time in **milliseconds**, rates in
+events per millisecond.  All formulas assume a stable queue (utilization
+ρ = λ·E[S] < 1); saturated parameters raise :class:`~repro.errors.AnalyticError`
+rather than returning infinities, because a caller comparing against a
+finite simulation window always wants the stable regime.
+
+The three classic results, in the notation used throughout:
+
+* utilization         ``rho = lam * mean_service``
+* M/G/1 waiting time  ``Wq = lam * E[S^2] / (2 * (1 - rho))``  (P–K)
+* Little's law        ``Lq = lam * Wq``,  ``L = lam * W``
+
+M/M/1 is the ``E[S^2] = 2·E[S]^2`` special case (exponential service,
+squared coefficient of variation 1); M/D/1 is ``E[S^2] = E[S]^2`` (SCV 0)
+and waits exactly half as long.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import AnalyticError
+
+
+@dataclass(frozen=True)
+class OpenQueuePrediction:
+    """Steady-state averages of one stable single-server queue.
+
+    All times are milliseconds; lengths are customers (packets).  ``wait_ms``
+    is time in queue *excluding* service (Wq); ``response_ms`` is the full
+    sojourn (W = Wq + E[S]).
+    """
+
+    arrival_rate: float  #: λ, customers per ms
+    mean_service_ms: float  #: E[S]
+    utilization: float  #: ρ = λ·E[S]
+    wait_ms: float  #: Wq, mean time in queue
+    response_ms: float  #: W = Wq + E[S], mean sojourn
+    queue_length: float  #: Lq = λ·Wq, mean customers waiting
+    in_system: float  #: L = λ·W, mean customers in system
+
+
+def mg1_prediction(
+    arrival_rate: float,
+    mean_service_ms: float,
+    second_moment_service: float,
+) -> OpenQueuePrediction:
+    """Pollaczek–Khinchine prediction for an M/G/1 queue.
+
+    *arrival_rate* is λ in customers/ms, *mean_service_ms* is E[S], and
+    *second_moment_service* is E[S²] in ms² — the full generality of P–K,
+    so mixed packet sizes (load frames + probe packets) are handled by
+    passing the mixture's moments.
+    """
+    if arrival_rate < 0:
+        raise AnalyticError("arrival rate cannot be negative")
+    if mean_service_ms <= 0:
+        raise AnalyticError("mean service time must be positive")
+    if second_moment_service < mean_service_ms**2:
+        raise AnalyticError(
+            "E[S^2] below E[S]^2 is not a distribution "
+            f"(got {second_moment_service} < {mean_service_ms ** 2})"
+        )
+    rho = arrival_rate * mean_service_ms
+    if rho >= 1.0:
+        raise AnalyticError(
+            f"queue is saturated (rho = {rho:.3f} >= 1); "
+            "open-queue averages are finite only below capacity"
+        )
+    wait = arrival_rate * second_moment_service / (2.0 * (1.0 - rho))
+    response = wait + mean_service_ms
+    return OpenQueuePrediction(
+        arrival_rate=arrival_rate,
+        mean_service_ms=mean_service_ms,
+        utilization=rho,
+        wait_ms=wait,
+        response_ms=response,
+        queue_length=arrival_rate * wait,
+        in_system=arrival_rate * response,
+    )
+
+
+def mm1_prediction(
+    arrival_rate: float, mean_service_ms: float
+) -> OpenQueuePrediction:
+    """M/M/1 prediction: exponential service with mean *mean_service_ms*.
+
+    The SCV-1 special case of :func:`mg1_prediction`
+    (``E[S^2] = 2·E[S]^2``), giving the textbook ``Wq = ρ·E[S]/(1-ρ)``.
+    """
+    return mg1_prediction(
+        arrival_rate, mean_service_ms, 2.0 * mean_service_ms**2
+    )
+
+
+def md1_prediction(
+    arrival_rate: float, service_ms: float
+) -> OpenQueuePrediction:
+    """M/D/1 prediction: deterministic (fixed-size packet) service.
+
+    The SCV-0 special case of :func:`mg1_prediction`
+    (``E[S^2] = E[S]^2``); its wait is exactly half the M/M/1 wait at the
+    same ρ — fixed-size frames are the kindest traffic a FIFO can carry.
+    """
+    return mg1_prediction(arrival_rate, service_ms, service_ms**2)
+
+
+@dataclass(frozen=True)
+class ServiceMix:
+    """Service-time moments of a weighted mixture of packet classes.
+
+    The shared link carries 1500-byte load frames *and* 64-byte probe
+    packets; P–K wants the moments of the mixture.  Build one with
+    :func:`service_mix`.
+    """
+
+    mean_ms: float  #: E[S] of the mixture
+    second_moment: float  #: E[S²] of the mixture
+    total_rate: float  #: aggregate arrival rate λ, customers per ms
+
+    @property
+    def scv(self) -> float:
+        """Squared coefficient of variation of the mixed service time."""
+        return self.second_moment / self.mean_ms**2 - 1.0
+
+
+def service_mix(classes) -> ServiceMix:
+    """Mixture moments for ``[(rate_per_ms, service_ms), ...]`` classes.
+
+    Each class contributes its deterministic service time weighted by its
+    share of the aggregate arrival rate — the moments P–K needs for a
+    superposition of fixed-size packet flows.
+    """
+    pairs = list(classes)
+    if not pairs:
+        raise AnalyticError("a service mix needs at least one class")
+    total = 0.0
+    for rate, service in pairs:
+        if rate < 0 or service <= 0:
+            raise AnalyticError(
+                "mix classes need non-negative rates and positive service"
+            )
+        total += rate
+    if total <= 0:
+        raise AnalyticError("a service mix needs positive aggregate rate")
+    mean = sum(rate * service for rate, service in pairs) / total
+    second = sum(rate * service**2 for rate, service in pairs) / total
+    return ServiceMix(mean_ms=mean, second_moment=second, total_rate=total)

@@ -1,0 +1,190 @@
+"""Side-by-side comparison of simulated points and closed-form predictions.
+
+The harness the oracle suite and the ``analytic_*`` experiments share: each
+``compare_*`` function runs one :mod:`~repro.analytic.workbench` simulation
+point, computes the matching prediction from
+:mod:`~repro.analytic.queueing` / :mod:`~repro.analytic.mva`, and returns
+:class:`ComparisonRow` pairs carrying the relative error.
+
+The mapping from simulation parameters to model parameters is the entire
+content of a cross-validation, so it is explicit here:
+
+* **Open queue** — arrival rate and service moments pass straight through
+  (exponential service ⇒ M/M/1, deterministic ⇒ M/D/1).
+* **Loaded link** — the probe's one-way delay decomposes as
+  ``Wq + S_probe + propagation``, where ``Wq`` is the P–K wait of the
+  *mixture* of 1500-byte load frames and 64-byte probes (both flows are
+  Poisson, so the superposition is too, and PASTA makes the probes' mean
+  an estimate of the time-average).
+* **Closed loop** — N sessions with exponential think Z and one shared
+  exponential FIFO station of demand D is exactly the single-station MVA
+  network; X(N) and R(N) compare directly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+from ..units import mbps_to_bytes_per_ms
+from .mva import solve_mva
+from .queueing import mg1_prediction, mm1_prediction, service_mix
+from .workbench import (
+    LOAD_FRAME_BYTES,
+    PROBE_BYTES,
+    ClosedLoopObservation,
+    LinkProbeObservation,
+    QueueObservation,
+    simulate_closed_loop,
+    simulate_link_probe,
+    simulate_open_queue,
+)
+
+
+@dataclass(frozen=True)
+class ComparisonRow:
+    """One predicted-vs-simulated observable.
+
+    ``relative_error`` is ``|simulated - predicted| / predicted`` —
+    predictions here are never zero (stable queues with positive service
+    times have positive means).
+    """
+
+    metric: str
+    predicted: float
+    simulated: float
+
+    @property
+    def relative_error(self) -> float:
+        """Fractional disagreement, relative to the prediction."""
+        return abs(self.simulated - self.predicted) / abs(self.predicted)
+
+
+def compare_open_queue(
+    arrival_rate: float,
+    mean_service_ms: float,
+    *,
+    service: str = "exponential",
+    duration_ms: float = 60_000.0,
+    seed: int = 0,
+) -> Tuple[List[ComparisonRow], QueueObservation]:
+    """M/M/1 (or M/D/1) vs a kernel-timer simulation of the same queue.
+
+    Returns rows for the mean wait, mean sojourn, and the mean system
+    population seen by arrivals (vs the closed form's L), plus the raw
+    observation.
+    """
+    if service == "exponential":
+        predicted = mm1_prediction(arrival_rate, mean_service_ms)
+    else:
+        predicted = mg1_prediction(
+            arrival_rate, mean_service_ms, mean_service_ms**2
+        )
+    observed = simulate_open_queue(
+        arrival_rate,
+        mean_service_ms,
+        service=service,
+        duration_ms=duration_ms,
+        seed=seed,
+    )
+    rows = [
+        ComparisonRow("wait_ms", predicted.wait_ms, observed.mean_wait_ms),
+        ComparisonRow(
+            "sojourn_ms", predicted.response_ms, observed.mean_sojourn_ms
+        ),
+        ComparisonRow(
+            "in_system", predicted.in_system, observed.mean_seen_in_system
+        ),
+    ]
+    return rows, observed
+
+
+def predict_link_probe(
+    rho: float,
+    *,
+    bandwidth_mbps: float = 10.0,
+    probe_interval_ms: float = 5.0,
+    propagation_ms: float = 0.05,
+) -> Tuple[float, float]:
+    """(predicted one-way probe delay ms, predicted packets in system).
+
+    Builds the load+probe service mixture, applies P–K, and adds the
+    probe's own transmission and the propagation delay — the analytic
+    side of :func:`~repro.analytic.workbench.simulate_link_probe`.
+    """
+    bytes_per_ms = mbps_to_bytes_per_ms(bandwidth_mbps)
+    load_rate = rho * bytes_per_ms / LOAD_FRAME_BYTES
+    probe_rate = 1.0 / probe_interval_ms
+    mix = service_mix(
+        [
+            (load_rate, LOAD_FRAME_BYTES / bytes_per_ms),
+            (probe_rate, PROBE_BYTES / bytes_per_ms),
+        ]
+    )
+    prediction = mg1_prediction(mix.total_rate, mix.mean_ms, mix.second_moment)
+    probe_service = PROBE_BYTES / bytes_per_ms
+    return (
+        prediction.wait_ms + probe_service + propagation_ms,
+        prediction.in_system,
+    )
+
+
+def compare_link_probe(
+    rho: float,
+    *,
+    bandwidth_mbps: float = 10.0,
+    probe_interval_ms: float = 5.0,
+    duration_ms: float = 30_000.0,
+    seed: int = 0,
+) -> Tuple[List[ComparisonRow], LinkProbeObservation]:
+    """M/G/1 mixture vs the simulated shared link at offered load *rho*.
+
+    Rows compare the probes' one-way delay and the packets-in-system each
+    probe saw at send time against the P–K prediction.
+    """
+    delay, in_system = predict_link_probe(
+        rho,
+        bandwidth_mbps=bandwidth_mbps,
+        probe_interval_ms=probe_interval_ms,
+    )
+    observed = simulate_link_probe(
+        rho,
+        bandwidth_mbps=bandwidth_mbps,
+        probe_interval_ms=probe_interval_ms,
+        duration_ms=duration_ms,
+        seed=seed,
+    )
+    rows = [
+        ComparisonRow("delay_ms", delay, observed.mean_delay_ms),
+        ComparisonRow("in_system", in_system, observed.mean_seen_in_system),
+    ]
+    return rows, observed
+
+
+def compare_closed_loop(
+    sessions: int,
+    *,
+    think_ms: float = 200.0,
+    service_ms: float = 10.0,
+    duration_ms: float = 60_000.0,
+    seed: int = 0,
+) -> Tuple[List[ComparisonRow], ClosedLoopObservation]:
+    """Exact MVA vs the simulated N-session closed loop.
+
+    Rows compare cycle throughput X(N) (per ms) and mean response R(N).
+    """
+    solution = solve_mva(sessions, think_ms, [service_ms])
+    observed = simulate_closed_loop(
+        sessions,
+        think_ms=think_ms,
+        service_ms=service_ms,
+        duration_ms=duration_ms,
+        seed=seed,
+    )
+    rows = [
+        ComparisonRow("throughput", solution.throughput, observed.throughput),
+        ComparisonRow(
+            "response_ms", solution.response_ms, observed.mean_response_ms
+        ),
+    ]
+    return rows, observed

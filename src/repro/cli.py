@@ -588,9 +588,11 @@ def _tab_setup(ctx: RunContext) -> None:
     )
 
 
-# Fleet experiments register themselves on import — after the paper set,
-# so ``run all`` appends them without disturbing the historical order.
+# Fleet and analytic experiments register themselves on import — after
+# the paper set, so ``run all`` appends them without disturbing the
+# historical order.
 from .fleet import experiments as _fleet_experiments  # noqa: E402,F401
+from .analytic import experiments as _analytic_experiments  # noqa: E402,F401
 
 
 def build_parser() -> argparse.ArgumentParser:

@@ -7,7 +7,7 @@ figures report; these helpers keep that output aligned and consistent.
 from __future__ import annotations
 
 import re
-from typing import Iterable, List, Optional, Sequence
+from typing import Iterable, List, Optional, Sequence, Tuple
 
 from ..errors import ExperimentError
 
@@ -147,6 +147,41 @@ def format_metrics_summary(
         _collapse_fleet_rows(rows),
         title=f"{experiment}: metrics summary",
     )
+
+
+def format_overlay(
+    x_label: str,
+    xs: Sequence[object],
+    series: Sequence[Tuple[str, Sequence[float], Sequence[float]]],
+    *,
+    title: Optional[str] = None,
+    y_format: str = "{:.4f}",
+) -> str:
+    """A predicted-vs-simulated overlay table with relative-error columns.
+
+    *series* holds ``(name, predicted, simulated)`` triples, one per
+    observable; each contributes three columns — ``<name> pred``,
+    ``<name> sim``, ``<name> err`` — with the error rendered as a percent
+    of the prediction.  The analytic experiments print their comparison
+    curves through this helper so every overlay reads the same way.
+    """
+    headers: List[str] = [x_label]
+    for name, predicted, simulated in series:
+        if len(predicted) != len(xs) or len(simulated) != len(xs):
+            raise ExperimentError(f"overlay series {name!r} length mismatch")
+        headers += [f"{name} pred", f"{name} sim", f"{name} err"]
+    rows: List[List[object]] = []
+    for i, x in enumerate(xs):
+        row: List[object] = [x]
+        for __, predicted, simulated in series:
+            error = abs(simulated[i] - predicted[i]) / abs(predicted[i])
+            row += [
+                y_format.format(predicted[i]),
+                y_format.format(simulated[i]),
+                f"{error * 100:.1f}%",
+            ]
+        rows.append(row)
+    return format_table(headers, rows, title=title)
 
 
 def sparkline(values: Sequence[float]) -> str:

@@ -47,5 +47,9 @@ class ExperimentError(ReproError):
     """An experiment harness was configured or driven incorrectly."""
 
 
+class AnalyticError(ReproError):
+    """A closed-form model was given parameters outside its domain."""
+
+
 class FleetError(ReproError):
     """A fleet composition was configured or driven incorrectly."""

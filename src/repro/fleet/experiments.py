@@ -26,6 +26,11 @@ from __future__ import annotations
 from functools import partial
 from typing import List, Tuple
 
+# The paper experiments register during ``repro.cli``'s import, and
+# registry order is a compatibility surface (``run all`` order, cache
+# keys).  Importing the CLI first guarantees this module appends after
+# the paper set no matter which module a caller imports first.
+from .. import cli as _cli  # noqa: F401
 from ..core.registry import experiment
 from ..core.report import format_series, format_table, write_csv
 

@@ -80,6 +80,11 @@ class Link:
         """Packets waiting (not counting the one on the wire)."""
         return len(self._queue)
 
+    @property
+    def busy(self) -> bool:
+        """Whether a packet is occupying the wire right now."""
+        return self._transmitting
+
     def send(self, packet: Packet, on_delivered: Optional[DeliveryCallback] = None) -> None:
         """Queue *packet* for transmission; *on_delivered* fires at arrival.
 

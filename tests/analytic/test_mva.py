@@ -1,0 +1,121 @@
+"""Unit and property tests for the exact MVA solver."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.analytic import (
+    saturation_population,
+    solve_mva,
+    solve_mva_curve,
+)
+from repro.errors import AnalyticError
+
+thinks = st.floats(min_value=0.0, max_value=1000.0)
+demand_lists = st.lists(
+    st.floats(min_value=0.1, max_value=50.0), min_size=1, max_size=4
+)
+populations = st.integers(min_value=1, max_value=40)
+
+
+class TestExactPoints:
+    def test_single_customer_never_queues(self):
+        s = solve_mva(1, 100.0, [10.0, 5.0])
+        assert s.response_ms == pytest.approx(15.0)
+        assert s.throughput == pytest.approx(1.0 / 115.0)
+        assert s.station_response_ms == pytest.approx((10.0, 5.0))
+
+    def test_no_think_single_station_saturates_immediately(self):
+        # Z = 0, one station: every customer is always at the station, so
+        # X = 1/D at every population and R(n) = n*D.
+        for n in (1, 2, 5):
+            s = solve_mva(n, 0.0, [4.0])
+            assert s.throughput == pytest.approx(1.0 / 4.0)
+            assert s.response_ms == pytest.approx(n * 4.0)
+
+    def test_two_customer_hand_recursion(self):
+        # Z=10, D=2: n=1: R=2, X=1/12, Q=1/6.
+        # n=2: R=2*(1+1/6)=7/3, X=2/(10+7/3)=6/37, Q=14/37.
+        s = solve_mva(2, 10.0, [2.0])
+        assert s.response_ms == pytest.approx(7.0 / 3.0)
+        assert s.throughput == pytest.approx(6.0 / 37.0)
+        assert s.station_queue[0] == pytest.approx(14.0 / 37.0)
+
+
+class TestProperties:
+    @given(n=populations, think=thinks, demands=demand_lists)
+    def test_asymptotic_bounds_hold(self, n, think, demands):
+        s = solve_mva(n, think, demands)
+        bottleneck = max(demands)
+        assert s.throughput <= 1.0 / bottleneck + 1e-12
+        assert s.throughput <= n / (think + sum(demands)) + 1e-12
+        assert s.throughput > 0
+
+    @given(n=populations, think=thinks, demands=demand_lists)
+    def test_population_is_conserved(self, n, think, demands):
+        # N = X*Z (thinking) + sum Q_i (at stations): Little over the cycle.
+        s = solve_mva(n, think, demands)
+        assert s.throughput * think + sum(s.station_queue) == pytest.approx(
+            float(n)
+        )
+
+    @given(think=thinks, demands=demand_lists)
+    def test_throughput_monotone_response_monotone(self, think, demands):
+        curve = solve_mva_curve(30, think, demands)
+        throughputs = [s.throughput for s in curve]
+        responses = [s.response_ms for s in curve]
+        assert all(b >= a - 1e-12 for a, b in zip(throughputs, throughputs[1:]))
+        assert all(b >= a - 1e-12 for a, b in zip(responses, responses[1:]))
+
+    @given(n=populations, think=thinks, demands=demand_lists)
+    def test_utilizations_below_one(self, n, think, demands):
+        s = solve_mva(n, think, demands)
+        assert all(u <= 1.0 + 1e-12 for u in s.utilizations)
+
+    @given(n=populations, think=thinks, demands=demand_lists)
+    def test_curve_point_matches_direct_solve(self, n, think, demands):
+        assert solve_mva_curve(n, think, demands)[-1] == solve_mva(
+            n, think, demands
+        )
+
+
+class TestSaturation:
+    def test_knee_formula(self):
+        assert saturation_population(200.0, [10.0]) == pytest.approx(21.0)
+        assert saturation_population(0.0, [4.0, 2.0]) == pytest.approx(1.5)
+
+    @given(think=thinks, demands=demand_lists)
+    def test_throughput_near_ceiling_beyond_knee(self, think, demands):
+        """Well past N*, the bottleneck ceiling is approached from below."""
+        knee = saturation_population(think, demands)
+        n = max(2, int(knee * 4) + 2)
+        s = solve_mva(n, think, demands)
+        ceiling = 1.0 / max(demands)
+        assert s.throughput <= ceiling + 1e-12
+        assert s.throughput >= 0.5 * ceiling
+
+    def test_validation(self):
+        with pytest.raises(AnalyticError):
+            saturation_population(-1.0, [1.0])
+        with pytest.raises(AnalyticError):
+            saturation_population(1.0, [])
+        with pytest.raises(AnalyticError):
+            saturation_population(1.0, [0.0])
+
+
+class TestValidation:
+    def test_zero_population_raises(self):
+        with pytest.raises(AnalyticError):
+            solve_mva(0, 1.0, [1.0])
+
+    def test_negative_think_raises(self):
+        with pytest.raises(AnalyticError):
+            solve_mva(1, -1.0, [1.0])
+
+    def test_no_stations_raises(self):
+        with pytest.raises(AnalyticError):
+            solve_mva(1, 1.0, [])
+
+    def test_nonpositive_demand_raises(self):
+        with pytest.raises(AnalyticError):
+            solve_mva(1, 1.0, [1.0, 0.0])

@@ -1,0 +1,129 @@
+"""Cross-check: the capacity planner agrees with the MVA saturation knee.
+
+``plan_capacity`` computes its network ceiling with back-of-envelope
+bandwidth division; MVA derives the saturation population N* = (Z+D)/D of
+the equivalent closed network from first principles.  For a user class
+offering ``network_mbps`` to a ``bandwidth_mbps`` link, a user's cycle
+splits into D ms of link demand and Z ms of think time per interaction,
+with D/(Z+D) = network_mbps/bandwidth — so the knee must equal
+``bandwidth / network_mbps`` no matter how the cycle is split, and the
+planner's ceiling must be ``floor(cap * N*)``.
+
+Tolerance: ceilings are integers produced by ``floor`` on float ratios, so
+the cross-check allows the models to disagree by at most **one user**
+(an edge ratio landing within one ulp of an integer flips the floor);
+the continuous quantities agree to 1e-9.
+"""
+
+import math
+
+import pytest
+
+from repro.analytic import saturation_population, solve_mva
+from repro.core.capacity import plan_capacity, plan_fleet_capacity
+from repro.units import mbps_to_bytes_per_ms
+from repro.workloads.behavior import (
+    KNOWLEDGE_WORKER,
+    TASK_WORKER,
+    WEB_BROWSER_USER,
+)
+
+PROFILES = (TASK_WORKER, KNOWLEDGE_WORKER, WEB_BROWSER_USER)
+
+
+def _cycle_split(profile, bandwidth_mbps):
+    """(think_ms, demand_ms) of one interaction cycle on the link.
+
+    Each interaction moves ``network_mbps``-worth of one cycle's bytes;
+    the rest of the cycle is think time.
+    """
+    cycle_ms = 1000.0 / profile.interactions_per_sec
+    bytes_per_cycle = mbps_to_bytes_per_ms(profile.network_mbps) * cycle_ms
+    demand_ms = bytes_per_cycle / mbps_to_bytes_per_ms(bandwidth_mbps)
+    return cycle_ms - demand_ms, demand_ms
+
+
+class TestKneeEqualsBandwidthRatio:
+    @pytest.mark.parametrize("profile", PROFILES, ids=lambda p: p.name)
+    @pytest.mark.parametrize("bandwidth", [10.0, 100.0])
+    def test_knee_is_split_invariant(self, profile, bandwidth):
+        """N* = bandwidth/network_mbps regardless of the Z/D split."""
+        think, demand = _cycle_split(profile, bandwidth)
+        knee = saturation_population(think, [demand])
+        assert knee == pytest.approx(
+            bandwidth / profile.network_mbps, rel=1e-9
+        )
+        # Sanity on the construction itself: one user's utilization of
+        # the link is exactly the profile's bandwidth fraction.
+        one = solve_mva(1, think, [demand])
+        assert one.utilizations[0] == pytest.approx(
+            profile.network_mbps / bandwidth, rel=1e-9
+        )
+
+
+class TestSingleServerPlanner:
+    @pytest.mark.parametrize("profile", PROFILES, ids=lambda p: p.name)
+    @pytest.mark.parametrize("bandwidth", [10.0, 100.0])
+    @pytest.mark.parametrize("cap", [0.5, 0.8, 1.0])
+    def test_network_ceiling_is_capped_knee(self, profile, bandwidth, cap):
+        report = plan_capacity(
+            "linux",
+            profile,
+            bandwidth_mbps=bandwidth,
+            network_utilization_cap=cap,
+        )
+        think, demand = _cycle_split(profile, bandwidth)
+        knee = saturation_population(think, [demand])
+        assert abs(report.network_users - math.floor(cap * knee)) <= 1
+
+    @pytest.mark.parametrize("profile", PROFILES, ids=lambda p: p.name)
+    def test_planner_ceiling_keeps_the_link_below_the_cap(self, profile):
+        """MVA confirms the admitted population can't exceed the cap."""
+        cap = 0.8
+        report = plan_capacity(
+            "linux", profile, network_utilization_cap=cap
+        )
+        think, demand = _cycle_split(profile, 10.0)
+        n = report.network_users
+        if n >= 10**9:  # profile offers no network load
+            return
+        admitted = solve_mva(max(1, n), think, [demand])
+        assert admitted.utilizations[0] <= cap + 1e-9
+        # One more user than the ceiling would cross it (the ceiling is
+        # tight, not merely safe) — in the fluid limit; MVA's stochastic
+        # queueing keeps measured utilization slightly below n*u.
+        over = n + 1
+        assert over * (profile.network_mbps / 10.0) > cap - 1e-9
+
+
+class TestFleetPlanner:
+    def test_backbone_ceiling_is_capped_backbone_knee(self):
+        """The fleet's backbone dimension is the same arithmetic again."""
+        backbone = 100.0
+        cap = 0.8
+        fleet = plan_fleet_capacity(
+            "linux",
+            KNOWLEDGE_WORKER,
+            num_servers=8,
+            backbone_mbps=backbone,
+            backbone_utilization_cap=cap,
+        )
+        think, demand = _cycle_split(KNOWLEDGE_WORKER, backbone)
+        knee = saturation_population(think, [demand])
+        assert abs(fleet.backbone_users - math.floor(cap * knee)) <= 1
+
+    def test_fleet_binds_on_whichever_knee_is_lower(self):
+        """Adding servers past the backbone knee buys nothing — and MVA
+        says why: the shared station's ceiling is 1/D, not N/(Z+D)."""
+        small = plan_fleet_capacity(
+            "linux", KNOWLEDGE_WORKER, num_servers=2, backbone_mbps=20.0
+        )
+        large = plan_fleet_capacity(
+            "linux", KNOWLEDGE_WORKER, num_servers=64, backbone_mbps=20.0
+        )
+        assert large.limiting_resource == "backbone"
+        assert large.max_users == large.backbone_users
+        assert large.max_users <= small.server_users * 32
+        think, demand = _cycle_split(KNOWLEDGE_WORKER, 20.0)
+        knee = saturation_population(think, [demand])
+        assert abs(large.backbone_users - math.floor(0.8 * knee)) <= 1

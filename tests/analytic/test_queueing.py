@@ -1,0 +1,135 @@
+"""Unit and property tests for the closed-form open-queue models."""
+
+import math
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.analytic import (
+    md1_prediction,
+    mg1_prediction,
+    mm1_prediction,
+    service_mix,
+)
+from repro.errors import AnalyticError
+
+rhos = st.floats(min_value=0.01, max_value=0.95)
+services = st.floats(min_value=0.1, max_value=100.0)
+
+
+class TestMm1:
+    def test_textbook_point(self):
+        # rho = 0.5, E[S] = 1: Wq = rho*S/(1-rho) = 1, W = 2, L = 1.
+        p = mm1_prediction(0.5, 1.0)
+        assert p.utilization == pytest.approx(0.5)
+        assert p.wait_ms == pytest.approx(1.0)
+        assert p.response_ms == pytest.approx(2.0)
+        assert p.queue_length == pytest.approx(0.5)
+        assert p.in_system == pytest.approx(1.0)
+
+    @given(rho=rhos, service=services)
+    def test_littles_law_everywhere(self, rho, service):
+        p = mm1_prediction(rho / service, service)
+        assert p.queue_length == pytest.approx(p.arrival_rate * p.wait_ms)
+        assert p.in_system == pytest.approx(p.arrival_rate * p.response_ms)
+        # L = Lq + rho: the in-service customer is the utilization.
+        assert p.in_system == pytest.approx(p.queue_length + p.utilization)
+
+    @given(service=services)
+    def test_wait_grows_with_utilization(self, service):
+        waits = [
+            mm1_prediction(rho / service, service).wait_ms
+            for rho in (0.1, 0.3, 0.5, 0.7, 0.9)
+        ]
+        assert waits == sorted(waits)
+        assert waits[0] < waits[-1]
+
+    def test_saturation_raises(self):
+        with pytest.raises(AnalyticError):
+            mm1_prediction(1.0, 1.0)
+        with pytest.raises(AnalyticError):
+            mm1_prediction(2.0, 1.0)
+
+
+class TestMg1:
+    @given(rho=rhos, service=services)
+    def test_scv_one_reduces_to_mm1(self, rho, service):
+        pk = mg1_prediction(rho / service, service, 2.0 * service**2)
+        mm1 = mm1_prediction(rho / service, service)
+        assert pk.wait_ms == pytest.approx(mm1.wait_ms)
+        assert pk.in_system == pytest.approx(mm1.in_system)
+
+    @given(rho=rhos, service=services)
+    def test_deterministic_service_waits_half_as_long(self, rho, service):
+        md1 = md1_prediction(rho / service, service)
+        mm1 = mm1_prediction(rho / service, service)
+        assert md1.wait_ms == pytest.approx(mm1.wait_ms / 2.0)
+
+    def test_impossible_second_moment_raises(self):
+        with pytest.raises(AnalyticError):
+            mg1_prediction(0.1, 2.0, 1.0)  # E[S^2] < E[S]^2
+
+    def test_negative_rate_raises(self):
+        with pytest.raises(AnalyticError):
+            mg1_prediction(-0.1, 1.0, 1.0)
+
+    def test_zero_service_raises(self):
+        with pytest.raises(AnalyticError):
+            mg1_prediction(0.1, 0.0, 0.0)
+
+
+class TestServiceMix:
+    def test_single_class_is_deterministic(self):
+        mix = service_mix([(0.5, 2.0)])
+        assert mix.mean_ms == pytest.approx(2.0)
+        assert mix.second_moment == pytest.approx(4.0)
+        assert mix.scv == pytest.approx(0.0)
+        assert mix.total_rate == pytest.approx(0.5)
+
+    def test_two_class_moments(self):
+        # Equal rates of 1 ms and 3 ms service: E[S]=2, E[S^2]=5.
+        mix = service_mix([(0.1, 1.0), (0.1, 3.0)])
+        assert mix.mean_ms == pytest.approx(2.0)
+        assert mix.second_moment == pytest.approx(5.0)
+        assert mix.scv == pytest.approx(0.25)
+
+    @given(
+        classes=st.lists(
+            st.tuples(
+                st.floats(min_value=0.001, max_value=1.0),
+                st.floats(min_value=0.1, max_value=10.0),
+            ),
+            min_size=1,
+            max_size=5,
+        )
+    )
+    def test_mixture_scv_is_nonnegative(self, classes):
+        mix = service_mix(classes)
+        assert mix.second_moment >= mix.mean_ms**2 - 1e-12
+        assert mix.scv >= -1e-9
+
+    def test_empty_mix_raises(self):
+        with pytest.raises(AnalyticError):
+            service_mix([])
+
+    def test_zero_rate_mix_raises(self):
+        with pytest.raises(AnalyticError):
+            service_mix([(0.0, 1.0)])
+
+    def test_bad_class_raises(self):
+        with pytest.raises(AnalyticError):
+            service_mix([(0.1, -1.0)])
+
+
+def test_prediction_is_frozen():
+    p = mm1_prediction(0.1, 1.0)
+    with pytest.raises(Exception):
+        p.wait_ms = 0.0
+
+
+def test_md1_matches_hand_computation():
+    # rho = 0.8, S = 1.2 ms: Wq = rho*S / (2*(1-rho)) = 2.4 ms.
+    p = md1_prediction(0.8 / 1.2, 1.2)
+    assert p.wait_ms == pytest.approx(0.8 * 1.2 / (2 * 0.2))
+    assert math.isclose(p.response_ms, p.wait_ms + 1.2)

@@ -26,7 +26,13 @@ class TestList:
     def test_registry_covers_all_figures_and_tables(self):
         figs = {f"fig{i}" for i in range(1, 10)}
         tabs = {"tab-mem", "tab-sessions", "tab-proto", "tab-setup"}
-        extras = {"chaos", "fleet_capacity", "fleet_placement"}
+        extras = {
+            "chaos",
+            "fleet_capacity",
+            "fleet_placement",
+            "analytic_link",
+            "analytic_closed",
+        }
         assert figs | tabs | extras == set(EXPERIMENTS)
 
     def test_run_all_keeps_paper_experiments_first(self):
@@ -46,7 +52,7 @@ class TestList:
     def test_list_shows_group_headers(self):
         code, text = run_cli("list")
         assert code == 0
-        for group in ("paper", "chaos", "fleet"):
+        for group in ("paper", "chaos", "fleet", "analytic"):
             assert f"Available experiments — {group}" in text
 
 

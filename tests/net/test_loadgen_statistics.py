@@ -1,0 +1,120 @@
+"""Statistical pin tests for the Poisson load generator.
+
+The analytic oracle (``tests/analytic/test_oracle.py``) only holds if the
+load generator really emits a Poisson process: exponential inter-arrivals
+at the advertised rate.  These tests pin that distribution directly — the
+sample mean, the coefficient of variation, and a Kolmogorov–Smirnov
+distance against the exponential CDF — under a fixed seed so the bounds
+are deterministic pins, not flaky statistical gambles.
+"""
+
+import math
+import random
+
+import pytest
+
+from repro.net import PoissonLoadGenerator
+from repro.sim import Simulator
+from repro.units import mbps_to_bytes_per_ms
+
+
+class _ArrivalTap:
+    """A link stand-in that records each offered packet's arrival time.
+
+    Tapping at ``send`` (the generator's only link call) observes the
+    arrival process itself, uncontaminated by transmission or queueing.
+    """
+
+    def __init__(self, sim):
+        self.sim = sim
+        self.arrivals_ms = []
+
+    def send(self, packet, on_delivered=None):
+        """Record the arrival instant; drop the packet."""
+        self.arrivals_ms.append(self.sim.now)
+
+
+def _interarrivals(mbps, *, packet_bytes=1500, seed=0, count=20_000):
+    """The first *count* inter-arrival gaps from a fixed-seed generator."""
+    sim = Simulator()
+    tap = _ArrivalTap(sim)
+    gen = PoissonLoadGenerator(
+        sim, tap, mbps, random.Random(seed), packet_bytes=packet_bytes
+    )
+    while len(tap.arrivals_ms) < count + 1:
+        sim.step()
+    gen.stop()
+    times = tap.arrivals_ms[: count + 1]
+    return [b - a for a, b in zip(times, times[1:])]
+
+
+def _ks_distance_vs_exponential(gaps, mean_ms):
+    """Kolmogorov–Smirnov distance between *gaps* and Exp(1/mean_ms)."""
+    ordered = sorted(gaps)
+    n = len(ordered)
+    worst = 0.0
+    for i, x in enumerate(ordered):
+        cdf = 1.0 - math.exp(-x / mean_ms)
+        worst = max(worst, abs(cdf - i / n), abs(cdf - (i + 1) / n))
+    return worst
+
+
+class TestInterArrivalDistribution:
+    #: 5 Mbps of 1500 B frames: mean gap = 1500 / 625 B/ms = 2.4 ms.
+    MBPS = 5.0
+    MEAN_MS = 1500 / mbps_to_bytes_per_ms(5.0)
+
+    def test_sample_mean_matches_the_advertised_rate(self):
+        gaps = _interarrivals(self.MBPS, seed=1)
+        # 20k samples: the standard error of the mean is mean/sqrt(n),
+        # ~0.7% here; 2% is a comfortable deterministic pin.
+        assert sum(gaps) / len(gaps) == pytest.approx(self.MEAN_MS, rel=0.02)
+
+    def test_coefficient_of_variation_is_one(self):
+        """Exponential gaps have CV = 1 — the memoryless signature.
+
+        A uniform generator (CV ~ 0.58) or a batchy one (CV > 1) would
+        silently halve / inflate every M/G/1 waiting-time prediction.
+        """
+        gaps = _interarrivals(self.MBPS, seed=1)
+        mu = sum(gaps) / len(gaps)
+        var = sum((g - mu) ** 2 for g in gaps) / len(gaps)
+        assert math.sqrt(var) / mu == pytest.approx(1.0, rel=0.03)
+
+    def test_ks_distance_to_exponential_is_small(self):
+        """The whole CDF matches, not just two moments.
+
+        The 1% critical value for n = 20k is 1.63/sqrt(n) ~ 0.0115; the
+        fixed seed makes this a pin, not a hypothesis test.
+        """
+        gaps = _interarrivals(self.MBPS, seed=1)
+        assert _ks_distance_vs_exponential(gaps, self.MEAN_MS) < 0.0115
+
+    def test_gaps_are_not_suspiciously_regular(self):
+        """Minimum gap is far below the mean (a clocked generator's tell)."""
+        gaps = _interarrivals(self.MBPS, seed=1, count=5_000)
+        assert min(gaps) < 0.05 * self.MEAN_MS
+
+
+class TestRateUnits:
+    def test_doubling_the_rate_halves_the_mean_gap(self):
+        """Regression for the Mbps -> bytes/ms conversion in the mean."""
+        slow = _interarrivals(2.0, seed=3, count=8_000)
+        fast = _interarrivals(4.0, seed=3, count=8_000)
+        ratio = (sum(slow) / len(slow)) / (sum(fast) / len(fast))
+        assert ratio == pytest.approx(2.0, rel=0.05)
+
+    def test_packet_size_scales_the_gap_not_the_load(self):
+        """Half-size frames arrive twice as often at equal offered Mbps."""
+        small = _interarrivals(2.0, packet_bytes=750, seed=3, count=8_000)
+        large = _interarrivals(2.0, packet_bytes=1500, seed=3, count=8_000)
+        ratio = (sum(large) / len(large)) / (sum(small) / len(small))
+        assert ratio == pytest.approx(2.0, rel=0.05)
+
+    def test_distribution_is_seed_deterministic(self):
+        assert _interarrivals(2.0, seed=5, count=500) == _interarrivals(
+            2.0, seed=5, count=500
+        )
+        assert _interarrivals(2.0, seed=5, count=500) != _interarrivals(
+            2.0, seed=6, count=500
+        )

@@ -1,0 +1,176 @@
+"""Property tests pinning ``sim.stats`` to independent reference models.
+
+Each property checks the library implementation against a brute-force
+reference written a different way (sorted-list indexing, the ``statistics``
+module, explicit edge scans) so a shared bug can't hide in both sides.
+"""
+
+import math
+import statistics
+
+import pytest
+from hypothesis import assume, given
+from hypothesis import strategies as st
+
+from repro.sim import Histogram, Summary, ecdf, percentile
+
+values = st.floats(
+    min_value=-1e6, max_value=1e6, allow_nan=False, allow_infinity=False
+)
+samples = st.lists(values, min_size=1, max_size=60)
+percentages = st.floats(min_value=0.0, max_value=100.0)
+
+
+class TestPercentileAgainstSortedListReference:
+    @given(xs=samples)
+    def test_extremes_are_min_and_max(self, xs):
+        assert percentile(xs, 0.0) == min(xs)
+        assert percentile(xs, 100.0) == max(xs)
+
+    @given(xs=samples)
+    def test_grid_points_index_the_sorted_list_exactly(self, xs):
+        """At p = 100*k/(n-1) the interpolation must hit element k."""
+        ordered = sorted(xs)
+        n = len(ordered)
+        assume(n > 1)
+        for k in range(n):
+            p = 100.0 * k / (n - 1)
+            assert percentile(xs, p) == pytest.approx(
+                ordered[k], rel=1e-9, abs=1e-9
+            )
+
+    @given(xs=samples, p=percentages)
+    def test_bounded_and_order_invariant(self, xs, p):
+        q = percentile(xs, p)
+        # Interpolation between equal neighbours can lose one ulp, so the
+        # bounds hold up to float rounding.
+        slack = 1e-12 * max(abs(min(xs)), abs(max(xs)), 1.0)
+        assert min(xs) - slack <= q <= max(xs) + slack
+        assert percentile(sorted(xs, reverse=True), p) == q
+
+    @given(xs=samples, lo=percentages, hi=percentages)
+    def test_monotone_in_p(self, xs, lo, hi):
+        if lo > hi:
+            lo, hi = hi, lo
+        q_lo, q_hi = percentile(xs, lo), percentile(xs, hi)
+        # Interpolating between equal neighbours can lose one ulp, so
+        # monotonicity holds up to float rounding, not exactly.
+        assert q_lo <= q_hi or math.isclose(q_lo, q_hi, rel_tol=1e-12)
+
+    @given(xs=samples)
+    def test_median_matches_statistics_module(self, xs):
+        """p50 with linear interpolation is exactly ``statistics.median``."""
+        assert percentile(xs, 50.0) == pytest.approx(
+            statistics.median(xs), rel=1e-9, abs=1e-9
+        )
+
+    @given(xs=samples, p=percentages, shift=values)
+    def test_translation_equivariance(self, xs, p, shift):
+        shifted = [x + shift for x in xs]
+        assert percentile(shifted, p) == pytest.approx(
+            percentile(xs, p) + shift, rel=1e-6, abs=1e-6
+        )
+
+
+class TestSummaryAgainstStatisticsModule:
+    @given(xs=samples)
+    def test_fields_match_the_reference_library(self, xs):
+        s = Summary.of(xs)
+        assert s.count == len(xs)
+        assert s.minimum == min(xs)
+        assert s.maximum == max(xs)
+        assert s.average == pytest.approx(statistics.fmean(xs), rel=1e-9)
+        assert s.std == pytest.approx(
+            statistics.pstdev(xs), rel=1e-9, abs=1e-6
+        )
+
+    @given(xs=samples)
+    def test_std_of_constant_padding_shrinks(self, xs):
+        """Appending the mean never increases the population deviation."""
+        mu = statistics.fmean(xs)
+        padded = Summary.of(xs + [mu])
+        assert padded.std <= Summary.of(xs).std + 1e-9
+
+
+class TestHistogramAgainstEdgeScan:
+    bounds = st.tuples(
+        st.floats(min_value=-100.0, max_value=100.0),
+        st.floats(min_value=0.5, max_value=200.0),
+        st.integers(min_value=1, max_value=20),
+    )
+
+    def _reference_counts(self, xs, edges):
+        """Brute-force bin assignment by scanning the edge list."""
+        counts = [0] * (len(edges) - 1)
+        under = over = 0
+        for x in xs:
+            if x < edges[0]:
+                under += 1
+            elif x >= edges[-1]:
+                over += 1
+            else:
+                for i in range(len(edges) - 1):
+                    if edges[i] <= x < edges[i + 1]:
+                        counts[i] += 1
+                        break
+                else:  # float rounding put x on the final edge
+                    over += 1
+        return counts, under, over
+
+    @given(xs=samples, bounds=bounds)
+    def test_counts_match_the_edge_scan(self, xs, bounds):
+        lo, width, nbins = bounds
+        hi = lo + width * nbins
+        h = Histogram(lo, hi, nbins)
+        # Keep samples off the interior edges: the library bins by
+        # division, the reference by comparison, and the two can
+        # legitimately disagree only within one ulp of an edge.
+        edges = h.bin_edges()
+        for x in xs:
+            assume(all(abs(x - e) > 1e-6 * max(1.0, abs(e)) for e in edges))
+            h.add(x)
+        counts, under, over = self._reference_counts(xs, edges)
+        assert h.counts == counts
+        assert h.underflow == under
+        assert h.overflow == over
+
+    @given(xs=samples, bounds=bounds)
+    def test_every_sample_is_counted_exactly_once(self, xs, bounds):
+        lo, width, nbins = bounds
+        h = Histogram(lo, lo + width * nbins, nbins)
+        for x in xs:
+            h.add(x)
+        assert h.total == len(xs)
+
+    @given(xs=samples, bounds=bounds, weight=st.integers(2, 5))
+    def test_weights_scale_linearly(self, xs, bounds, weight):
+        lo, width, nbins = bounds
+        plain = Histogram(lo, lo + width * nbins, nbins)
+        weighted = Histogram(lo, lo + width * nbins, nbins)
+        for x in xs:
+            plain.add(x)
+            weighted.add(x, weight=weight)
+        assert weighted.counts == [c * weight for c in plain.counts]
+        assert weighted.total == plain.total * weight
+
+
+class TestEcdfReference:
+    @given(xs=samples)
+    def test_ecdf_matches_rank_counting(self, xs):
+        """F(v) equals the fraction of samples <= v at each step's top.
+
+        With duplicates, only the *last* occurrence of a value carries the
+        step's height — earlier occurrences are interior points of the
+        vertical riser — so the rank-count reference applies there.
+        """
+        points, fractions = ecdf(xs)
+        n = len(xs)
+        for i, (v, frac) in enumerate(zip(points, fractions)):
+            if i + 1 < n and points[i + 1] == v:
+                continue
+            assert frac == pytest.approx(
+                sum(1 for x in xs if x <= v) / n, rel=1e-12
+            )
+        assert fractions[-1] == pytest.approx(1.0)
+        assert points == sorted(xs)
+        assert math.isclose(min(fractions), fractions[0])
