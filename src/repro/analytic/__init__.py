@@ -28,7 +28,10 @@ from .queueing import (
     ServiceMix,
     md1_prediction,
     mg1_prediction,
+    mg1_wait_quantile_bound,
     mm1_prediction,
+    mm1_sojourn_quantile,
+    mm1_wait_quantile,
     service_mix,
 )
 from .validate import (
@@ -36,6 +39,7 @@ from .validate import (
     compare_closed_loop,
     compare_link_probe,
     compare_open_queue,
+    compare_open_queue_quantiles,
     predict_link_probe,
 )
 from .workbench import (
@@ -56,12 +60,16 @@ __all__ = [
     "ServiceMix",
     "md1_prediction",
     "mg1_prediction",
+    "mg1_wait_quantile_bound",
     "mm1_prediction",
+    "mm1_sojourn_quantile",
+    "mm1_wait_quantile",
     "service_mix",
     "ComparisonRow",
     "compare_closed_loop",
     "compare_link_probe",
     "compare_open_queue",
+    "compare_open_queue_quantiles",
     "predict_link_probe",
     "ClosedLoopObservation",
     "LinkProbeObservation",

@@ -29,11 +29,6 @@ from __future__ import annotations
 from functools import partial
 from typing import List, Tuple
 
-# The paper experiments register during ``repro.cli``'s import, and
-# registry order is a compatibility surface (``run all`` order, cache
-# keys).  Importing the CLI first guarantees this module appends after
-# the paper set no matter which module a caller imports first.
-from .. import cli as _cli  # noqa: F401
 from ..core.registry import experiment
 from ..core.report import format_overlay, write_csv
 from ..sim.rng import derive_seed
@@ -103,11 +98,6 @@ def _analytic_closed_point(
     )
 
 
-@experiment(
-    "analytic_link",
-    title="M/G/1 vs simulated shared-link probe delay across rho",
-    group="analytic",
-)
 def _analytic_link(ctx) -> None:
     """Overlay P–K predictions on the simulated link across utilization."""
     points = ctx.executor.map(
@@ -159,11 +149,6 @@ def _analytic_link(ctx) -> None:
         )
 
 
-@experiment(
-    "analytic_closed",
-    title="Exact MVA vs simulated closed-loop sessions across N",
-    group="analytic",
-)
 def _analytic_closed(ctx) -> None:
     """Overlay exact MVA on the simulated closed loop across populations."""
     points = ctx.executor.map(
@@ -213,3 +198,36 @@ def _analytic_closed(ctx) -> None:
                 for sessions, point in zip(CLOSED_SESSION_COUNTS, points)
             ],
         )
+
+
+_REGISTERED = False
+
+
+def _register() -> None:
+    """Register this module's experiments; idempotent.
+
+    Driven by ``repro.cli`` at this module's canonical position in the
+    registration sequence (see ``repro.fleet.experiments._register`` for
+    why import-time decorators would make registry order depend on which
+    module a process imports first).
+    """
+    global _REGISTERED
+    if _REGISTERED:
+        return
+    _REGISTERED = True
+    experiment(
+        "analytic_link",
+        title="M/G/1 vs simulated shared-link probe delay across rho",
+        group="analytic",
+    )(_analytic_link)
+    experiment(
+        "analytic_closed",
+        title="Exact MVA vs simulated closed-loop sessions across N",
+        group="analytic",
+    )(_analytic_closed)
+
+
+# Importing any experiments module alone must still populate the whole
+# registry in canonical order: pull in the CLI, which calls every
+# module's ``_register`` in sequence.
+from .. import cli as _cli  # noqa: E402,F401

@@ -26,6 +26,7 @@ and waits exactly half as long.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
 
 from ..errors import AnalyticError
@@ -112,6 +113,71 @@ def md1_prediction(
     same ρ — fixed-size frames are the kindest traffic a FIFO can carry.
     """
     return mg1_prediction(arrival_rate, service_ms, service_ms**2)
+
+
+def _check_mm1(arrival_rate: float, mean_service_ms: float, p: float) -> float:
+    """Validate M/M/1 quantile arguments; returns ρ."""
+    if arrival_rate < 0:
+        raise AnalyticError("arrival rate cannot be negative")
+    if mean_service_ms <= 0:
+        raise AnalyticError("mean service time must be positive")
+    if not 0.0 <= p < 1.0:
+        raise AnalyticError(f"quantile level must be in [0, 1), got {p}")
+    rho = arrival_rate * mean_service_ms
+    if rho >= 1.0:
+        raise AnalyticError(
+            f"queue is saturated (rho = {rho:.3f} >= 1); "
+            "wait-time quantiles are finite only below capacity"
+        )
+    return rho
+
+
+def mm1_wait_quantile(
+    arrival_rate: float, mean_service_ms: float, p: float
+) -> float:
+    """The *p*-quantile of M/M/1 time-in-queue (Wq), in ms.
+
+    The M/M/1 waiting time has an atom at zero — a fraction ``1 - ρ`` of
+    arrivals find the server idle and wait nothing — and above it an
+    exponential tail ``P(Wq > t) = ρ·e^{-(μ-λ)t}``.  So the quantile is 0
+    for ``p ≤ 1 - ρ`` and ``-ln((1-p)/ρ) / (μ-λ)`` beyond: the closed form
+    the tail oracle pins simulated p90/p99 waits against.
+    """
+    rho = _check_mm1(arrival_rate, mean_service_ms, p)
+    if p <= 1.0 - rho or rho == 0.0:
+        return 0.0
+    mu = 1.0 / mean_service_ms
+    return -math.log((1.0 - p) / rho) / (mu - arrival_rate)
+
+
+def mm1_sojourn_quantile(
+    arrival_rate: float, mean_service_ms: float, p: float
+) -> float:
+    """The *p*-quantile of M/M/1 sojourn time (W = wait + service), in ms.
+
+    The M/M/1 sojourn is *exactly* exponential with rate ``μ - λ`` — no
+    atom, no mixture — so every quantile is ``-ln(1-p) / (μ-λ)``.  The
+    cleanest tail oracle available: one line, valid at any percentile.
+    """
+    _check_mm1(arrival_rate, mean_service_ms, p)
+    mu = 1.0 / mean_service_ms
+    return -math.log(1.0 - p) / (mu - arrival_rate)
+
+
+def mg1_wait_quantile_bound(
+    prediction: OpenQueuePrediction, p: float
+) -> float:
+    """A distribution-free upper bound on the M/G/1 wait *p*-quantile, in ms.
+
+    Markov's inequality gives ``P(Wq > t) ≤ Wq/t`` for any nonnegative
+    wait, hence the *p*-quantile is at most ``Wq / (1-p)``.  Loose but
+    assumption-free — it holds for the mixed packet-size traffic where the
+    exponential M/M/1 tail does not — so the oracle uses it as a sanity
+    ceiling on simulated mixed-traffic percentiles.
+    """
+    if not 0.0 <= p < 1.0:
+        raise AnalyticError(f"quantile level must be in [0, 1), got {p}")
+    return prediction.wait_ms / (1.0 - p)
 
 
 @dataclass(frozen=True)

@@ -28,7 +28,13 @@ from typing import List, Tuple
 
 from ..units import mbps_to_bytes_per_ms
 from .mva import solve_mva
-from .queueing import mg1_prediction, mm1_prediction, service_mix
+from .queueing import (
+    mg1_prediction,
+    mm1_prediction,
+    mm1_sojourn_quantile,
+    mm1_wait_quantile,
+    service_mix,
+)
 from .workbench import (
     LOAD_FRAME_BYTES,
     PROBE_BYTES,
@@ -96,6 +102,55 @@ def compare_open_queue(
             "in_system", predicted.in_system, observed.mean_seen_in_system
         ),
     ]
+    return rows, observed
+
+
+def compare_open_queue_quantiles(
+    arrival_rate: float,
+    mean_service_ms: float,
+    *,
+    levels: Tuple[float, ...] = (0.9, 0.99),
+    duration_ms: float = 60_000.0,
+    seed: int = 0,
+) -> Tuple[List[ComparisonRow], QueueObservation]:
+    """M/M/1 tail quantiles vs the simulated queue's sample percentiles.
+
+    The sojourn rows use the exact exponential sojourn law
+    (:func:`~repro.analytic.queueing.mm1_sojourn_quantile`); the wait rows
+    use the atom-plus-exponential wait law.  Only exponential service is
+    meaningful here — the closed forms are M/M/1-specific.  This is the
+    tail oracle: the mean-based comparisons cannot tell a thin tail from a
+    fat one, and these rows can.
+    """
+    observed = simulate_open_queue(
+        arrival_rate,
+        mean_service_ms,
+        service="exponential",
+        duration_ms=duration_ms,
+        seed=seed,
+    )
+    simulated = {
+        0.9: (observed.wait_p90_ms, observed.sojourn_p90_ms),
+        0.99: (observed.wait_p99_ms, observed.sojourn_p99_ms),
+    }
+    rows: List[ComparisonRow] = []
+    for p in levels:
+        if p not in simulated:
+            raise ValueError(f"no simulated percentile recorded for p={p}")
+        wait_sim, sojourn_sim = simulated[p]
+        label = f"p{p * 100:g}"
+        rows.append(
+            ComparisonRow(
+                f"sojourn_{label}_ms",
+                mm1_sojourn_quantile(arrival_rate, mean_service_ms, p),
+                sojourn_sim,
+            )
+        )
+        wait_pred = mm1_wait_quantile(arrival_rate, mean_service_ms, p)
+        if wait_pred > 0.0:
+            rows.append(
+                ComparisonRow(f"wait_{label}_ms", wait_pred, wait_sim)
+            )
     return rows, observed
 
 

@@ -41,7 +41,7 @@ from ..net.loadgen import PoissonLoadGenerator
 from ..net.packet import Packet
 from ..sim.engine import Simulator
 from ..sim.rng import RngRegistry
-from ..sim.stats import mean
+from ..sim.stats import mean, percentile
 from ..units import mbps_to_bytes_per_ms
 
 #: Probe packets are keystroke-sized, like the paper's ping (§6.2).
@@ -59,7 +59,9 @@ class QueueObservation:
     time-in-queue and time-in-system; ``mean_seen_in_system`` is the mean
     number of customers (waiting + in service) each tagged arrival found —
     by PASTA an estimate of L, comparable to the closed form's
-    ``in_system``.
+    ``in_system``.  The p90/p99 fields are sample percentiles of the same
+    series, the simulated side of the M/M/1 wait- and sojourn-tail
+    quantiles (:func:`~repro.analytic.queueing.mm1_sojourn_quantile`).
     """
 
     samples: int
@@ -67,6 +69,10 @@ class QueueObservation:
     mean_sojourn_ms: float
     mean_seen_in_system: float
     duration_ms: float
+    wait_p90_ms: float = 0.0
+    wait_p99_ms: float = 0.0
+    sojourn_p90_ms: float = 0.0
+    sojourn_p99_ms: float = 0.0
 
 
 class _FifoStation:
@@ -166,6 +172,10 @@ def simulate_open_queue(
         mean_sojourn_ms=mean(sojourns),
         mean_seen_in_system=mean(seen),
         duration_ms=duration_ms - warmup_ms,
+        wait_p90_ms=percentile(waits, 90.0),
+        wait_p99_ms=percentile(waits, 99.0),
+        sojourn_p90_ms=percentile(sojourns, 90.0),
+        sojourn_p99_ms=percentile(sojourns, 99.0),
     )
 
 
@@ -176,7 +186,10 @@ class LinkProbeObservation:
     ``mean_delay_ms`` is the probes' one-way delay (queue wait + own
     transmission + propagation); ``mean_seen_in_system`` the packets
     (queued + on the wire) each probe found at send time; ``utilization``
-    the link's measured busy fraction over the sampled window.
+    the link's measured busy fraction over the sampled window.  The
+    p90/p99 delay fields are sample percentiles of the same delays — the
+    simulated side the Markov tail bound
+    (:func:`~repro.analytic.queueing.mg1_wait_quantile_bound`) must cap.
     """
 
     samples: int
@@ -185,6 +198,8 @@ class LinkProbeObservation:
     utilization: float
     offered_mbps: float
     duration_ms: float
+    delay_p90_ms: float = 0.0
+    delay_p99_ms: float = 0.0
 
 
 def simulate_link_probe(
@@ -251,6 +266,8 @@ def simulate_link_probe(
         utilization=link.utilization(warmup_ms, duration_ms),
         offered_mbps=rho * bandwidth_mbps,
         duration_ms=duration_ms - warmup_ms,
+        delay_p90_ms=percentile(delays, 90.0),
+        delay_p99_ms=percentile(delays, 99.0),
     )
 
 

@@ -10,13 +10,15 @@ Regenerate any of the paper's tables and figures without writing code::
 Each experiment prints the same rows/series its benchmark emits; ``--csv``
 additionally writes machine-readable series next to the text output.
 
-Experiments self-register through :mod:`repro.core.registry` — each runner
-below carries an ``@experiment(...)`` decorator, and the fleet experiments
-(:mod:`repro.fleet.experiments`) register the same way when this module
-imports them.  ``list`` renders one table per registry group; ``run all``
-executes the registry in registration order, which keeps the paper
-experiments in their historical sequence (goldens and cache keys are
-unchanged) with later groups appended.
+Experiments self-register through :mod:`repro.core.registry` — each paper
+runner below carries an ``@experiment(...)`` decorator, and this module
+then drives the fleet/analytic/SLO modules' ``_register()`` hooks in a
+fixed sequence (an explicit call rather than an import side effect, so
+the registry order is identical no matter which experiments module a
+process imports first).  ``list`` renders one table per registry group;
+``run all`` executes the registry in registration order, which keeps the
+paper experiments in their historical sequence (goldens and cache keys
+are unchanged) with later groups appended.
 
 Sweeps route through :class:`repro.exec.SweepExecutor`, so runs can be
 parallel and cached:
@@ -588,11 +590,23 @@ def _tab_setup(ctx: RunContext) -> None:
     )
 
 
-# Fleet and analytic experiments register themselves on import — after
-# the paper set, so ``run all`` appends them without disturbing the
-# historical order.
-from .fleet import experiments as _fleet_experiments  # noqa: E402,F401
-from .analytic import experiments as _analytic_experiments  # noqa: E402,F401
+# Fleet, analytic, and SLO experiments register here, after the paper
+# set, so ``run all`` appends them without disturbing the historical
+# order.  Registration is an explicit, idempotent call — not an import
+# side effect — so the registry order is identical no matter which
+# experiments module a process happens to import first (each of them
+# circularly imports this module at its bottom, landing right here).
+from .fleet import experiments as _fleet_experiments  # noqa: E402
+
+_fleet_experiments._register()
+
+from .analytic import experiments as _analytic_experiments  # noqa: E402
+
+_analytic_experiments._register()
+
+from .slo import experiments as _slo_experiments  # noqa: E402
+
+_slo_experiments._register()
 
 
 def build_parser() -> argparse.ArgumentParser:

@@ -184,6 +184,49 @@ def format_overlay(
     return format_table(headers, rows, title=title)
 
 
+def format_slo_summary(reports: Iterable[object], *, title: Optional[str] = None) -> str:
+    """One row per :class:`repro.slo.SloReport`: tail percentiles and burn.
+
+    Renders the SLO accounting the ``slo_*`` experiments produce — budget,
+    observed p50/p90/p99/p99.9, violation rate, and error-budget burn
+    (whole-stream and worst-window) — in the same aligned style as every
+    other table, so experiment outputs stay diffable byte-for-byte.
+    """
+    rows = [
+        [
+            r.operation,
+            r.samples,
+            f"{r.budget_ms:g}",
+            f"{r.percentiles[0]:.2f}",
+            f"{r.percentiles[1]:.2f}",
+            f"{r.percentiles[2]:.2f}",
+            f"{r.percentiles[3]:.2f}",
+            r.violations,
+            f"{r.violation_rate * 100:.2f}%",
+            f"{r.budget_burn:.2f}",
+            f"{r.worst_window_burn:.2f}",
+        ]
+        for r in reports
+    ]
+    return format_table(
+        [
+            "operation",
+            "n",
+            "budget ms",
+            "p50",
+            "p90",
+            "p99",
+            "p99.9",
+            "viol",
+            "viol rate",
+            "burn",
+            "worst burn",
+        ],
+        rows,
+        title=title,
+    )
+
+
 def sparkline(values: Sequence[float]) -> str:
     """A one-line unicode rendering of a series' shape."""
     if not values:

@@ -53,3 +53,7 @@ class AnalyticError(ReproError):
 
 class FleetError(ReproError):
     """A fleet composition was configured or driven incorrectly."""
+
+
+class SloError(ReproError):
+    """An SLO definition or tail-latency tracker was misused."""

@@ -34,8 +34,9 @@ pure function of ``(config, seed)``, byte-for-byte.
 
 from __future__ import annotations
 
+from collections import deque
 from dataclasses import dataclass, field, replace
-from typing import Dict, List, Optional, Tuple
+from typing import Deque, Dict, List, Optional, Tuple
 
 from ..core.server import ServerConfig, ThinClientServer, UserSession
 from ..errors import FleetError
@@ -86,6 +87,12 @@ class FleetConfig:
     backbone_mbps: float = 100.0
     backbone_propagation_ms: float = 0.5
     backbone_faults: Optional[FaultPlan] = None
+    #: Open sessions in coordinated-omission-safe mode: typing ticks that
+    #: land while an interaction is in flight are *queued* with their
+    #: intended send time instead of dropped, and each completion records a
+    #: second, corrected latency measured from that intended time.  Off by
+    #: default — the legacy closed loop is byte-identical with this False.
+    co_safe_sessions: bool = False
 
     def __post_init__(self) -> None:
         """Validate the pool size and backbone parameters."""
@@ -145,6 +152,19 @@ class FleetSession:
     faulted backbone swallowed.  When its server is marked failed the
     fleet re-places the session; :attr:`placements` records the server
     index history (the affinity invariant reads it).
+
+    **Coordinated omission.**  The closed loop has the classic measurement
+    blind spot: while the system stalls, the session stops sending, so the
+    stall's victims never appear in :attr:`latencies_ms` — exactly the
+    samples the tail needed.  With ``co_safe=True`` the session keeps the
+    same tick cadence but *queues* blocked ticks with their intended send
+    time (:attr:`missed_ticks` counts them); once the loop unblocks, the
+    backlog drains one interaction per completion, and every interaction
+    records a second sample in :attr:`intended_latencies_ms`, measured
+    from the intended time — the wrk2/HdrHistogram correction.  Abandoned
+    interactions contribute their (censored) wait as a corrected sample
+    instead of vanishing.  The uncorrected series is untouched, so the
+    corrected-vs-uncorrected gap is observable per run.
     """
 
     def __init__(
@@ -154,21 +174,27 @@ class FleetSession:
         *,
         rate_hz: float = 2.0,
         display_chars: int = 8,
+        co_safe: bool = False,
     ) -> None:
         if rate_hz <= 0:
             raise FleetError("typing rate must be positive")
         self.fleet = fleet
         self.name = name
         self.rate_hz = rate_hz
+        self.co_safe = co_safe
         self.display_ops: List[DisplayOp] = [DrawText(display_chars)]
         self.latencies_ms: List[float] = []
+        self.intended_latencies_ms: List[float] = []  #: corrected series
         self.placements: List[int] = []
         self.skipped_ticks = 0  #: typing ticks dropped by the closed loop
+        self.missed_ticks = 0  #: blocked ticks queued by the co-safe loop
         self.abandoned = 0  #: interactions the watchdog gave up on
         self.state: Optional[ServerState] = None
         self._session: Optional[UserSession] = None
         self._token = 0  # interaction id generator
         self._inflight: Optional[Tuple[int, float]] = None  # (token, t0)
+        self._inflight_intended: Optional[float] = None
+        self._backlog: Deque[float] = deque()  # intended times awaiting issue
         self._awaiting_display = False
         self._moves = 0
         self._typing: Optional[PeriodicTask] = None
@@ -193,6 +219,8 @@ class FleetSession:
                 self._display_answered(message.payload_bytes)
 
         client.display_received = measured  # type: ignore[method-assign]
+        if self.co_safe:
+            self._try_issue()  # a migration may have left queued intents
 
     def detach(self) -> None:
         """Log out of the current server (in-flight interactions drop)."""
@@ -202,7 +230,12 @@ class FleetSession:
         del self.state.sessions[self.name]
         self.state = None
         self._session = None
+        if self.co_safe and self._inflight_intended is not None:
+            # The dropped interaction's intent survives the move: reissue
+            # it (oldest first) once the session lands on a new server.
+            self._backlog.appendleft(self._inflight_intended)
         self._inflight = None
+        self._inflight_intended = None
         self._awaiting_display = False
 
     # -- one interaction, across both networks -------------------------------
@@ -218,14 +251,32 @@ class FleetSession:
         if self._inflight is not None:
             self.skipped_ticks += 1
             return
+        self._launch(self.fleet.sim.now)
+
+    def _launch(self, intended_ms: float) -> None:
+        """Issue one interaction now, attributed to intent time *intended_ms*."""
         self._token += 1
         token = self._token
         self._inflight = (token, self.fleet.sim.now)
+        self._inflight_intended = intended_ms
         packet = Packet(INPUT_WIRE_BYTES, channel="input", protocol="fleet")
         self.fleet.backbone.send(packet, lambda __: self._input_arrived(token))
         self.fleet.sim.schedule(
             INTERACTION_TIMEOUT_MS, lambda: self._give_up(token)
         )
+
+    def _co_press(self) -> None:
+        """One co-safe typing tick: queue the intent, issue when unblocked."""
+        if self.state is None or self._inflight is not None:
+            self.missed_ticks += 1
+        self._backlog.append(self.fleet.sim.now)
+        self._try_issue()
+
+    def _try_issue(self) -> None:
+        """Issue the oldest queued intent if the closed loop is free."""
+        if self.state is None or self._inflight is not None or not self._backlog:
+            return
+        self._launch(self._backlog.popleft())
 
     def _input_arrived(self, token: int) -> None:
         """The keystroke reached the pool: hand it to the placed server."""
@@ -255,19 +306,39 @@ class FleetSession:
         """The display update reached the client: one latency sample."""
         if self._inflight is None or self._inflight[0] != token:
             return
-        latency = self.fleet.sim.now - self._inflight[1]
+        now = self.fleet.sim.now
+        latency = now - self._inflight[1]
+        intended = self._inflight_intended
         self._inflight = None
+        self._inflight_intended = None
         self.latencies_ms.append(latency)
         if self.state is not None:
             self.state.observe_latency(latency)
         self.fleet.record_latency(latency)
+        if self.co_safe:
+            self._record_corrected(now - (intended if intended is not None else now))
 
     def _give_up(self, token: int) -> None:
         """Watchdog: abandon the interaction if it is still outstanding."""
         if self._inflight is not None and self._inflight[0] == token:
+            intended = self._inflight_intended
             self._inflight = None
+            self._inflight_intended = None
             self._awaiting_display = False
             self.abandoned += 1
+            if self.co_safe:
+                # Censored corrected sample: the victim waited at least
+                # this long — dropping it would re-omit the worst tail.
+                self._record_corrected(
+                    self.fleet.sim.now
+                    - (intended if intended is not None else self.fleet.sim.now)
+                )
+
+    def _record_corrected(self, corrected_ms: float) -> None:
+        """Stamp one corrected (intent-to-done) sample and drain the backlog."""
+        self.intended_latencies_ms.append(corrected_ms)
+        self.fleet.record_corrected_latency(corrected_ms)
+        self._try_issue()
 
     # -- cadence -------------------------------------------------------------
 
@@ -277,9 +348,8 @@ class FleetSession:
             raise FleetError(f"fleet session {self.name!r} is already typing")
         interval = 1000.0 / self.rate_hz
         start = None if phase_ms is None else self.fleet.sim.now + phase_ms
-        self._typing = self.fleet.sim.every(
-            interval, self.press_key, start=start
-        )
+        handler = self._co_press if self.co_safe else self.press_key
+        self._typing = self.fleet.sim.every(interval, handler, start=start)
 
     def stop_typing(self) -> None:
         """Release the key (idempotent)."""
@@ -346,6 +416,11 @@ class Fleet:
         self._counters: Dict[str, object] = {}
         self._gauges: Dict[str, object] = {}
         self._latency_histogram = None
+        self._corrected_histogram = None
+        #: Optional :class:`repro.slo.SloTracker` (duck-typed to keep the
+        #: fleet layer import-free of slo); when set, every corrected
+        #: latency sample is folded into it at its simulation timestamp.
+        self.slo_tracker = None
 
     # -- observability -------------------------------------------------------
 
@@ -380,6 +455,25 @@ class Fleet:
             )
         histogram.observe(latency_ms)
 
+    def record_corrected_latency(self, latency_ms: float) -> None:
+        """Fold one coordinated-omission-corrected latency sample.
+
+        Feeds the attached :attr:`slo_tracker` (if any) and, when
+        observing, a separate ``fleet.session_latency_corrected_ms``
+        histogram — only co-safe sessions call this, so legacy fleet trace
+        artifacts are unchanged.
+        """
+        if self.slo_tracker is not None:
+            self.slo_tracker.observe(self.sim.now, latency_ms)
+        if self._obs is None:
+            return
+        histogram = self._corrected_histogram
+        if histogram is None:
+            histogram = self._corrected_histogram = self._obs.metrics.histogram(
+                "fleet.session_latency_corrected_ms"
+            )
+        histogram.observe(latency_ms)
+
     # -- session lifecycle ---------------------------------------------------
 
     def open_session(
@@ -406,7 +500,11 @@ class Fleet:
             return None
         self._count("admitted")
         session = FleetSession(
-            self, name, rate_hz=rate_hz, display_chars=display_chars
+            self,
+            name,
+            rate_hz=rate_hz,
+            display_chars=display_chars,
+            co_safe=self.config.co_safe_sessions,
         )
         state = self.placement.choose(
             name,
@@ -505,6 +603,16 @@ class Fleet:
         samples: List[float] = []
         for session in self.sessions.values():
             samples.extend(session.latencies_ms)
+        return samples
+
+    def corrected_latencies_ms(self) -> List[float]:
+        """Every coordinated-omission-corrected latency (co-safe sessions).
+
+        Empty unless the fleet was built with ``co_safe_sessions=True``.
+        """
+        samples: List[float] = []
+        for session in self.sessions.values():
+            samples.extend(session.intended_latencies_ms)
         return samples
 
     def report(self, t0: float = 0.0, t1: Optional[float] = None) -> Dict[str, object]:

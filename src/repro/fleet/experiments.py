@@ -26,11 +26,6 @@ from __future__ import annotations
 from functools import partial
 from typing import List, Tuple
 
-# The paper experiments register during ``repro.cli``'s import, and
-# registry order is a compatibility surface (``run all`` order, cache
-# keys).  Importing the CLI first guarantees this module appends after
-# the paper set no matter which module a caller imports first.
-from .. import cli as _cli  # noqa: F401
 from ..core.registry import experiment
 from ..core.report import format_series, format_table, write_csv
 
@@ -222,11 +217,6 @@ def _fleet_placement_point(
     )
 
 
-@experiment(
-    "fleet_capacity",
-    title="Fleet capacity: SLO sessions/server vs fleet size",
-    group="fleet",
-)
 def _fleet_capacity(ctx) -> None:
     """Sweep the (fleet size × sessions/server) grid; print the frontier."""
     grid = [
@@ -327,11 +317,6 @@ def _fleet_capacity(ctx) -> None:
         )
 
 
-@experiment(
-    "fleet_placement",
-    title="Placement policies: p50/p99 latency under a server failure",
-    group="fleet",
-)
 def _fleet_placement(ctx) -> None:
     """Race every placement policy on the same fleet; print latency rows."""
     points = ctx.executor.map(
@@ -373,3 +358,40 @@ def _fleet_placement(ctx) -> None:
                 )
             ],
         )
+
+
+_REGISTERED = False
+
+
+def _register() -> None:
+    """Register this module's experiments; idempotent.
+
+    Registry order is a compatibility surface (``run all`` order, cache
+    keys), so registration is driven by ``repro.cli`` at this module's
+    canonical position in the sequence — never by module import.  A
+    decorator at module scope would register whenever the body runs,
+    and a process whose *first* import is an experiments module defers
+    that body past the circular ``repro.cli`` import, appending its
+    experiments after every group the CLI registers in the meantime.
+    """
+    global _REGISTERED
+    if _REGISTERED:
+        return
+    _REGISTERED = True
+    experiment(
+        "fleet_capacity",
+        title="Fleet capacity: SLO sessions/server vs fleet size",
+        group="fleet",
+    )(_fleet_capacity)
+    experiment(
+        "fleet_placement",
+        title="Placement policies: p50/p99 latency under a server failure",
+        group="fleet",
+    )(_fleet_placement)
+
+
+# Importing any experiments module alone must still populate the whole
+# registry in canonical order: pull in the CLI, which calls every
+# module's ``_register`` in sequence.  Bottom-of-module so ``_register``
+# above already exists when the circular import re-enters this module.
+from .. import cli as _cli  # noqa: E402,F401

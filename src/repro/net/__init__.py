@@ -29,7 +29,11 @@ from .faults import (
     run_chaos_experiment,
 )
 from .link import Link
-from .loadgen import DEFAULT_LOAD_PACKET_BYTES, PoissonLoadGenerator
+from .loadgen import (
+    DEFAULT_LOAD_PACKET_BYTES,
+    OnOffLoadGenerator,
+    PoissonLoadGenerator,
+)
 from .packet import Packet
 from .ping import (
     PING_INTERVAL_MS,
@@ -84,6 +88,7 @@ __all__ = [
     "PING_PACKET_BYTES",
     "Pinger",
     "PingResult",
+    "OnOffLoadGenerator",
     "PoissonLoadGenerator",
     "ProtoTap",
     "ProtocolTrace",

@@ -4,6 +4,13 @@ A Poisson packet generator: exponential inter-arrivals at the rate that
 yields the requested offered load in Mbps, fixed-size frames.  The paper
 "produced synthetic TCP/IP network load on our experimental testbed"; the
 generator is the simulation equivalent.
+
+:class:`OnOffLoadGenerator` adds the bursty counterpart: a two-state
+Markov-modulated Poisson process (exponential ON/OFF holding times,
+Poisson arrivals only while ON) calibrated so its *mean* rate equals the
+requested Mbps.  Equal-mean Poisson vs on-off is the classic tail
+experiment — means match, p99 does not — and the ``slo_burst`` scenario
+races exactly that pair.
 """
 
 from __future__ import annotations
@@ -69,3 +76,101 @@ class PoissonLoadGenerator:
         self._stopped = True
         if self._next is not None:
             self._next.cancel()
+
+
+class OnOffLoadGenerator:
+    """Bursty offered load: a two-state MMPP with the same mean as *mbps*.
+
+    The generator alternates between ON and OFF states with exponential
+    holding times.  A full ON+OFF cycle averages *cycle_ms*, of which the
+    ON state occupies *on_fraction*; while ON, packets arrive as a Poisson
+    stream at rate ``mbps / on_fraction``, so the long-run mean offered
+    load is exactly *mbps* — the equal-mean twin of
+    :class:`PoissonLoadGenerator` with a burstier interarrival law.
+
+    All randomness (holding times and interarrivals) draws from the single
+    *rng* in event order, so runs are deterministic per seed.  The
+    generator starts in the ON state.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        link: Link,
+        mbps: float,
+        rng: random.Random,
+        *,
+        on_fraction: float = 0.25,
+        cycle_ms: float = 500.0,
+        packet_bytes: int = DEFAULT_LOAD_PACKET_BYTES,
+        channel: str = "load",
+    ) -> None:
+        if mbps < 0:
+            raise NetworkError("offered load cannot be negative")
+        if not 0.0 < on_fraction <= 1.0:
+            raise NetworkError(
+                f"on_fraction must be in (0, 1], got {on_fraction}"
+            )
+        if cycle_ms <= 0:
+            raise NetworkError("burst cycle must have positive length")
+        if packet_bytes <= 0:
+            raise NetworkError("load packets must have positive size")
+        self.sim = sim
+        self.link = link
+        self.mbps = mbps
+        self.rng = rng
+        self.on_fraction = on_fraction
+        self.cycle_ms = cycle_ms
+        self.packet_bytes = packet_bytes
+        self.channel = channel
+        self.packets_offered = 0
+        self.on = True
+        self._stopped = False
+        self._next: Optional[Event] = None
+        self._flip: Optional[Event] = None
+        self._mean_on_ms = on_fraction * cycle_ms
+        self._mean_off_ms = (1.0 - on_fraction) * cycle_ms
+        if mbps > 0:
+            burst_rate = mbps / on_fraction
+            self._mean_interarrival_ms = (
+                self.packet_bytes / mbps_to_bytes_per_ms(burst_rate)
+            )
+            self._schedule_arrival()
+            self._schedule_flip()
+
+    def _schedule_arrival(self) -> None:
+        delay = self.rng.expovariate(1.0 / self._mean_interarrival_ms)
+        self._next = self.sim.schedule(delay, self._fire)
+
+    def _schedule_flip(self) -> None:
+        # on_fraction == 1 degenerates to pure Poisson: never leave ON.
+        if self._mean_off_ms <= 0:
+            return
+        mean = self._mean_on_ms if self.on else self._mean_off_ms
+        self._flip = self.sim.schedule(self.rng.expovariate(1.0 / mean), self._toggle)
+
+    def _toggle(self) -> None:
+        if self._stopped:
+            return
+        self.on = not self.on
+        if self.on:
+            self._schedule_arrival()
+        elif self._next is not None:
+            self._next.cancel()
+            self._next = None
+        self._schedule_flip()
+
+    def _fire(self) -> None:
+        if self._stopped or not self.on:
+            return
+        self.link.send(Packet(self.packet_bytes, channel=self.channel))
+        self.packets_offered += 1
+        self._schedule_arrival()
+
+    def stop(self) -> None:
+        """Stop offering load; queued arrivals and state flips are cancelled."""
+        self._stopped = True
+        if self._next is not None:
+            self._next.cancel()
+        if self._flip is not None:
+            self._flip.cancel()

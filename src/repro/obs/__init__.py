@@ -28,6 +28,7 @@ from .metrics import (
     Histogram,
     MetricsRegistry,
     ObservabilityError,
+    bucket_quantile,
 )
 from .serialize import (
     RunObservations,
@@ -64,6 +65,7 @@ __all__ = [
     "ReferenceTracer",
     "RunObservations",
     "Tracer",
+    "bucket_quantile",
     "current_observation",
     "dumps_event",
     "dumps_snapshot",

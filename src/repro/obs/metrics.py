@@ -13,6 +13,7 @@ clock, so snapshots are pure functions of the simulated run.
 
 from __future__ import annotations
 
+import math
 from bisect import bisect_left
 from typing import Dict, List, Optional, Sequence, Tuple, Union
 
@@ -83,6 +84,48 @@ class Gauge:
         return f"<Gauge {self.name} last={self.last} peak={self.peak}>"
 
 
+def bucket_quantile(
+    bounds: Sequence[float],
+    bucket_counts: Sequence[int],
+    count: int,
+    vmin: float,
+    vmax: float,
+    pct: float,
+) -> float:
+    """A quantile estimate from fixed-bucket counts alone.
+
+    The estimator the SLO layer's windowed percentile tracker and
+    :meth:`Histogram.quantile` share.  It is a pure function of the
+    aggregate ``(bucket_counts, count, vmin, vmax)`` state, so merging two
+    histograms (summing counts, min of mins, max of maxes) and asking for
+    a quantile gives *exactly* the same answer as one histogram that saw
+    every sample — the property windowed rollups rely on.
+
+    The nearest-rank sample (1-based rank ``ceil(pct/100 * count)``) lies
+    in some bucket; the estimate interpolates the rank's position across
+    that bucket's value span and clamps into ``[vmin, vmax]``, so the
+    estimate and the exact sample percentile always share a bucket —
+    agreement within bin resolution.  Monotone in *pct* by construction
+    (rank is nondecreasing, interpolation is monotone, bucket spans abut).
+    """
+    if count <= 0:
+        raise ObservabilityError("quantile of an empty histogram")
+    if not 0.0 <= pct <= 100.0:
+        raise ObservabilityError(f"percentile {pct} out of [0, 100]")
+    rank = max(1, math.ceil(pct / 100.0 * count))
+    cumulative = 0
+    for index, bucket_count in enumerate(bucket_counts):
+        if bucket_count and cumulative + bucket_count >= rank:
+            lo = bounds[index - 1] if index >= 1 else min(vmin, bounds[0])
+            hi = bounds[index] if index < len(bounds) else max(vmax, bounds[-1])
+            value = lo + (rank - cumulative) / bucket_count * (hi - lo)
+            return min(max(value, vmin), vmax)
+        cumulative += bucket_count
+    raise ObservabilityError(
+        f"histogram counts sum to {cumulative}, below count {count}"
+    )
+
+
 class Histogram:
     """A fixed-bucket histogram of observed values.
 
@@ -133,6 +176,17 @@ class Histogram:
     def mean(self) -> float:
         """Arithmetic mean of the observed samples (0.0 when empty)."""
         return self.total / self.count if self.count else 0.0
+
+    def quantile(self, pct: float) -> float:
+        """Bucket-resolution quantile estimate; see :func:`bucket_quantile`."""
+        return bucket_quantile(
+            self.bounds,
+            self.bucket_counts,
+            self.count,
+            self.vmin,
+            self.vmax,
+            pct,
+        )
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"<Histogram {self.name} n={self.count} mean={self.mean:.3g}>"

@@ -1,0 +1,27 @@
+"""Tail-latency SLOs: budgets, windowed percentiles, burn-rate accounting.
+
+The paper's thesis is a latency *budget* — interaction must complete
+within human perception thresholds — and this package turns that into the
+modern SLO formulation: per-operation :class:`LatencyBudget` contracts,
+:class:`WindowedPercentiles` rollups (p50/p90/p99/p99.9 per time window,
+exact under window merging), and :class:`SloTracker` error-budget / burn
+accounting, all deterministic folds over the simulated latency stream.
+
+``experiments`` registers the three SLO scenarios (``slo_burst``,
+``slo_chaos_grid``, ``slo_fleet``); it is imported by :mod:`repro.cli`
+like every other experiment module, not from here, so importing the SLO
+primitives never drags in the experiment harness.
+"""
+
+from ..errors import SloError
+from .budget import LatencyBudget, SloReport, SloTracker
+from .windows import PERCENTILE_LEVELS, WindowedPercentiles
+
+__all__ = [
+    "LatencyBudget",
+    "PERCENTILE_LEVELS",
+    "SloError",
+    "SloReport",
+    "SloTracker",
+    "WindowedPercentiles",
+]

@@ -1,0 +1,189 @@
+"""The tail oracle: simulated percentiles must agree with M/M/1 tail laws.
+
+The mean-based oracle (:mod:`test_oracle`) cannot tell a thin tail from a
+fat one — two queues with the same Wq can have wildly different p99s.
+This suite pins the *quantiles*: the simulated p90/p99 of wait and
+sojourn must agree with the closed-form M/M/1 tail laws
+
+* sojourn: exactly ``Exponential(mu - lambda)``, so
+  ``t_p = -ln(1 - p) / (mu - lambda)``;
+* wait: an atom of mass ``1 - rho`` at zero plus an exponential, so
+  ``w_p = 0`` for ``p <= 1 - rho`` and
+  ``-ln((1 - p) / rho) / (mu - lambda)`` above.
+
+Seeds are pinned per-case (same ``derive_seed`` discipline as the mean
+oracle) so CI reruns see identical sample paths.  Sampling math: for an
+exponential tail the relative standard error of the p-quantile estimate
+is ``sqrt(p / ((1 - p) n)) / ln(1 / (1 - p))`` — about 2% at p99 with
+n = 24k — so the 10% band holds with ~5x headroom.  (The *wait* p99 is
+noisier: only the ``rho`` fraction of arrivals wait at all, so the window
+is sized for the conditional sample count, not the raw one.)
+"""
+
+import math
+
+import pytest
+
+from repro.analytic import (
+    compare_link_probe,
+    compare_open_queue_quantiles,
+    mg1_wait_quantile_bound,
+    mm1_sojourn_quantile,
+    mm1_wait_quantile,
+    predict_link_probe,
+)
+from repro.errors import AnalyticError
+from repro.sim.rng import derive_seed
+
+TOLERANCE = 0.10
+
+#: ~24k serviced customers per point keeps the wait-p99 SE near 2%.
+TARGET_SAMPLES = 24_000
+
+RHO_LEVELS = (0.2, 0.35, 0.5)
+MEAN_SERVICE_MS = 2.5
+
+
+def _seed(*parts) -> int:
+    return derive_seed(0, "tail-oracle:" + ":".join(repr(p) for p in parts))
+
+
+def _assert_within(rows, tolerance=TOLERANCE):
+    failures = [
+        f"{row.metric}: predicted={row.predicted:.6g} "
+        f"simulated={row.simulated:.6g} "
+        f"err={row.relative_error * 100:.1f}%"
+        for row in rows
+        if row.relative_error > tolerance
+    ]
+    assert not failures, "simulated tail disagrees with theory: " + "; ".join(
+        failures
+    )
+
+
+class TestQuantileFormulas:
+    """Unit properties of the closed forms themselves."""
+
+    def test_sojourn_quantile_is_the_exponential_inverse_cdf(self):
+        lam, s = 0.2, 2.5  # rho = 0.5, mu - lambda = 0.2 per ms
+        assert mm1_sojourn_quantile(lam, s, 0.5) == pytest.approx(
+            math.log(2.0) / 0.2
+        )
+        assert mm1_sojourn_quantile(lam, s, 0.99) == pytest.approx(
+            math.log(100.0) / 0.2
+        )
+
+    def test_wait_quantile_has_an_atom_at_zero(self):
+        lam, s = 0.12, 2.5  # rho = 0.3: 70% of arrivals never wait
+        assert mm1_wait_quantile(lam, s, 0.0) == 0.0
+        assert mm1_wait_quantile(lam, s, 0.69) == 0.0
+        assert mm1_wait_quantile(lam, s, 0.70) == 0.0
+        assert mm1_wait_quantile(lam, s, 0.71) > 0.0
+
+    def test_quantiles_monotone_in_p_and_rho(self):
+        levels = [0.5, 0.9, 0.99, 0.999]
+        for lam in (0.08, 0.14, 0.2):
+            qs = [mm1_sojourn_quantile(lam, 2.5, p) for p in levels]
+            assert qs == sorted(qs)
+            ws = [mm1_wait_quantile(lam, 2.5, p) for p in levels]
+            assert ws == sorted(ws)
+        # Heavier load pushes every positive quantile up.
+        assert mm1_wait_quantile(0.2, 2.5, 0.99) > mm1_wait_quantile(
+            0.08, 2.5, 0.99
+        )
+
+    def test_saturation_and_bad_levels_raise(self):
+        with pytest.raises(AnalyticError):
+            mm1_sojourn_quantile(0.4, 2.5, 0.99)  # rho = 1
+        with pytest.raises(AnalyticError):
+            mm1_wait_quantile(0.5, 2.5, 0.99)  # rho > 1
+        with pytest.raises(AnalyticError):
+            mm1_sojourn_quantile(0.2, 2.5, 1.0)  # p must be < 1
+        with pytest.raises(AnalyticError):
+            mm1_wait_quantile(0.2, 2.5, -0.1)
+
+    def test_markov_bound_dominates_and_rejects_bad_levels(self):
+        from repro.analytic.queueing import mm1_prediction
+
+        prediction = mm1_prediction(0.2, 2.5)
+        bound = mg1_wait_quantile_bound(prediction, 0.99)
+        assert bound == pytest.approx(prediction.wait_ms / 0.01)
+        assert bound >= mm1_wait_quantile(0.2, 2.5, 0.99)
+        with pytest.raises(AnalyticError):
+            mg1_wait_quantile_bound(prediction, 1.0)
+
+
+class TestOpenQueueTailOracle:
+    """Simulated p90/p99 vs the M/M/1 tail laws at rho <= 0.5."""
+
+    @pytest.mark.parametrize("rho", RHO_LEVELS)
+    def test_tail_quantiles_agree(self, rho):
+        arrival_rate = rho / MEAN_SERVICE_MS
+        duration = TARGET_SAMPLES / arrival_rate
+        rows, observed = compare_open_queue_quantiles(
+            arrival_rate,
+            MEAN_SERVICE_MS,
+            duration_ms=duration,
+            seed=_seed("mm1-tail", rho),
+        )
+        assert observed.samples > 20_000
+        # p90 and p99 of the sojourn always compare; the p90 wait row
+        # only exists once the zero atom is below 90% (rho > 0.1).
+        metrics = {row.metric for row in rows}
+        assert {"sojourn_p90_ms", "sojourn_p99_ms", "wait_p99_ms"} <= metrics
+        _assert_within(rows)
+
+    def test_pinned_seed_reproduces_exactly(self):
+        runs = [
+            compare_open_queue_quantiles(
+                0.2,
+                MEAN_SERVICE_MS,
+                duration_ms=60_000.0,
+                seed=_seed("repro", 0.5),
+            )[0]
+            for __ in range(2)
+        ]
+        assert runs[0] == runs[1]
+
+    def test_rejects_unknown_levels(self):
+        with pytest.raises(ValueError):
+            compare_open_queue_quantiles(
+                0.1, MEAN_SERVICE_MS, levels=(0.5,), seed=0
+            )
+
+
+class TestLinkTailBound:
+    """The shared link's probe p99 obeys the Markov quantile bound.
+
+    The link's service mixture is M/G/1, where no closed tail form
+    exists; the distribution-free bound ``w_p <= Wq / (1 - p)`` still
+    must hold for the simulated percentiles.
+    """
+
+    @pytest.mark.parametrize("rho", RHO_LEVELS)
+    def test_probe_p99_below_markov_bound(self, rho):
+        from repro.analytic.queueing import mg1_prediction, service_mix
+        from repro.analytic.workbench import LOAD_FRAME_BYTES, PROBE_BYTES
+        from repro.units import mbps_to_bytes_per_ms
+
+        __, observed = compare_link_probe(
+            rho, duration_ms=41_000.0, seed=_seed("link-tail", rho)
+        )
+        bytes_per_ms = mbps_to_bytes_per_ms(10.0)
+        mix = service_mix(
+            [
+                (rho * bytes_per_ms / LOAD_FRAME_BYTES,
+                 LOAD_FRAME_BYTES / bytes_per_ms),
+                (1.0 / 5.0, PROBE_BYTES / bytes_per_ms),
+            ]
+        )
+        prediction = mg1_prediction(
+            mix.total_rate, mix.mean_ms, mix.second_moment
+        )
+        bound = mg1_wait_quantile_bound(prediction, 0.99)
+        probe_floor, __ = predict_link_probe(rho)
+        # The probe delay includes its own service + propagation on top
+        # of the wait, so compare the waiting component only.
+        overhead = probe_floor - prediction.wait_ms
+        assert observed.delay_p99_ms - overhead <= bound
+        assert observed.delay_p90_ms <= observed.delay_p99_ms

@@ -32,6 +32,9 @@ class TestList:
             "fleet_placement",
             "analytic_link",
             "analytic_closed",
+            "slo_burst",
+            "slo_chaos_grid",
+            "slo_fleet",
         }
         assert figs | tabs | extras == set(EXPERIMENTS)
 
@@ -52,7 +55,7 @@ class TestList:
     def test_list_shows_group_headers(self):
         code, text = run_cli("list")
         assert code == 0
-        for group in ("paper", "chaos", "fleet", "analytic"):
+        for group in ("paper", "chaos", "fleet", "analytic", "slo"):
             assert f"Available experiments — {group}" in text
 
 

@@ -29,15 +29,22 @@ class TestPercentileAgainstSortedListReference:
 
     @given(xs=samples)
     def test_grid_points_index_the_sorted_list_exactly(self, xs):
-        """At p = 100*k/(n-1) the interpolation must hit element k."""
+        """At p = 100*k/(n-1) the interpolation must hit element k.
+
+        "Hit" up to the double rounding in ``rank = (p/100)*(n-1)``: the
+        round trip ``k -> p -> rank`` can land ~1e-14 grid steps off k, and
+        the interpolation then mixes in that fraction of the *neighboring*
+        element — so the slack must scale with both n and the data's span,
+        not just the element's magnitude.
+        """
         ordered = sorted(xs)
         n = len(ordered)
         assume(n > 1)
+        span = ordered[-1] - ordered[0]
+        slack = 1e-13 * (n - 1) * span + 1e-9
         for k in range(n):
             p = 100.0 * k / (n - 1)
-            assert percentile(xs, p) == pytest.approx(
-                ordered[k], rel=1e-9, abs=1e-9
-            )
+            assert percentile(xs, p) == pytest.approx(ordered[k], abs=slack)
 
     @given(xs=samples, p=percentages)
     def test_bounded_and_order_invariant(self, xs, p):

@@ -1,0 +1,115 @@
+"""Budgets, violation accounting, burn rates, and metric publication."""
+
+import pytest
+
+from repro.errors import SloError
+from repro.obs import observe
+from repro.slo import LatencyBudget, SloTracker
+
+
+def budget(**kw):
+    defaults = dict(operation="echo", budget_ms=100.0, target=0.99)
+    defaults.update(kw)
+    return LatencyBudget(**defaults)
+
+
+class TestLatencyBudget:
+    def test_error_budget_is_the_target_complement(self):
+        assert budget(target=0.999).allowed_violation_fraction == pytest.approx(
+            0.001
+        )
+
+    @pytest.mark.parametrize(
+        "kw",
+        [
+            dict(operation=""),
+            dict(budget_ms=0.0),
+            dict(budget_ms=-5.0),
+            dict(target=0.0),
+            dict(target=1.0),
+            dict(target=1.5),
+        ],
+    )
+    def test_invalid_budgets_raise(self, kw):
+        with pytest.raises(SloError):
+            budget(**kw)
+
+
+class TestSloTracker:
+    def test_counts_violations_strictly_above_budget(self):
+        tracker = SloTracker(budget())
+        tracker.observe(0.0, 100.0)  # at budget: not a violation
+        tracker.observe(1.0, 100.1)
+        tracker.observe(2.0, 5.0)
+        assert tracker.samples == 3
+        assert tracker.violations == 1
+        assert tracker.violation_rate == pytest.approx(1 / 3)
+
+    def test_budget_burn_is_violation_rate_over_allowed(self):
+        tracker = SloTracker(budget(target=0.9))  # 10% allowed
+        for i in range(10):
+            tracker.observe(float(i), 500.0 if i < 2 else 1.0)
+        # 2/10 violated against 10% allowed: burning 2x the budget.
+        assert tracker.budget_burn == pytest.approx(2.0)
+
+    def test_worst_window_burn_finds_the_bad_second(self):
+        tracker = SloTracker(budget(target=0.9), window_ms=1_000.0)
+        for i in range(10):  # window 0: clean
+            tracker.observe(i * 10.0, 1.0)
+        for i in range(10):  # window 5: half the samples violate
+            tracker.observe(5_000.0 + i * 10.0, 500.0 if i % 2 else 1.0)
+        assert tracker.worst_window_burn() == pytest.approx(5.0)
+        assert tracker.budget_burn == pytest.approx(2.5)
+
+    def test_report_carries_percentiles_and_burn(self):
+        tracker = SloTracker(budget())
+        for i in range(100):
+            tracker.observe(float(i), 200.0 if i == 0 else 2.0)
+        report = tracker.report()
+        assert report.samples == 100
+        assert report.violations == 1
+        assert report.budget_burn == pytest.approx(1.0)
+        assert len(report.percentiles) == 4
+        assert report.percentiles[0] <= report.percentiles[-1]
+
+    def test_empty_report_raises(self):
+        with pytest.raises(SloError):
+            SloTracker(budget()).report()
+
+    def test_deterministic_fold(self):
+        stream = [(i * 7.0, (i * 37) % 250 / 1.7) for i in range(500)]
+        reports = []
+        for __ in range(2):
+            tracker = SloTracker(budget())
+            for t, v in stream:
+                tracker.observe(t, v)
+            reports.append(tracker.report())
+        assert reports[0] == reports[1]
+
+
+class TestMetricsPublication:
+    def test_observed_tracker_publishes_slo_metrics(self):
+        with observe() as obs:
+            tracker = SloTracker(budget())
+            tracker.observe(0.0, 5.0)
+            tracker.observe(1.0, 500.0)
+            tracker.report()
+        snap = obs.metrics.snapshot()
+        assert snap["counters"]["slo.echo.samples"] == 2
+        assert snap["counters"]["slo.echo.violations"] == 1
+        assert snap["histograms"]["slo.echo.latency_ms"]["count"] == 2
+        assert snap["gauges"]["slo.echo.burn_rate"]["last"] == pytest.approx(
+            50.0
+        )
+
+    def test_idle_tracker_registers_nothing(self):
+        with observe() as obs:
+            SloTracker(budget())
+        snap = obs.metrics.snapshot()
+        assert not snap["counters"] and not snap["gauges"]
+        assert not snap["histograms"]
+
+    def test_unobserved_tracker_still_accounts(self):
+        tracker = SloTracker(budget())
+        tracker.observe(0.0, 500.0)
+        assert tracker.report().violations == 1

@@ -1,0 +1,120 @@
+"""Differential coordinated-omission test.
+
+The same fleet, same seed, same typing schedule, run three ways:
+
+* legacy closed loop (``co_safe_sessions=False``),
+* co-safe loop without faults — must be *indistinguishable* from legacy,
+* co-safe loop with a 500 ms backbone outage — the corrected series must
+  strictly dominate the uncorrected one at the tail, because the
+  uncorrected series is blind to exactly the samples the outage hurt.
+"""
+
+import math
+
+import pytest
+
+from repro.core.server import ServerConfig
+from repro.fleet.cluster import Fleet, FleetConfig
+from repro.net.faults import FaultPlan
+
+SEED = 42
+SESSIONS = 6
+RUN_MS = 6_000.0
+
+#: The injected stall: a hard backbone outage across 2000-2500 ms.
+OUTAGE_SPEC = "outage=2000-2500"
+
+
+def build_fleet(co_safe, faults=None):
+    config = FleetConfig(
+        server=ServerConfig.tse(include_idle_activity=False),
+        num_servers=2,
+        capacity_per_server=8,
+        backbone_mbps=1.0,
+        backbone_faults=faults,
+        co_safe_sessions=co_safe,
+    )
+    fleet = Fleet(config, seed=SEED)
+    for i in range(SESSIONS):
+        fleet.open_session(f"u{i}", rate_hz=2.0, display_chars=8)
+    fleet.run(RUN_MS)
+    return fleet
+
+
+def nearest_rank(xs, pct):
+    ordered = sorted(xs)
+    rank = max(1, math.ceil(pct / 100.0 * len(ordered)))
+    return ordered[rank - 1]
+
+
+class TestFaultFreeEquivalence:
+    """With no stalls, the co-safe loop is the legacy loop."""
+
+    def test_uncorrected_series_identical_to_legacy(self):
+        legacy = build_fleet(co_safe=False)
+        co = build_fleet(co_safe=True)
+        assert legacy.latencies_ms() == co.latencies_ms()
+        per_session_legacy = {
+            n: s.latencies_ms for n, s in legacy.sessions.items()
+        }
+        per_session_co = {n: s.latencies_ms for n, s in co.sessions.items()}
+        assert per_session_legacy == per_session_co
+
+    def test_corrected_equals_uncorrected_when_never_blocked(self):
+        co = build_fleet(co_safe=True)
+        assert co.corrected_latencies_ms() == co.latencies_ms()
+        assert sum(s.missed_ticks for s in co.sessions.values()) == 0
+
+    def test_legacy_fleet_records_no_corrected_series(self):
+        legacy = build_fleet(co_safe=False)
+        assert legacy.corrected_latencies_ms() == []
+
+
+class TestOutageDominance:
+    """A 500 ms outage must show up in the corrected tail, and only there."""
+
+    @pytest.fixture(scope="class")
+    def outage_fleet(self):
+        return build_fleet(
+            co_safe=True, faults=FaultPlan.parse(OUTAGE_SPEC, seed=7)
+        )
+
+    def test_corrected_p99_strictly_dominates_uncorrected(self, outage_fleet):
+        uncorrected = outage_fleet.latencies_ms()
+        corrected = outage_fleet.corrected_latencies_ms()
+        assert corrected and uncorrected
+        assert nearest_rank(corrected, 99.0) > nearest_rank(uncorrected, 99.0)
+        # The stall is ~500 ms; the corrected tail must see at least it,
+        # the uncorrected tail must have missed it entirely.
+        assert max(corrected) >= 500.0
+        assert nearest_rank(uncorrected, 99.0) < 500.0
+
+    def test_blocked_ticks_were_queued_not_dropped(self, outage_fleet):
+        missed = sum(s.missed_ticks for s in outage_fleet.sessions.values())
+        assert missed > 0
+        # Every intent eventually produced a corrected sample (completed,
+        # abandoned, or reissued after the stall): the corrected series is
+        # at least as long as the uncorrected one.
+        assert len(outage_fleet.corrected_latencies_ms()) >= len(
+            outage_fleet.latencies_ms()
+        )
+
+    def test_outage_run_is_deterministic(self, outage_fleet):
+        again = build_fleet(
+            co_safe=True, faults=FaultPlan.parse(OUTAGE_SPEC, seed=7)
+        )
+        assert again.corrected_latencies_ms() == (
+            outage_fleet.corrected_latencies_ms()
+        )
+        assert again.latencies_ms() == outage_fleet.latencies_ms()
+
+
+class TestSloTrackerWiring:
+    def test_fleet_feeds_attached_tracker_with_corrected_samples(self):
+        from repro.slo import LatencyBudget, SloTracker
+
+        fleet = build_fleet(co_safe=True)
+        tracker = SloTracker(LatencyBudget("interaction", 100.0))
+        fleet.slo_tracker = tracker
+        fleet.run(2_000.0)
+        assert tracker.samples > 0
