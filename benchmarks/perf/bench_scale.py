@@ -1,0 +1,209 @@
+#!/usr/bin/env python
+"""Hybrid-tier performance suite — writes and checks BENCH_scale.json.
+
+Three claims, each machine-checkable:
+
+* **Population independence** — a hybrid load-curve point costs the same
+  wall time at 10^6 background users as at 10^4 (the background is a
+  presampled array, not events).  Checked as a ratio, so the gate is
+  stable across differently-sized CI machines.
+* **Absolute affordability** — the 10^5-user point of the committed
+  ``scale_load_curve`` shape finishes inside ``POINT_BUDGET_S`` seconds
+  (the ISSUE's acceptance bound; measured ~50x under it).
+* **Hybrid beats exact** — at a population both tiers can run
+  (N = 20 000), the hybrid point is at least ``SPEEDUP_FLOOR``x faster
+  than the per-event tier, and the committed speedup does not regress by
+  more than 50%.
+
+Usage::
+
+    python benchmarks/perf/bench_scale.py --out BENCH_scale.json
+    python benchmarks/perf/bench_scale.py --check BENCH_scale.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import time
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.dirname(os.path.abspath(__file__))))
+sys.path.insert(0, os.path.join(REPO_ROOT, "src"))
+
+from repro.scale.experiments import (  # noqa: E402
+    LOAD_CURVE_BANDWIDTH_MBPS,
+    LOAD_CURVE_DURATION_MS,
+    LOAD_CURVE_PER_USER_BPS,
+    LOAD_CURVE_TICK_MS,
+)
+from repro.scale.hybrid import run_load_curve_point  # noqa: E402
+
+#: Populations timed on the committed load-curve shape.
+POPULATIONS = (10_000, 100_000, 1_000_000)
+
+#: Absolute wall-time bound on the 10^5-user point (ISSUE acceptance).
+POINT_BUDGET_S = 10.0
+
+#: The 10^6-user point may cost at most this multiple of the 10^4 one.
+FLATNESS_CEILING = 3.0
+
+#: Hybrid must beat the exact tier by at least this factor at N=20k.
+SPEEDUP_FLOOR = 2.0
+
+#: --check fails when the speedup drops below this fraction of committed.
+REGRESSION_TOLERANCE = 0.5
+
+#: Where both tiers are affordable, for the speedup measurement.
+SPEEDUP_USERS = 20_000
+SPEEDUP_DURATION_MS = 10_000.0
+
+
+def _wall(**kwargs) -> float:
+    start = time.perf_counter()
+    run_load_curve_point(**kwargs)
+    return time.perf_counter() - start
+
+
+def run_points() -> dict:
+    """Wall time of one hybrid load-curve point per population."""
+    results = {}
+    for users in POPULATIONS:
+        elapsed = _wall(
+            users=users,
+            per_user_bps=LOAD_CURVE_PER_USER_BPS,
+            bandwidth_mbps=LOAD_CURVE_BANDWIDTH_MBPS,
+            tick_ms=LOAD_CURVE_TICK_MS,
+            duration_ms=LOAD_CURVE_DURATION_MS,
+            seed=1,
+        )
+        results[str(users)] = {"wall_s": round(elapsed, 3)}
+        print(f"  hybrid {users:>9,} users  {elapsed:.2f}s", file=sys.stderr)
+    return results
+
+
+def run_speedup() -> dict:
+    """Exact vs hybrid wall time at a population both tiers can run."""
+    walls = {}
+    for mode in ("exact", "hybrid"):
+        walls[mode] = _wall(
+            users=SPEEDUP_USERS,
+            per_user_bps=LOAD_CURVE_PER_USER_BPS,
+            bandwidth_mbps=LOAD_CURVE_BANDWIDTH_MBPS,
+            tick_ms=LOAD_CURVE_TICK_MS,
+            duration_ms=SPEEDUP_DURATION_MS,
+            seed=1,
+            mode=mode,
+        )
+        print(
+            f"  {mode:<7} {SPEEDUP_USERS:,} users  {walls[mode]:.2f}s",
+            file=sys.stderr,
+        )
+    speedup = walls["exact"] / walls["hybrid"]
+    print(f"  hybrid speedup {speedup:.1f}x", file=sys.stderr)
+    return {
+        "users": SPEEDUP_USERS,
+        "exact_wall_s": round(walls["exact"], 3),
+        "hybrid_wall_s": round(walls["hybrid"], 3),
+        "speedup": round(speedup, 2),
+    }
+
+
+def _failures(points: dict, speedup: dict, committed: dict | None) -> list:
+    failures = []
+    mid = points["100000"]["wall_s"]
+    if mid > POINT_BUDGET_S:
+        failures.append(
+            f"10^5-user point took {mid:.2f}s, over the "
+            f"{POINT_BUDGET_S:.0f}s budget"
+        )
+    flatness = points["1000000"]["wall_s"] / points["10000"]["wall_s"]
+    if flatness > FLATNESS_CEILING:
+        failures.append(
+            f"10^6-user point costs {flatness:.1f}x the 10^4 one "
+            f"(ceiling {FLATNESS_CEILING:.1f}x): the hybrid tier is no "
+            "longer population-independent"
+        )
+    if speedup["speedup"] < SPEEDUP_FLOOR:
+        failures.append(
+            f"hybrid speedup {speedup['speedup']:.2f}x is below the "
+            f"{SPEEDUP_FLOOR:.1f}x floor"
+        )
+    if committed is not None:
+        baseline = committed.get("speedup", {}).get("speedup")
+        if baseline is not None:
+            floor = baseline * REGRESSION_TOLERANCE
+            if speedup["speedup"] < floor:
+                failures.append(
+                    f"hybrid speedup {speedup['speedup']:.2f}x is below "
+                    f"{floor:.2f}x (>50% regression vs committed "
+                    f"{baseline:.2f}x)"
+                )
+    return failures
+
+
+def write_bench(path: str) -> int:
+    print("hybrid load-curve points:", file=sys.stderr)
+    points = run_points()
+    print("exact vs hybrid:", file=sys.stderr)
+    speedup = run_speedup()
+    failures = _failures(points, speedup, committed=None)
+    if failures:
+        for failure in failures:
+            print(f"PERF REGRESSION: {failure}", file=sys.stderr)
+        return 1
+    doc = {
+        "schema": 1,
+        "load_curve_points": points,
+        "speedup": speedup,
+    }
+    with open(path, "w") as fh:
+        json.dump(doc, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    print(f"-> {path}", file=sys.stderr)
+    return 0
+
+
+def check_bench(path: str) -> int:
+    with open(path) as fh:
+        committed = json.load(fh)
+    print("hybrid load-curve points:", file=sys.stderr)
+    points = run_points()
+    print("exact vs hybrid:", file=sys.stderr)
+    speedup = run_speedup()
+    failures = _failures(points, speedup, committed)
+    if failures:
+        for failure in failures:
+            print(f"PERF REGRESSION: {failure}", file=sys.stderr)
+        return 1
+    print(
+        f"perf smoke ok: hybrid speedup {speedup['speedup']:.2f}x, "
+        f"10^5 point {points['100000']['wall_s']:.2f}s",
+        file=sys.stderr,
+    )
+    return 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    group = parser.add_mutually_exclusive_group(required=True)
+    group.add_argument("--out", metavar="FILE", help="write BENCH_scale.json")
+    group.add_argument(
+        "--check",
+        metavar="FILE",
+        help="re-run the suite; fail on budget, flatness, or speedup loss",
+    )
+    args = parser.parse_args(argv)
+    if os.environ.get("REPRO_KERNEL", "fast") not in ("", "fast"):
+        parser.error(
+            "benchmarks must run with the optimized kernel selected "
+            "(unset REPRO_KERNEL)"
+        )
+    if args.check:
+        return check_bench(args.check)
+    return write_bench(args.out)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

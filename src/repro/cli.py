@@ -12,7 +12,7 @@ additionally writes machine-readable series next to the text output.
 
 Experiments self-register through :mod:`repro.core.registry` — each paper
 runner below carries an ``@experiment(...)`` decorator, and this module
-then drives the fleet/analytic/SLO modules' ``_register()`` hooks in a
+then drives the fleet/analytic/SLO/scale modules' ``_register()`` hooks in a
 fixed sequence (an explicit call rather than an import side effect, so
 the registry order is identical no matter which experiments module a
 process imports first).  ``list`` renders one table per registry group;
@@ -590,8 +590,8 @@ def _tab_setup(ctx: RunContext) -> None:
     )
 
 
-# Fleet, analytic, and SLO experiments register here, after the paper
-# set, so ``run all`` appends them without disturbing the historical
+# Fleet, analytic, SLO, and scale experiments register here, after the
+# paper set, so ``run all`` appends them without disturbing the historical
 # order.  Registration is an explicit, idempotent call — not an import
 # side effect — so the registry order is identical no matter which
 # experiments module a process happens to import first (each of them
@@ -607,6 +607,10 @@ _analytic_experiments._register()
 from .slo import experiments as _slo_experiments  # noqa: E402
 
 _slo_experiments._register()
+
+from .scale import experiments as _scale_experiments  # noqa: E402
+
+_scale_experiments._register()
 
 
 def build_parser() -> argparse.ArgumentParser:

@@ -407,6 +407,9 @@ class Fleet:
             )
         )
         self.sessions: Dict[str, FleetSession] = {}
+        #: Hybrid-tier background populations by server index
+        #: (:meth:`attach_background`); empty on every pre-scale path.
+        self.backgrounds: Dict[int, object] = {}
         self.migrations = 0
         self._placement_rng = self.rngs.stream("fleet:placement")
         self._queued_params: Dict[str, tuple] = {}
@@ -483,12 +486,19 @@ class Fleet:
         rate_hz: float = 2.0,
         display_chars: int = 8,
         start_typing: bool = True,
+        pin_server: Optional[int] = None,
     ) -> Optional[FleetSession]:
         """One user arrives: admit, place, and (optionally) start typing.
 
         Returns the live :class:`FleetSession`, or ``None`` when the
         arrival was rejected or queued (queued arrivals are admitted later
         by :meth:`close_session`, with the same parameters).
+
+        ``pin_server`` bypasses the placement policy and attaches the
+        session to that server index (it must be admissible).  The hybrid
+        tier's probe sessions use this: a probe must land on the server
+        whose background population it is measuring, not wherever the
+        policy would scatter it.
         """
         if name in self.sessions:
             raise FleetError(f"fleet session {name!r} already exists")
@@ -506,12 +516,28 @@ class Fleet:
             display_chars=display_chars,
             co_safe=self.config.co_safe_sessions,
         )
-        state = self.placement.choose(
-            name,
-            self.admission.admissible(self.servers),
-            total_servers=self.config.num_servers,
-            rng=self._placement_rng,
-        )
+        if pin_server is not None:
+            candidates = {
+                id(state) for state in self.admission.admissible(self.servers)
+            }
+            try:
+                state = self.servers[pin_server]
+            except IndexError:
+                raise FleetError(
+                    f"no server {pin_server} in a fleet of {len(self.servers)}"
+                ) from None
+            if id(state) not in candidates:
+                raise FleetError(
+                    f"cannot pin session {name!r} to inadmissible server "
+                    f"{pin_server}"
+                )
+        else:
+            state = self.placement.choose(
+                name,
+                self.admission.admissible(self.servers),
+                total_servers=self.config.num_servers,
+                rng=self._placement_rng,
+            )
         session.attach(state)
         self.sessions[name] = session
         self._publish_load(state)
@@ -587,6 +613,48 @@ class Fleet:
         self._publish_load(state)
         return migrated
 
+    def attach_background(
+        self,
+        index: int,
+        spec,
+        *,
+        horizon_ms: float,
+        seed: Optional[int] = None,
+    ):
+        """Deploy a hybrid-tier background population on server *index*.
+
+        *spec* is a :class:`repro.scale.PopulationSpec`; its users load the
+        server's LAN as fluid and (when ``cpu_ms_per_packet > 0``) its
+        scheduler as aggregated per-tick bursts, presampled out to
+        *horizon_ms*.  Admission does not see these users — they are
+        statistical mass, not sessions; pin probe sessions
+        (:meth:`open_session` with ``pin_server=index``) to measure
+        through them.  One population per server; the per-population seed
+        derives from the fleet seed and the server index unless given.
+        """
+        from ..scale.population import BackgroundPopulation
+
+        if index in self.backgrounds:
+            raise FleetError(f"server {index} already has a background")
+        try:
+            state = self.servers[index]
+        except IndexError:
+            raise FleetError(
+                f"no server {index} in a fleet of {len(self.servers)}"
+            ) from None
+        population = BackgroundPopulation(
+            self.sim,
+            state.server.link,
+            spec,
+            duration_ms=horizon_ms,
+            seed=derive_seed(self.seed, f"fleet:background:{index}")
+            if seed is None
+            else seed,
+            cpu=state.server.cpu,
+        )
+        self.backgrounds[index] = population
+        return population
+
     # -- driving -------------------------------------------------------------
 
     def run(self, duration_ms: float) -> None:
@@ -638,6 +706,10 @@ class Fleet:
             "queued": self.admission.queued_total,
             "rejected": self.admission.rejected_total,
             "migrations": self.migrations,
+            "background_users": sum(
+                population.spec.users
+                for population in self.backgrounds.values()
+            ),
             "backbone_utilization": self.backbone.utilization(t0, end)
             if end > t0
             else 0.0,

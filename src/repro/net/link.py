@@ -74,6 +74,10 @@ class Link:
         self._depth_gauge = None
         self._dropped_counter = None
         self._drop_channel = None
+        # Optional hybrid-tier background (repro.scale): aggregate offered
+        # load carried as fluid workload instead of per-packet events.
+        # None on every pre-scale path, where behaviour is untouched.
+        self._background = None
 
     @property
     def queue_depth(self) -> int:
@@ -85,13 +89,46 @@ class Link:
         """Whether a packet is occupying the wire right now."""
         return self._transmitting
 
+    @property
+    def background(self):
+        """The attached hybrid-tier background load, or ``None``."""
+        return self._background
+
+    def attach_background(self, background) -> None:
+        """Route this link through the hybrid fluid-workload path.
+
+        *background* is a :class:`repro.scale.FluidBackground` (duck-typed:
+        anything with ``queueing_delay_ms(now)`` and ``add_work_ms(ms)``).
+        Once attached, every packet's FIFO wait is computed from the unified
+        workload process — discrete foreground packets plus the fluid
+        aggregate — instead of the per-packet transmit queue; see
+        :meth:`_send_hybrid`.  Attaching mid-flight would strand queued
+        packets between the two disciplines, so it is only legal on a
+        quiet link, and only once.
+        """
+        if self._background is not None:
+            raise NetworkError(f"link {self.name!r} already has a background")
+        if self._transmitting or self._queue:
+            raise NetworkError(
+                f"cannot attach a background to busy link {self.name!r}"
+            )
+        self._background = background
+
     def send(self, packet: Packet, on_delivered: Optional[DeliveryCallback] = None) -> None:
         """Queue *packet* for transmission; *on_delivered* fires at arrival.
 
         With a bounded queue (``max_queue``), a packet arriving at a full
         queue is dropped: it never reaches the wire and its delivery
         callback never fires.
+
+        With a hybrid background attached, the packet rides the unified
+        workload process instead of the per-packet queue (``max_queue``
+        does not apply there; hybrid links model the paper's unbounded
+        hub).
         """
+        if self._background is not None:
+            self._send_hybrid(packet, on_delivered)
+            return
         if self.max_queue is not None and len(self._queue) >= self.max_queue:
             if self._obs is not None:
                 # Publish the depth that caused the drop *before* counting
@@ -175,6 +212,54 @@ class Link:
     def _deliver(self, packet: Packet, on_delivered: DeliveryCallback) -> None:
         packet.delivered_at = self.sim.now
         on_delivered(packet)
+
+    # -- hybrid (fluid background) path ---------------------------------------
+
+    def _send_hybrid(
+        self, packet: Packet, on_delivered: Optional[DeliveryCallback]
+    ) -> None:
+        """FIFO send through the unified workload process.
+
+        The wire is still a single FIFO server; with the aggregate
+        background carried as fluid, a packet arriving at time t waits
+        exactly the unfinished work W(t) ahead of it (earlier foreground
+        packets *and* fluid bytes that arrived before t), then occupies
+        the wire for its own transmission.  That is the standard M/G/1
+        workload recursion, so foreground packets — the probe sessions —
+        see the same FIFO discipline the per-packet queue implements,
+        with the background's per-packet events replaced by piecewise
+        -linear drift.
+        """
+        packet.enqueued_at = self.sim.now
+        background = self._background
+        wait_ms = background.queueing_delay_ms(self.sim.now)
+        service_ms = packet.wire_bytes / self.bytes_per_ms
+        background.add_work_ms(service_ms)
+        self.sim.schedule(
+            wait_ms + service_ms,
+            partial(self._hybrid_tx_done, packet, on_delivered),
+        )
+
+    def _hybrid_tx_done(
+        self, packet: Packet, on_delivered: Optional[DeliveryCallback]
+    ) -> None:
+        """Send-complete bookkeeping for the hybrid path (mirrors _tx_done)."""
+        wire_bytes = packet.wire_bytes
+        self.trace.record(self.sim.now, wire_bytes)
+        self.packets_sent += 1
+        self.bytes_sent += wire_bytes
+        if self._obs is not None:
+            sent = self._sent_counter
+            if sent is None:
+                metrics = self._obs.metrics
+                sent = self._sent_counter = metrics.counter("net.packets_sent")
+                self._bytes_counter = metrics.counter("net.bytes_sent")
+            sent.value += 1
+            self._bytes_counter.value += wire_bytes
+        if on_delivered is not None:
+            self.sim.schedule(
+                self.propagation_ms, partial(self._deliver, packet, on_delivered)
+            )
 
     def utilization(self, t0: float, t1: float) -> float:
         """Fraction of link capacity used over ``[t0, t1)``."""

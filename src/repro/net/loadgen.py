@@ -11,15 +11,36 @@ Poisson arrivals only while ON) calibrated so its *mean* rate equals the
 requested Mbps.  Equal-mean Poisson vs on-off is the classic tail
 experiment — means match, p99 does not — and the ``slo_burst`` scenario
 races exactly that pair.
+
+**Batch sampling** (:class:`BatchPoissonSampler`,
+:class:`BatchOnOffSampler`) is the heavy-traffic tier's vectorized twin of
+the per-event generators: instead of one simulator event per packet, a
+sampler draws *per-tick aggregate packet counts* for a whole run in a few
+numpy calls.  The Poisson sampler is statistically **exact** — the
+superposition of N independent Poisson streams at rate λ is one Poisson
+stream at N·λ, so the aggregate per-tick counts have exactly the law the
+per-event generators would produce.  The on-off sampler aggregates N
+independent two-state sources by tracking only the *number* of ON sources
+(a count-level Markov chain stepped once per tick: two binomial flips plus
+one Poisson count draw), which is exact up to within-tick state constancy.
+Both consume split-stable numpy PCG64 child streams, one per purpose, so
+drawing ticks in one batch or many produces identical values —
+``tests/scale/test_batch_sampling.py`` pins that boundary invariance.
+
+numpy is deliberately a soft dependency: the per-event generators above
+never touch it, and the batch samplers import it lazily so the library
+core stays dependency-free.
 """
 
 from __future__ import annotations
 
+import math
 import random
 from typing import Optional
 
 from ..errors import NetworkError
 from ..sim.engine import Event, Simulator
+from ..sim.rng import derive_seed
 from ..units import mbps_to_bytes_per_ms
 from .link import Link
 from .packet import Packet
@@ -174,3 +195,224 @@ class OnOffLoadGenerator:
             self._next.cancel()
         if self._flip is not None:
             self._flip.cancel()
+
+
+# --- batch (vectorized) sampling ---------------------------------------------
+
+
+def _numpy():
+    """Import numpy on demand; the per-event path never needs it."""
+    try:
+        import numpy
+    except ImportError as exc:  # pragma: no cover - numpy is baked into CI
+        raise NetworkError(
+            "batch load sampling requires numpy; install it or use the "
+            "per-event generators"
+        ) from exc
+    return numpy
+
+
+def _generator(seed: int, purpose: str):
+    """A PCG64 stream derived from (*seed*, *purpose*).
+
+    Each sampler purpose (state chain, counts, interarrivals) gets its own
+    stream, so a batch split across several calls consumes each stream
+    sequentially — numpy fills arrays one variate at a time, which makes
+    ``sample(a); sample(b)`` byte-identical to ``sample(a + b)``.
+    """
+    np = _numpy()
+    return np.random.Generator(np.random.PCG64(derive_seed(seed, purpose)))
+
+
+class BatchPoissonSampler:
+    """Vectorized per-tick packet counts for a homogeneous Poisson population.
+
+    Represents *sources* independent Poisson packet streams, each at
+    *rate_per_ms* packets/ms, aggregated per tick of *tick_ms*: the counts
+    are ``Poisson(sources · rate_per_ms · tick_ms)`` draws — the exact law
+    of the superposed stream, at O(1) cost per tick instead of one
+    simulator event per packet.  The sampler holds generator state, so
+    consecutive :meth:`tick_counts` calls continue the same realization.
+    """
+
+    def __init__(
+        self,
+        rate_per_ms: float,
+        tick_ms: float,
+        *,
+        sources: int = 1,
+        seed: int = 0,
+        packet_bytes: int = DEFAULT_LOAD_PACKET_BYTES,
+    ) -> None:
+        if rate_per_ms < 0:
+            raise NetworkError("batch arrival rate cannot be negative")
+        if tick_ms <= 0:
+            raise NetworkError("batch tick must have positive length")
+        if sources < 1:
+            raise NetworkError("a batch population needs at least one source")
+        if packet_bytes <= 0:
+            raise NetworkError("load packets must have positive size")
+        self.rate_per_ms = rate_per_ms
+        self.tick_ms = tick_ms
+        self.sources = sources
+        self.packet_bytes = packet_bytes
+        self.ticks_sampled = 0
+        self._counts = _generator(seed, "batch:poisson:counts")
+        self._gaps = _generator(seed, "batch:poisson:gaps")
+
+    @property
+    def aggregate_rate_per_ms(self) -> float:
+        """The superposed packet rate N·λ (packets/ms)."""
+        return self.sources * self.rate_per_ms
+
+    @property
+    def mean_per_tick(self) -> float:
+        """Expected packets per tick of the aggregated stream."""
+        return self.aggregate_rate_per_ms * self.tick_ms
+
+    def tick_counts(self, n_ticks: int):
+        """Packet counts for the next *n_ticks* ticks (numpy int array)."""
+        if n_ticks < 0:
+            raise NetworkError("cannot sample a negative number of ticks")
+        self.ticks_sampled += n_ticks
+        return self._counts.poisson(self.mean_per_tick, size=n_ticks)
+
+    def tick_bytes(self, n_ticks: int):
+        """Offered bytes for the next *n_ticks* ticks (numpy int array)."""
+        return self.tick_counts(n_ticks) * self.packet_bytes
+
+    def interarrivals(self, n: int):
+        """*n* aggregate-stream interarrival gaps (ms, numpy float array).
+
+        Drawn from an independent child stream, so mixing count and gap
+        sampling never perturbs either sequence.  The gaps are exponential
+        at the superposed rate — the distribution the per-event
+        :class:`PoissonLoadGenerator` realizes one event at a time.
+        """
+        if n < 0:
+            raise NetworkError("cannot sample a negative number of gaps")
+        if self.aggregate_rate_per_ms <= 0:
+            raise NetworkError("interarrivals need a positive rate")
+        return self._gaps.exponential(
+            1.0 / self.aggregate_rate_per_ms, size=n
+        )
+
+
+class BatchOnOffSampler:
+    """Vectorized per-tick counts for N independent on-off (MMPP) sources.
+
+    Each source mirrors :class:`OnOffLoadGenerator`: exponential ON/OFF
+    holding times (a full cycle averages *cycle_ms*, ON for *on_fraction*
+    of it) and Poisson packets at ``rate_per_ms / on_fraction`` while ON,
+    so each source's long-run mean is *rate_per_ms*.  Aggregation tracks
+    only the number of ON sources: per tick, ``Binomial(on, p_off)``
+    sources switch OFF, ``Binomial(n - on, p_on)`` switch ON, and the tick
+    count is a Poisson draw at the current ON level — O(1) per tick for a
+    million sources.  The chain starts in its stationary distribution
+    (``Binomial(n, on_fraction)``), so no burn-in is needed for the
+    aggregate rate to be correct.
+
+    The within-tick state-constancy approximation is the only gap vs N
+    per-event generators; it vanishes as ``tick_ms / cycle_ms → 0`` and is
+    pinned statistically by ``tests/scale/test_batch_sampling.py``.
+    """
+
+    def __init__(
+        self,
+        rate_per_ms: float,
+        tick_ms: float,
+        *,
+        sources: int = 1,
+        seed: int = 0,
+        on_fraction: float = 0.25,
+        cycle_ms: float = 500.0,
+        packet_bytes: int = DEFAULT_LOAD_PACKET_BYTES,
+    ) -> None:
+        if rate_per_ms < 0:
+            raise NetworkError("batch arrival rate cannot be negative")
+        if tick_ms <= 0:
+            raise NetworkError("batch tick must have positive length")
+        if sources < 1:
+            raise NetworkError("a batch population needs at least one source")
+        if not 0.0 < on_fraction <= 1.0:
+            raise NetworkError(
+                f"on_fraction must be in (0, 1], got {on_fraction}"
+            )
+        if cycle_ms <= 0:
+            raise NetworkError("burst cycle must have positive length")
+        if packet_bytes <= 0:
+            raise NetworkError("load packets must have positive size")
+        np = _numpy()
+        self.rate_per_ms = rate_per_ms
+        self.tick_ms = tick_ms
+        self.sources = sources
+        self.on_fraction = on_fraction
+        self.cycle_ms = cycle_ms
+        self.packet_bytes = packet_bytes
+        self.ticks_sampled = 0
+        self._np = np
+        self._chain = _generator(seed, "batch:onoff:chain")
+        self._counts = _generator(seed, "batch:onoff:counts")
+        mean_on = on_fraction * cycle_ms
+        mean_off = (1.0 - on_fraction) * cycle_ms
+        # Exact discretization of the two-state CTMC sampled at tick
+        # boundaries (rates 1/mean_off off->on, 1/mean_on on->off):
+        # both flips share 1 - exp(-(a+b)*tick), split by the stationary
+        # fractions, so the discrete chain's stationary ON probability is
+        # exactly on_fraction for any tick size.
+        if mean_off > 0:
+            shared = -math.expm1(
+                -tick_ms * (1.0 / mean_on + 1.0 / mean_off)
+            )
+            self._p_off = (1.0 - on_fraction) * shared
+            self._p_on = on_fraction * shared
+        else:
+            self._p_off = 0.0
+            self._p_on = 0.0
+        #: Packets/ms of one source while ON.
+        self.burst_rate_per_ms = rate_per_ms / on_fraction
+        # Stationary start: each source is ON with probability on_fraction
+        # (degenerate all-ON when on_fraction == 1, like the per-event
+        # generator, which never leaves ON in that case).
+        if mean_off > 0:
+            self.on = int(self._chain.binomial(sources, on_fraction))
+        else:
+            self.on = sources
+
+    @property
+    def mean_rate_per_ms(self) -> float:
+        """Long-run aggregate packet rate N·λ (packets/ms)."""
+        return self.sources * self.rate_per_ms
+
+    @property
+    def mean_per_tick(self) -> float:
+        """Expected packets per tick of the aggregated stream."""
+        return self.mean_rate_per_ms * self.tick_ms
+
+    def tick_counts(self, n_ticks: int):
+        """Packet counts for the next *n_ticks* ticks (numpy int array).
+
+        The ON-level chain steps once per tick on its own stream; the
+        count draws then vectorize over the whole batch on theirs, so
+        batch boundaries never change either sequence.
+        """
+        if n_ticks < 0:
+            raise NetworkError("cannot sample a negative number of ticks")
+        np = self._np
+        levels = np.empty(n_ticks, dtype=np.int64)
+        on = self.on
+        chain = self._chain
+        for i in range(n_ticks):
+            levels[i] = on
+            if self._p_off > 0.0:
+                on += int(chain.binomial(self.sources - on, self._p_on)) - int(
+                    chain.binomial(on, self._p_off)
+                )
+        self.on = on
+        self.ticks_sampled += n_ticks
+        lam = levels * (self.burst_rate_per_ms * self.tick_ms)
+        return self._counts.poisson(lam)
+
+    def tick_bytes(self, n_ticks: int):
+        """Offered bytes for the next *n_ticks* ticks (numpy int array)."""
+        return self.tick_counts(n_ticks) * self.packet_bytes

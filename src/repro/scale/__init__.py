@@ -1,0 +1,46 @@
+"""The heavy-traffic hybrid tier: fluid background, exact probes.
+
+The paper's load curves (Figures 8–9) stop at tens of users because every
+keystroke is a discrete event; the north star asks what the same system
+does under *millions*.  A million per-event sessions cannot fit through a
+Python event loop at any kernel speed — the event count scales with the
+population, not with the (capacity-bounded) traffic.  This package adds
+the batch/fluid tier that breaks that coupling:
+
+* **Background populations** are represented by vectorized arrival
+  processes (:class:`~repro.net.loadgen.BatchPoissonSampler`,
+  :class:`~repro.net.loadgen.BatchOnOffSampler`): per-coarse-tick
+  aggregate packet counts drawn in a few numpy calls, offered to the
+  network as fluid work (:class:`FluidBackground`) and to the schedulers
+  as aggregated CPU bursts (:class:`BackgroundPopulation`).  Cost is
+  O(ticks), independent of the population size.
+* **Probe sessions** stay fully discrete: real packets through the real
+  :class:`~repro.net.link.Link` FIFO (the unified workload process — see
+  :meth:`~repro.net.link.Link._send_hybrid`), real keystrokes through the
+  schedulers/VM/protocol stack in the fleet case, measured through the
+  SLO / coordinated-omission-corrected path.  p99 and burn numbers stay
+  exact *where we measure them*; only the background mass is approximated.
+
+Validation is layered (see MODELING.md "Hybrid fluid/event tier"): a
+differential-equivalence suite compares hybrid and exact runs at small
+populations, statistics property tests pin the samplers to the per-event
+generators' laws, and the analytic M/G/1 oracle — the only independent
+check at 10⁶ users — bounds probe delay at moderate load.
+"""
+
+from .fluid import FluidBackground
+from .hybrid import (
+    LoadCurveObservation,
+    run_load_curve_point,
+    simulate_hybrid_link_probe,
+)
+from .population import BackgroundPopulation, PopulationSpec
+
+__all__ = [
+    "BackgroundPopulation",
+    "FluidBackground",
+    "LoadCurveObservation",
+    "PopulationSpec",
+    "run_load_curve_point",
+    "simulate_hybrid_link_probe",
+]

@@ -1,0 +1,448 @@
+"""Registered scale experiments: load curves and fleets at real populations.
+
+Two scenarios take the hybrid tier through the same executor pipeline as
+every figure (``--jobs``, result cache, tracing all compose):
+
+``scale_load_curve``
+    Figures 8–9 reshaped for the north star: ping RTT versus *population*
+    on the shared link, 10⁴ to 10⁶ background users offering thin-client
+    trickle, both arrival processes.  The background is fluid
+    (cost independent of the user count); the probes are exact packets,
+    so the p99/p99.9 columns and the 10 ms budget burn are measured, not
+    modeled.  This is the farm-sizing curve Gray's *Locally Served
+    Network Computers* asks for (PAPERS.md).
+
+``scale_fleet``
+    The capacity frontier rerun at realistic population sizes: each
+    server in a co-safe fleet carries a vectorized background population
+    (LAN bytes + scheduler demand) while two pinned probe sessions per
+    server type through the full kernel/VM/protocol stack.  Corrected
+    p99 against the 100 ms interaction budget marks the frontier —
+    background users per server a server can hide while staying
+    perceptually instant.
+
+Both sweeps are byte-identical across serial, ``--jobs N``, and
+cold/warm-cache runs on either kernel and either recorder — the
+``scale-determinism`` CI job diffs exactly that matrix.  Faults do not
+compose into these scenarios (the background is offered load, not a
+fault target); the sweep name still carries the fault suffix so cache
+entries stay distinct.
+"""
+
+from __future__ import annotations
+
+from functools import partial
+from typing import List, Tuple
+
+from ..core.registry import experiment
+from ..core.report import format_series, format_table, write_csv
+
+#: Arrival processes raced by ``scale_load_curve`` (output row order).
+LOAD_CURVE_PROCESSES = ["poisson", "onoff"]
+
+#: Background population sizes on the load curve's x-axis.
+LOAD_CURVE_USERS = [10_000, 100_000, 300_000, 600_000, 900_000, 1_000_000]
+
+#: Per-user offered load: a thin-client trickle.  9 bits/s per user puts
+#: one million users at 90% of the 10 Mbps wire — the curve sweeps the
+#: whole stable range and ends at the knee, like Figure 8 does.
+LOAD_CURVE_PER_USER_BPS = 9.0
+
+#: The shared medium (the paper's testbed wire).
+LOAD_CURVE_BANDWIDTH_MBPS = 10.0
+
+#: Fluid tick: a sixth of a 1500-byte frame's service time, where the
+#: differential suite shows the smoothing bias is inside the noise.
+LOAD_CURVE_TICK_MS = 0.2
+
+#: Burst shape for the on-off rows (matches ``slo_burst``).
+LOAD_CURVE_ON_FRACTION = 0.25
+LOAD_CURVE_CYCLE_MS = 500.0
+
+#: Probe cadence and measurement window.
+LOAD_CURVE_PROBE_INTERVAL_MS = 5.0
+LOAD_CURVE_DURATION_MS = 30_000.0
+LOAD_CURVE_WARMUP_MS = 1_000.0
+
+#: ``scale_fleet`` shape: a small co-safe fleet, every server carrying a
+#: background population and two pinned probe sessions.
+FLEET_SERVERS = 2
+FLEET_PROBES_PER_SERVER = 2
+FLEET_BACKBONE_MBPS = 100.0
+
+#: Background users per server on the frontier's x-axis: ~23%, 58%, and
+#: 91% of server CPU, then just past saturation — the frontier's cliff.
+FLEET_BG_USERS = [20_000, 50_000, 80_000, 95_000]
+
+#: Arrival processes raced across the frontier (row order).
+FLEET_PROCESSES = ["poisson", "onoff"]
+
+FLEET_PER_USER_BPS = 100.0
+#: Thin-client display updates, not full frames.
+FLEET_PACKET_BYTES = 200
+#: Scheduler demand per background packet: protocol + display work the
+#: server burns per update, aggregated per tick across the worker pool.
+FLEET_CPU_MS_PER_PACKET = 0.18
+FLEET_CPU_THREADS = 8
+FLEET_TICK_MS = 10.0
+
+#: The 100 ms perception threshold at p99 (same contract as
+#: ``fleet_capacity`` and the chaos grid).
+FLEET_BUDGET_MS = 100.0
+FLEET_SLO_TARGET = 0.99
+
+FLEET_WARMUP_MS = 1_500.0
+FLEET_MEASURE_MS = 8_000.0
+
+
+def _percentile(samples: List[float], pct: float) -> float:
+    """Nearest-rank percentile of *samples* (0.0 when empty)."""
+    if not samples:
+        return 0.0
+    ordered = sorted(samples)
+    rank = int(round(pct / 100.0 * (len(ordered) - 1)))
+    return ordered[min(rank, len(ordered) - 1)]
+
+
+def _scale_load_curve_point(
+    point: Tuple[str, int],
+    *,
+    seed: int,
+) -> Tuple[int, float, float, float, float, float, float, float, float]:
+    """One curve cell: (n, offered, util, mean, p50, p99, p99.9, viol, burn)."""
+    from ..sim.rng import derive_seed
+    from .hybrid import run_load_curve_point
+
+    process, users = point
+    obs = run_load_curve_point(
+        users,
+        process=process,
+        per_user_bps=LOAD_CURVE_PER_USER_BPS,
+        bandwidth_mbps=LOAD_CURVE_BANDWIDTH_MBPS,
+        tick_ms=LOAD_CURVE_TICK_MS,
+        on_fraction=LOAD_CURVE_ON_FRACTION,
+        cycle_ms=LOAD_CURVE_CYCLE_MS,
+        probe_interval_ms=LOAD_CURVE_PROBE_INTERVAL_MS,
+        duration_ms=LOAD_CURVE_DURATION_MS,
+        warmup_ms=LOAD_CURVE_WARMUP_MS,
+        seed=derive_seed(seed, f"scale_load_curve:{process}:{users}"),
+        mode="hybrid",
+    )
+    return (
+        obs.samples,
+        obs.offered_mbps,
+        obs.utilization,
+        obs.rtt_mean_ms,
+        obs.rtt_p50_ms,
+        obs.rtt_p99_ms,
+        obs.rtt_p999_ms,
+        obs.violation_rate,
+        obs.budget_burn,
+    )
+
+
+def _drive_probe_fleet(fleet, measure_ms: float):
+    """Pin probe sessions, warm up, attach a tracker, and measure.
+
+    Mirrors the slo experiments' driver, with placement pinned: probe
+    ``p<server>.<k>`` lands on server ``<server>``, so every server's
+    background population is measured through a session *on that server*.
+    """
+    from ..slo.budget import LatencyBudget, SloTracker
+
+    rates = [2.0, 4.0]
+    for index in range(len(fleet.servers)):
+        for k in range(FLEET_PROBES_PER_SERVER):
+            fleet.open_session(
+                f"p{index}.{k}",
+                rate_hz=rates[k % len(rates)],
+                display_chars=8,
+                pin_server=index,
+            )
+    fleet.run(FLEET_WARMUP_MS)
+    for session in fleet.sessions.values():
+        session.latencies_ms.clear()
+        session.intended_latencies_ms.clear()
+    tracker = SloTracker(
+        LatencyBudget("interaction", FLEET_BUDGET_MS, target=FLEET_SLO_TARGET)
+    )
+    fleet.slo_tracker = tracker
+    fleet.run(measure_ms)
+    return tracker
+
+
+def _scale_fleet_point(
+    cell: Tuple[str, int],
+    *,
+    seed: int,
+) -> Tuple[int, float, float, float, float, float, float]:
+    """One frontier cell: (n, cpu util, lan util, p50, p99, viol, burn)."""
+    from ..core.server import ServerConfig
+    from ..fleet.cluster import Fleet, FleetConfig
+    from ..sim.rng import derive_seed
+    from .population import PopulationSpec
+
+    process, bg_users = cell
+    config = FleetConfig(
+        server=ServerConfig.tse(include_idle_activity=False),
+        num_servers=FLEET_SERVERS,
+        placement="round_robin",
+        admission_mode="reject",
+        capacity_per_server=FLEET_PROBES_PER_SERVER,
+        backbone_mbps=FLEET_BACKBONE_MBPS,
+        co_safe_sessions=True,
+    )
+    fleet = Fleet(
+        config, seed=derive_seed(seed, f"scale_fleet:{process}:{bg_users}")
+    )
+    spec = PopulationSpec(
+        users=bg_users,
+        per_user_bps=FLEET_PER_USER_BPS,
+        process=process,
+        tick_ms=FLEET_TICK_MS,
+        packet_bytes=FLEET_PACKET_BYTES,
+        cpu_ms_per_packet=FLEET_CPU_MS_PER_PACKET,
+        cpu_threads=FLEET_CPU_THREADS,
+    )
+    horizon = FLEET_WARMUP_MS + FLEET_MEASURE_MS
+    for index in range(FLEET_SERVERS):
+        fleet.attach_background(index, spec, horizon_ms=horizon)
+    tracker = _drive_probe_fleet(fleet, FLEET_MEASURE_MS)
+    corrected = fleet.corrected_latencies_ms()
+    report = fleet.report(t0=FLEET_WARMUP_MS)
+    lan_util = fleet.backgrounds[0].utilization(FLEET_WARMUP_MS, horizon)
+    return (
+        len(corrected),
+        float(report["servers"][0]["cpu_utilization"]),
+        lan_util,
+        _percentile(corrected, 50.0),
+        _percentile(corrected, 99.0),
+        tracker.violation_rate,
+        tracker.budget_burn,
+    )
+
+
+def _scale_load_curve(ctx) -> None:
+    """Sweep both processes over the population axis; print the knee."""
+    grid = [
+        (process, users)
+        for process in LOAD_CURVE_PROCESSES
+        for users in LOAD_CURVE_USERS
+    ]
+    points = ctx.executor.map(
+        "scale_load_curve" + ctx.fault_suffix,
+        partial(_scale_load_curve_point, seed=ctx.seed),
+        grid,
+        seed=ctx.seed,
+    )
+    by_cell = dict(zip(grid, points))
+    rows = [
+        (
+            process,
+            users,
+            f"{offered:.2f}",
+            f"{util * 100:.0f}%",
+            n,
+            f"{rtt_mean:.2f}",
+            f"{p50:.2f}",
+            f"{p99:.2f}",
+            f"{p999:.2f}",
+            f"{viol * 100:.2f}%",
+            f"{burn:.2f}",
+        )
+        for (process, users), (
+            n,
+            offered,
+            util,
+            rtt_mean,
+            p50,
+            p99,
+            p999,
+            viol,
+            burn,
+        ) in zip(grid, points)
+    ]
+    ctx.out.write(
+        format_table(
+            [
+                "process",
+                "users",
+                "offered (Mbps)",
+                "util",
+                "n",
+                "mean (ms)",
+                "p50 (ms)",
+                "p99 (ms)",
+                "p99.9 (ms)",
+                "viol rate",
+                "burn (10 ms)",
+            ],
+            rows,
+            title=(
+                "RTT vs population on the shared wire "
+                f"({LOAD_CURVE_PER_USER_BPS:.0f} bps/user, exact probes)"
+            ),
+        )
+        + "\n"
+    )
+    ctx.out.write(
+        format_series(
+            "users",
+            "probe RTT p99 (ms), poisson",
+            [str(users) for users in LOAD_CURVE_USERS],
+            [by_cell[("poisson", users)][5] for users in LOAD_CURVE_USERS],
+            title="The Figure 8 knee, three orders of magnitude later",
+            y_format="{:.2f}",
+        )
+        + "\n"
+    )
+    if ctx.csv_dir:
+        write_csv(
+            f"{ctx.csv_dir}/scale_load_curve.csv",
+            [
+                "process",
+                "users",
+                "samples",
+                "offered_mbps",
+                "utilization",
+                "rtt_mean_ms",
+                "rtt_p50_ms",
+                "rtt_p99_ms",
+                "rtt_p999_ms",
+                "violation_rate",
+                "budget_burn",
+            ],
+            [
+                (process, users, n, offered, util, rtt_mean, p50, p99, p999, viol, burn)
+                for (process, users), (
+                    n,
+                    offered,
+                    util,
+                    rtt_mean,
+                    p50,
+                    p99,
+                    p999,
+                    viol,
+                    burn,
+                ) in zip(grid, points)
+            ],
+        )
+
+
+def _scale_fleet(ctx) -> None:
+    """Sweep background population per server; print the p99 frontier."""
+    grid = [
+        (process, bg_users)
+        for process in FLEET_PROCESSES
+        for bg_users in FLEET_BG_USERS
+    ]
+    points = ctx.executor.map(
+        "scale_fleet" + ctx.fault_suffix,
+        partial(_scale_fleet_point, seed=ctx.seed),
+        grid,
+        seed=ctx.seed,
+    )
+    by_cell = dict(zip(grid, points))
+    rows = [
+        (
+            process,
+            bg_users,
+            n,
+            f"{cpu * 100:.0f}%",
+            f"{lan * 100:.0f}%",
+            f"{p50:.1f}",
+            f"{p99:.1f}",
+            f"{viol * 100:.2f}%",
+            f"{burn:.2f}",
+        )
+        for (process, bg_users), (n, cpu, lan, p50, p99, viol, burn) in zip(
+            grid, points
+        )
+    ]
+    ctx.out.write(
+        format_table(
+            [
+                "process",
+                "bg users/server",
+                "n",
+                "cpu",
+                "lan",
+                "p50 (ms)",
+                "p99 (ms)",
+                "viol rate",
+                f"burn ({FLEET_BUDGET_MS:.0f} ms)",
+            ],
+            rows,
+            title=(
+                f"Capacity frontier at population scale: {FLEET_SERVERS} "
+                f"servers, {FLEET_PROBES_PER_SERVER} pinned probes each, "
+                "corrected latencies"
+            ),
+        )
+        + "\n"
+    )
+    ctx.out.write(
+        format_series(
+            "bg users/server",
+            "probe p99 (ms), onoff",
+            [str(bg_users) for bg_users in FLEET_BG_USERS],
+            [by_cell[("onoff", bg_users)][4] for bg_users in FLEET_BG_USERS],
+            title="What a bursty million-user farm does to the tail",
+            y_format="{:.1f}",
+        )
+        + "\n"
+    )
+    if ctx.csv_dir:
+        write_csv(
+            f"{ctx.csv_dir}/scale_fleet.csv",
+            [
+                "process",
+                "bg_users_per_server",
+                "samples",
+                "cpu_utilization",
+                "lan_utilization",
+                "p50_ms",
+                "p99_ms",
+                "violation_rate",
+                "budget_burn",
+            ],
+            [
+                (process, bg_users, n, cpu, lan, p50, p99, viol, burn)
+                for (process, bg_users), (n, cpu, lan, p50, p99, viol, burn) in zip(
+                    grid, points
+                )
+            ],
+        )
+
+
+_REGISTERED = False
+
+
+def _register() -> None:
+    """Register this module's experiments; idempotent.
+
+    Driven by ``repro.cli`` at this module's canonical position in the
+    registration sequence (see ``repro.fleet.experiments._register`` for
+    why import-time decorators would make registry order depend on which
+    module a process imports first).
+    """
+    global _REGISTERED
+    if _REGISTERED:
+        return
+    _REGISTERED = True
+    experiment(
+        "scale_load_curve",
+        title="RTT vs load at 10^4-10^6 background users (hybrid tier)",
+        group="scale",
+    )(_scale_load_curve)
+    experiment(
+        "scale_fleet",
+        title="Capacity frontier with vectorized background populations",
+        group="scale",
+    )(_scale_fleet)
+
+
+# Importing any experiments module alone must still populate the whole
+# registry in canonical order: pull in the CLI, which calls every
+# module's ``_register`` in sequence.
+from .. import cli as _cli  # noqa: E402,F401

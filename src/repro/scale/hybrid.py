@@ -1,0 +1,300 @@
+"""Hybrid load-curve points: fluid populations, exact probe packets.
+
+:func:`run_load_curve_point` is the Figures 8–9 measurement loop rebuilt
+for populations the per-event kernel cannot hold: a background population
+(10⁴–10⁶ users) loads the shared link — as per-event generators in
+``mode="exact"``, as a presampled fluid in ``mode="hybrid"`` — while a
+Poisson stream of 64-byte ping probes measures round-trip time exactly
+(request and echo are real packets through the real FIFO in both modes).
+Open-loop probes are coordinated-omission-safe by construction: sends
+never wait for answers, so a saturated wire cannot suppress its own bad
+samples.
+
+The two modes are *statistically* interchangeable, not samplewise: they
+consume different random streams, so equivalence is asserted on
+distribution statistics (mean/p50/p99 over thousands of probes), which is
+exactly what ``tests/scale/test_hybrid_equivalence.py`` does at small N.
+
+:func:`simulate_hybrid_link_probe` is the analytic bridge: the same fluid
+machinery shaped like :func:`repro.analytic.workbench.simulate_link_probe`
+(one-way delay, Poisson everything), so the M/G/1 mixture closed form
+applies — the only independent oracle at populations where no exact run
+can be afforded.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from ..analytic.workbench import (
+    LOAD_FRAME_BYTES,
+    PROBE_BYTES,
+    LinkProbeObservation,
+)
+from ..errors import NetworkError
+from ..net.link import Link
+from ..net.loadgen import (
+    BatchPoissonSampler,
+    OnOffLoadGenerator,
+    PoissonLoadGenerator,
+)
+from ..net.packet import Packet
+from ..sim.engine import Simulator
+from ..sim.rng import RngRegistry, derive_seed
+from ..sim.stats import mean, percentile
+from .population import PopulationSpec
+
+#: Run modes: ``exact`` spawns one per-event generator per user (small N
+#: only), ``hybrid`` carries the population as presampled fluid.
+MODES = ("exact", "hybrid")
+
+#: The ping budget probes are scored against: the 10 ms computing
+#: threshold (PAPERS.md) — network round trips above it are perceptible.
+PROBE_BUDGET_MS = 10.0
+
+#: SLO target shared with the slo experiments.
+PROBE_SLO_TARGET = 0.99
+
+
+@dataclass(frozen=True)
+class LoadCurveObservation:
+    """What one load-curve point measured.
+
+    RTT statistics are exact sample percentiles over the probes'
+    round-trip times (request + echo through the shared wire, the paper's
+    §6.2 ping); ``violation_rate``/``budget_burn`` score the same series
+    against the 10 ms probe budget through the SLO layer.
+    ``utilization`` is offered background + measured probe load over the
+    sampled window, as a fraction of capacity (the curves' x-axis).
+    """
+
+    users: int
+    process: str
+    mode: str
+    offered_mbps: float
+    utilization: float
+    samples: int
+    rtt_mean_ms: float
+    rtt_p50_ms: float
+    rtt_p90_ms: float
+    rtt_p99_ms: float
+    rtt_p999_ms: float
+    violation_rate: float
+    budget_burn: float
+    duration_ms: float
+
+
+def run_load_curve_point(
+    users: int,
+    *,
+    process: str = "poisson",
+    per_user_bps: float = 100.0,
+    bandwidth_mbps: float = 10.0,
+    packet_bytes: int = LOAD_FRAME_BYTES,
+    tick_ms: float = 0.2,
+    on_fraction: float = 0.25,
+    cycle_ms: float = 500.0,
+    probe_interval_ms: float = 5.0,
+    duration_ms: float = 30_000.0,
+    warmup_ms: float = 1_000.0,
+    budget_ms: float = PROBE_BUDGET_MS,
+    seed: int = 0,
+    mode: str = "hybrid",
+) -> LoadCurveObservation:
+    """One RTT-vs-load point: *users* background users, ping probes.
+
+    ``mode="exact"`` instantiates one per-event load generator per user
+    (the pre-scale path — affordable to N≈64, the differential baseline);
+    ``mode="hybrid"`` presamples the population's per-tick bytes and
+    carries them as fluid.  Everything is a pure function of the
+    parameters and *seed*, so points cache and parallelize
+    byte-identically.
+    """
+    if mode not in MODES:
+        raise NetworkError(f"unknown load-curve mode {mode!r}")
+    if probe_interval_ms <= 0:
+        raise NetworkError("probe interval must be positive")
+    if duration_ms <= warmup_ms:
+        raise NetworkError("duration must exceed the warmup window")
+    spec = PopulationSpec(
+        users=users,
+        per_user_bps=per_user_bps,
+        process=process,
+        tick_ms=tick_ms,
+        packet_bytes=packet_bytes,
+        on_fraction=on_fraction,
+        cycle_ms=cycle_ms,
+    )
+    from ..slo.budget import LatencyBudget, SloTracker
+
+    rngs = RngRegistry(seed)
+    sim = Simulator()
+    link = Link(sim, bandwidth_mbps=bandwidth_mbps)
+    generators = []
+    background = None
+    if mode == "hybrid":
+        from .population import BackgroundPopulation
+
+        background = BackgroundPopulation(
+            sim,
+            link,
+            spec,
+            duration_ms=duration_ms,
+            seed=derive_seed(seed, "scale:background"),
+        )
+    else:
+        per_user_mbps = per_user_bps / 1e6
+        for index in range(users):
+            stream = rngs.stream(f"scale:background:{index}")
+            if process == "poisson":
+                generators.append(
+                    PoissonLoadGenerator(
+                        sim, link, per_user_mbps, stream,
+                        packet_bytes=packet_bytes,
+                    )
+                )
+            else:
+                generators.append(
+                    OnOffLoadGenerator(
+                        sim, link, per_user_mbps, stream,
+                        packet_bytes=packet_bytes,
+                        on_fraction=on_fraction,
+                        cycle_ms=cycle_ms,
+                    )
+                )
+    tracker = SloTracker(
+        LatencyBudget("probe_rtt", budget_ms, target=PROBE_SLO_TARGET)
+    )
+    probes = rngs.stream("scale:probes")
+    rtts: List[float] = []
+
+    def probe() -> None:
+        sent_at = sim.now
+        if sent_at >= warmup_ms:
+
+            def request_delivered(packet: Packet) -> None:
+                link.send(
+                    Packet(PROBE_BYTES, channel="probe_echo"), echo_delivered
+                )
+
+            def echo_delivered(packet: Packet) -> None:
+                rtt = sim.now - sent_at
+                rtts.append(rtt)
+                tracker.observe(sent_at, rtt)
+
+            link.send(Packet(PROBE_BYTES, channel="probe"), request_delivered)
+        else:
+            # Warmup probes still echo, so the wire carries the same
+            # probe load before and after sampling begins.
+            link.send(
+                Packet(PROBE_BYTES, channel="probe"),
+                lambda __: link.send(Packet(PROBE_BYTES, channel="probe_echo")),
+            )
+        sim.schedule(probes.expovariate(1.0 / probe_interval_ms), probe)
+
+    sim.schedule(probes.expovariate(1.0 / probe_interval_ms), probe)
+    sim.run_until(duration_ms)
+    for generator in generators:
+        generator.stop()
+    if not rtts:
+        raise NetworkError("load-curve point produced no probe samples")
+    report = tracker.report()
+    utilization = link.utilization(warmup_ms, duration_ms)
+    if background is not None:
+        utilization += background.utilization(warmup_ms, duration_ms)
+    return LoadCurveObservation(
+        users=users,
+        process=process,
+        mode=mode,
+        offered_mbps=spec.offered_mbps,
+        utilization=utilization,
+        samples=len(rtts),
+        rtt_mean_ms=mean(rtts),
+        rtt_p50_ms=percentile(rtts, 50.0),
+        rtt_p90_ms=percentile(rtts, 90.0),
+        rtt_p99_ms=percentile(rtts, 99.0),
+        rtt_p999_ms=percentile(rtts, 99.9),
+        violation_rate=report.violation_rate,
+        budget_burn=report.budget_burn,
+        duration_ms=duration_ms - warmup_ms,
+    )
+
+
+def simulate_hybrid_link_probe(
+    rho: float,
+    *,
+    users: int = 100_000,
+    bandwidth_mbps: float = 10.0,
+    tick_ms: float = 0.1,
+    probe_interval_ms: float = 5.0,
+    duration_ms: float = 30_000.0,
+    warmup_ms: float = 1_000.0,
+    seed: int = 0,
+) -> LinkProbeObservation:
+    """One-way probe delay through a *fluid*-loaded link at load *rho*.
+
+    The hybrid twin of
+    :func:`repro.analytic.workbench.simulate_link_probe`: the offered
+    1500-byte frames come from a :class:`BatchPoissonSampler` aggregating
+    *users* sources (superposition-exact, so the M/G/1 mixture closed
+    form still applies), the 64-byte probes are exact packets.
+    ``mean_seen_in_system`` reports the workload each probe found,
+    expressed in load-frame service times — the fluid analogue of the
+    packets-in-system count.
+    """
+    if not 0.0 < rho < 1.0:
+        raise NetworkError("offered utilization must be in (0, 1)")
+    if users < 1:
+        raise NetworkError("a population needs at least one user")
+    if duration_ms <= warmup_ms:
+        raise NetworkError("duration must exceed the warmup window")
+    rngs = RngRegistry(seed)
+    sim = Simulator()
+    link = Link(sim, bandwidth_mbps=bandwidth_mbps)
+    capacity = link.bytes_per_ms
+    aggregate_rate = rho * capacity / LOAD_FRAME_BYTES  # frames per ms
+    sampler = BatchPoissonSampler(
+        aggregate_rate / users,
+        tick_ms,
+        sources=users,
+        seed=derive_seed(seed, "scale:oracle:background"),
+        packet_bytes=LOAD_FRAME_BYTES,
+    )
+    n_ticks = int(duration_ms // tick_ms) + 1
+    from .fluid import FluidBackground
+
+    fluid = FluidBackground(link, tick_ms, sampler.tick_bytes(n_ticks))
+    frame_service_ms = LOAD_FRAME_BYTES / capacity
+    probes = rngs.stream("scale:oracle:probes")
+    delays: List[float] = []
+    seen: List[float] = []
+
+    def probe() -> None:
+        sent_at = sim.now
+        if sent_at >= warmup_ms:
+            seen.append(fluid.queueing_delay_ms(sent_at) / frame_service_ms)
+
+            def delivered(packet: Packet) -> None:
+                delays.append(sim.now - sent_at)
+
+            link.send(Packet(PROBE_BYTES, channel="probe"), delivered)
+        else:
+            link.send(Packet(PROBE_BYTES, channel="probe"))
+        sim.schedule(probes.expovariate(1.0 / probe_interval_ms), probe)
+
+    sim.schedule(probes.expovariate(1.0 / probe_interval_ms), probe)
+    sim.run_until(duration_ms)
+    if not delays:
+        raise NetworkError("hybrid link point produced no probe samples")
+    return LinkProbeObservation(
+        samples=len(delays),
+        mean_delay_ms=mean(delays),
+        mean_seen_in_system=mean(seen),
+        utilization=fluid.utilization(warmup_ms, duration_ms)
+        + link.utilization(warmup_ms, duration_ms),
+        offered_mbps=rho * bandwidth_mbps,
+        duration_ms=duration_ms - warmup_ms,
+        delay_p90_ms=percentile(delays, 90.0),
+        delay_p99_ms=percentile(delays, 99.0),
+    )

@@ -1,0 +1,185 @@
+"""A background population deployed onto one server (or one bare link).
+
+:class:`BackgroundPopulation` is the glue between the vectorized samplers
+(:mod:`repro.net.loadgen`) and the simulated machine: it draws the whole
+run's per-tick aggregate packet counts up front, offers the byte totals
+to the link as fluid work (:class:`~repro.scale.fluid.FluidBackground`),
+and — when the population also consumes CPU — submits one aggregated
+:class:`~repro.cpu.thread.Burst` per tick to the server's scheduler
+through a single background thread.  Total simulator cost is O(ticks)
+regardless of how many users the spec describes.
+
+The CPU side deliberately stays on the real scheduler: the probe
+sessions' keystroke-echo threads then contend with the background demand
+under the actual policy (NT boost, Linux goodness, SVR4 IA) rather than
+an analytic approximation, which is what makes the fleet-scale frontier
+(:func:`repro.scale.experiments.scale_fleet`) a statement about the
+paper's schedulers and not just about a queueing formula.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import NetworkError
+from ..net.loadgen import (
+    DEFAULT_LOAD_PACKET_BYTES,
+    BatchOnOffSampler,
+    BatchPoissonSampler,
+)
+from .fluid import FluidBackground
+
+#: Processes the batch tier knows how to sample.
+PROCESSES = ("poisson", "onoff")
+
+
+@dataclass(frozen=True)
+class PopulationSpec:
+    """A homogeneous background population, described statistically.
+
+    ``per_user_bps`` is each user's long-run offered load in bits/s —
+    thin-client update traffic is tens-to-hundreds of bits per second per
+    idle-ish user and spikes during interaction, so specs pair a large
+    ``users`` with a small ``per_user_bps``.  ``cpu_ms_per_packet`` maps
+    each background packet to scheduler demand (0 disables the CPU side).
+    """
+
+    users: int
+    per_user_bps: float
+    process: str = "poisson"
+    tick_ms: float = 50.0
+    packet_bytes: int = DEFAULT_LOAD_PACKET_BYTES
+    on_fraction: float = 0.25
+    cycle_ms: float = 500.0
+    cpu_ms_per_packet: float = 0.0
+    cpu_threads: int = 8
+
+    def __post_init__(self) -> None:
+        if self.users < 1:
+            raise NetworkError("a population needs at least one user")
+        if self.per_user_bps <= 0:
+            raise NetworkError("per-user offered load must be positive")
+        if self.process not in PROCESSES:
+            raise NetworkError(f"unknown background process {self.process!r}")
+        if self.cpu_ms_per_packet < 0:
+            raise NetworkError("cpu_ms_per_packet cannot be negative")
+        if self.cpu_threads < 1:
+            raise NetworkError("a population needs at least one cpu thread")
+
+    @property
+    def per_user_rate_per_ms(self) -> float:
+        """Packets per ms offered by one user."""
+        return self.per_user_bps / 8.0 / 1000.0 / self.packet_bytes
+
+    @property
+    def offered_mbps(self) -> float:
+        """Aggregate long-run offered load of the whole population."""
+        return self.users * self.per_user_bps / 1e6
+
+    def sampler(self, seed: int):
+        """Build the vectorized sampler for this spec."""
+        if self.process == "poisson":
+            return BatchPoissonSampler(
+                self.per_user_rate_per_ms,
+                self.tick_ms,
+                sources=self.users,
+                seed=seed,
+                packet_bytes=self.packet_bytes,
+            )
+        return BatchOnOffSampler(
+            self.per_user_rate_per_ms,
+            self.tick_ms,
+            sources=self.users,
+            seed=seed,
+            on_fraction=self.on_fraction,
+            cycle_ms=self.cycle_ms,
+            packet_bytes=self.packet_bytes,
+        )
+
+
+class BackgroundPopulation:
+    """One spec's worth of users, deployed as fluid + aggregate bursts.
+
+    Parameters
+    ----------
+    sim, link:
+        The simulator and the (quiet) link the population loads.
+    spec:
+        The statistical description of the population.
+    duration_ms:
+        How long the population offers load; ticks are presampled to
+        cover exactly this horizon.
+    seed:
+        Sampler seed (derive one per population for independence).
+    cpu:
+        Optional scheduler; with ``spec.cpu_ms_per_packet > 0`` the
+        population submits ``count * cpu_ms_per_packet`` of demand per
+        tick through one background thread.
+    """
+
+    def __init__(self, sim, link, spec: PopulationSpec, *, duration_ms: float,
+                 seed: int = 0, cpu=None) -> None:
+        if duration_ms <= 0:
+            raise NetworkError("population duration must be positive")
+        self.sim = sim
+        self.link = link
+        self.spec = spec
+        self.seed = seed
+        n_ticks = int(duration_ms // spec.tick_ms)
+        if n_ticks * spec.tick_ms < duration_ms:
+            n_ticks += 1
+        sampler = spec.sampler(seed)
+        counts = sampler.tick_counts(n_ticks)
+        self.tick_counts = counts
+        self.packets_offered = int(counts.sum())
+        self.fluid = FluidBackground(
+            link, spec.tick_ms, counts * float(spec.packet_bytes)
+        )
+        self.cpu_threads = []
+        if cpu is not None and spec.cpu_ms_per_packet > 0:
+            from ..cpu.thread import Burst, Thread
+
+            # Background users are interactive sessions too: their server
+            # -side display work rides the same scheduling class the probe
+            # echoes do (NT's GUI boost, SVR4's IA class).  The demand
+            # fans across a worker pool rather than one aggregate thread:
+            # under round-robin a single thread costs a competitor at
+            # most one quantum regardless of its backlog, so collapsing a
+            # population into one thread would erase the run-queue
+            # contention that N real sessions exert (§4's axis).
+            for worker in range(spec.cpu_threads):
+                thread = Thread(
+                    f"background:{link.name}:{worker}",
+                    gui=True,
+                    foreground=True,
+                    session="background",
+                )
+                cpu.add_thread(thread)
+                self.cpu_threads.append(thread)
+            share = spec.cpu_ms_per_packet / spec.cpu_threads
+            demands = counts * share
+            index = [0]
+            pool = self.cpu_threads
+
+            def submit_tick() -> None:
+                i = index[0]
+                if i >= n_ticks:
+                    return
+                index[0] = i + 1
+                demand = float(demands[i])
+                if demand > 0.0:
+                    for thread in pool:
+                        cpu.submit(thread, Burst(demand))
+
+            # First tick's demand lands at t=0+tick (work arrives during the
+            # tick, billed at its close), then every tick thereafter.
+            sim.every(spec.tick_ms, submit_tick)
+
+    @property
+    def offered_mbps(self) -> float:
+        """Aggregate long-run offered load of the deployed population."""
+        return self.spec.offered_mbps
+
+    def utilization(self, t0: float, t1: float) -> float:
+        """Background offered load over ``[t0, t1)`` vs link capacity."""
+        return self.fluid.utilization(t0, t1)

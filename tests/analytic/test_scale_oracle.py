@@ -1,0 +1,77 @@
+"""The hybrid tier against the closed forms: an independent oracle.
+
+The differential suite (tests/scale/test_hybrid_equivalence.py) proves
+hybrid == exact at small N; this suite proves hybrid == *theory* at the
+populations where no exact run is affordable.  The bridge is
+:func:`repro.scale.hybrid.simulate_hybrid_link_probe`: a 100k-source
+batch-Poisson background is superposition-exact (N sources at λ is one
+Poisson stream at N·λ), so the M/G/1 load+probe mixture closed form
+applies unchanged, and the fluid integrator's probe delays must land on
+the P–K prediction in light traffic — same 10% band, same rho range as
+the pre-scale link oracle in test_oracle.py.
+"""
+
+import pytest
+
+pytest.importorskip("numpy")
+
+from repro.analytic.validate import predict_link_probe
+from repro.analytic.workbench import LOAD_FRAME_BYTES, PROBE_BYTES
+from repro.errors import NetworkError
+from repro.scale.hybrid import simulate_hybrid_link_probe
+
+#: The oracle band, shared with tests/analytic/test_oracle.py.
+TOLERANCE = 0.10
+
+#: Light-traffic loads: the regime where P-K sampling error is small
+#: within a 30 s window (two seeds averaged for margin).
+RHOS = (0.3, 0.5)
+
+SEEDS = (0, 1)
+
+
+def averaged(rho):
+    rows = [simulate_hybrid_link_probe(rho, seed=seed) for seed in SEEDS]
+    return {
+        "delay": sum(r.mean_delay_ms for r in rows) / len(rows),
+        "seen": sum(r.mean_seen_in_system for r in rows) / len(rows),
+        "util": sum(r.utilization for r in rows) / len(rows),
+    }
+
+
+class TestHybridLinkOracle:
+    @pytest.mark.parametrize("rho", RHOS)
+    def test_probe_delay_matches_the_mg1_mixture(self, rho):
+        predicted, _ = predict_link_probe(rho)
+        simulated = averaged(rho)["delay"]
+        assert simulated == pytest.approx(predicted, rel=TOLERANCE)
+
+    @pytest.mark.parametrize("rho", RHOS)
+    def test_workload_seen_matches_the_pk_wait(self, rho):
+        """W(t) at probe send times is the P-K wait, in frame services."""
+        bytes_per_ms = 10.0 * 1e6 / 8.0 / 1000.0
+        frame_service = LOAD_FRAME_BYTES / bytes_per_ms
+        probe_service = PROBE_BYTES / bytes_per_ms
+        predicted_delay, _ = predict_link_probe(rho)
+        predicted_wait = predicted_delay - probe_service - 0.05
+        simulated = averaged(rho)["seen"] * frame_service
+        assert simulated == pytest.approx(predicted_wait, rel=TOLERANCE)
+
+    @pytest.mark.parametrize("rho", RHOS)
+    def test_utilization_reports_offered_plus_probe_load(self, rho):
+        probe_share = (PROBE_BYTES / 5.0) / (10.0 * 1e6 / 8.0 / 1000.0)
+        assert averaged(rho)["util"] == pytest.approx(
+            rho + probe_share, abs=0.02
+        )
+
+    def test_validation(self):
+        with pytest.raises(NetworkError):
+            simulate_hybrid_link_probe(0.0)
+        with pytest.raises(NetworkError):
+            simulate_hybrid_link_probe(1.0)
+        with pytest.raises(NetworkError):
+            simulate_hybrid_link_probe(0.3, users=0)
+        with pytest.raises(NetworkError):
+            simulate_hybrid_link_probe(
+                0.3, duration_ms=100.0, warmup_ms=200.0
+            )

@@ -35,6 +35,8 @@ class TestList:
             "slo_burst",
             "slo_chaos_grid",
             "slo_fleet",
+            "scale_load_curve",
+            "scale_fleet",
         }
         assert figs | tabs | extras == set(EXPERIMENTS)
 
@@ -55,7 +57,7 @@ class TestList:
     def test_list_shows_group_headers(self):
         code, text = run_cli("list")
         assert code == 0
-        for group in ("paper", "chaos", "fleet", "analytic", "slo"):
+        for group in ("paper", "chaos", "fleet", "analytic", "slo", "scale"):
             assert f"Available experiments — {group}" in text
 
 

@@ -1,0 +1,234 @@
+"""The registered scale experiments: registration, determinism, artifacts.
+
+Mirrors ``tests/slo/test_slo_experiments.py`` — the scale group joins the
+same compatibility surface: canonical registry order, executor identity
+(serial == ``--jobs`` == cold == warm, byte for byte), kernel and
+recorder invariance, and CSV artifacts that cover the whole grid.
+"""
+
+import csv
+import io
+import os
+import subprocess
+import sys
+
+import pytest
+
+pytest.importorskip("numpy")
+
+from repro.cli import EXPERIMENTS, main
+from repro.core.registry import REGISTRY
+from repro.core.server import ServerConfig
+from repro.errors import FleetError
+from repro.fleet.cluster import Fleet, FleetConfig
+from repro.scale.experiments import (
+    FLEET_BG_USERS,
+    FLEET_PROCESSES,
+    LOAD_CURVE_PROCESSES,
+    LOAD_CURVE_USERS,
+    _scale_fleet_point,
+    _scale_load_curve_point,
+)
+from repro.scale.population import PopulationSpec
+
+SCALE_NAMES = ["scale_load_curve", "scale_fleet"]
+
+
+def run_cli(*argv):
+    out = io.StringIO()
+    code = main(list(argv), out=out)
+    return code, out.getvalue()
+
+
+def small_fleet(**overrides):
+    kwargs = dict(
+        server=ServerConfig.tse(include_idle_activity=False),
+        num_servers=2,
+        placement="round_robin",
+        admission_mode="reject",
+        capacity_per_server=2,
+        backbone_mbps=100.0,
+        co_safe_sessions=True,
+    )
+    kwargs.update(overrides)
+    return Fleet(FleetConfig(**kwargs), seed=1)
+
+
+def small_spec(**overrides):
+    kwargs = dict(users=1_000, per_user_bps=100.0, tick_ms=10.0)
+    kwargs.update(overrides)
+    return PopulationSpec(**kwargs)
+
+
+class TestRegistration:
+    def test_scale_experiments_close_the_registry(self):
+        names = list(EXPERIMENTS)
+        assert names[-2:] == SCALE_NAMES
+
+    def test_group_and_titles(self):
+        for name in SCALE_NAMES:
+            assert REGISTRY[name].group == "scale"
+            assert REGISTRY[name].title
+
+
+class TestPointFunctions:
+    def test_load_curve_point_deterministic(self):
+        point = _scale_load_curve_point(("poisson", 10_000), seed=3)
+        assert point == _scale_load_curve_point(("poisson", 10_000), seed=3)
+
+    def test_load_curve_knee_bends_upward(self):
+        quiet = _scale_load_curve_point(("poisson", 10_000), seed=3)
+        busy = _scale_load_curve_point(("poisson", 900_000), seed=3)
+        # Columns: (n, offered, util, mean, p50, p99, p99.9, viol, burn).
+        assert busy[2] > 5 * quiet[2]  # utilization tracks the population
+        assert busy[5] > 4 * quiet[5]  # p99 has left the flat region
+
+    def test_fleet_point_deterministic_and_cliff_is_sharp(self):
+        low = _scale_fleet_point(("poisson", 20_000), seed=3)
+        assert low == _scale_fleet_point(("poisson", 20_000), seed=3)
+        over = _scale_fleet_point(("poisson", 95_000), seed=3)
+        n, cpu, lan, p50, p99, viol, burn = over
+        assert cpu > 0.99  # past saturation
+        assert viol == pytest.approx(1.0)
+        assert p99 > 100.0  # the budget is unreachable over the cliff
+        assert low[5] == 0.0  # and trivially met below it
+
+
+class TestFleetIntegration:
+    def test_pinned_sessions_land_on_their_server(self):
+        fleet = small_fleet()
+        for index in range(2):
+            session = fleet.open_session(f"p{index}", pin_server=index)
+            assert session.state is fleet.servers[index]
+
+    def test_pinning_out_of_range_raises(self):
+        with pytest.raises(FleetError):
+            small_fleet().open_session("p", pin_server=9)
+
+    def test_pinning_to_a_full_server_raises(self):
+        fleet = small_fleet(capacity_per_server=1)
+        fleet.open_session("a", pin_server=0)
+        with pytest.raises(FleetError):
+            fleet.open_session("b", pin_server=0)
+
+    def test_attach_background_guards(self):
+        fleet = small_fleet()
+        fleet.attach_background(0, small_spec(), horizon_ms=1_000.0)
+        with pytest.raises(FleetError):
+            fleet.attach_background(0, small_spec(), horizon_ms=1_000.0)
+        with pytest.raises(FleetError):
+            fleet.attach_background(9, small_spec(), horizon_ms=1_000.0)
+
+    def test_report_counts_background_users(self):
+        fleet = small_fleet()
+        fleet.attach_background(0, small_spec(users=1_000), horizon_ms=500.0)
+        fleet.attach_background(1, small_spec(users=2_000), horizon_ms=500.0)
+        fleet.run(500.0)
+        assert fleet.report()["background_users"] == 3_000
+
+    def test_populations_get_independent_derived_seeds(self):
+        fleet = small_fleet()
+        a = fleet.attach_background(0, small_spec(), horizon_ms=500.0)
+        b = fleet.attach_background(1, small_spec(), horizon_ms=500.0)
+        assert a.seed != b.seed
+
+
+class TestArtifactIdentity:
+    """The scale sweeps honor the repo's executor-identity contract."""
+
+    def read_all(self, directory):
+        out = {}
+        for name in sorted(os.listdir(directory)):
+            with open(os.path.join(directory, name), "rb") as f:
+                out[name] = f.read()
+        return out
+
+    def test_fleet_identical_serial_parallel_cold_and_warm(self, tmp_path):
+        cache = str(tmp_path / "cache")
+        code, serial = run_cli(
+            "run", "scale_fleet", "--seed", "1",
+            "--csv", str(tmp_path / "a"), "--cache-dir", cache,
+        )
+        assert code == 0
+        code, parallel = run_cli(
+            "run", "scale_fleet", "--seed", "1", "--jobs", "4",
+            "--csv", str(tmp_path / "b"),
+        )
+        assert code == 0
+        code, warm = run_cli(
+            "run", "scale_fleet", "--seed", "1",
+            "--csv", str(tmp_path / "c"), "--cache-dir", cache,
+        )
+        assert code == 0
+        assert serial == parallel == warm
+        assert (
+            self.read_all(tmp_path / "a")
+            == self.read_all(tmp_path / "b")
+            == self.read_all(tmp_path / "c")
+        )
+
+    @pytest.fixture(scope="class")
+    def fleet_stdout(self):
+        code, expected = run_cli("run", "scale_fleet", "--seed", "5")
+        assert code == 0
+        return expected
+
+    @pytest.mark.parametrize("kernel", ["", "reference"])
+    @pytest.mark.parametrize("recorder", ["", "reference"])
+    def test_fleet_identical_across_kernel_and_recorder(
+        self, fleet_stdout, kernel, recorder
+    ):
+        """Every kernel x recorder combination prints the same bytes."""
+        env = {**os.environ, "PYTHONPATH": "src"}
+        if kernel:
+            env["REPRO_KERNEL"] = kernel
+        if recorder:
+            env["REPRO_OBS"] = recorder
+        result = subprocess.run(
+            [sys.executable, "-m", "repro", "run", "scale_fleet",
+             "--seed", "5"],
+            capture_output=True,
+            text=True,
+            env=env,
+            cwd=os.path.join(os.path.dirname(__file__), "..", ".."),
+        )
+        assert result.returncode == 0, result.stderr
+        assert result.stdout == fleet_stdout
+
+
+class TestOutputShape:
+    def test_load_curve_csv_covers_the_grid(self, tmp_path):
+        code, text = run_cli(
+            "run", "scale_load_curve", "--seed", "1", "--csv", str(tmp_path)
+        )
+        assert code == 0
+        assert "knee" in text
+        with open(tmp_path / "scale_load_curve.csv") as f:
+            rows = list(csv.reader(f))
+        assert len(rows) - 1 == len(LOAD_CURVE_PROCESSES) * len(
+            LOAD_CURVE_USERS
+        )
+        header = rows[0]
+        users = header.index("users")
+        p99 = header.index("rtt_p99_ms")
+        by_users = {
+            int(r[users]): float(r[p99])
+            for r in rows[1:]
+            if r[0] == "poisson"
+        }
+        # The committed EXPERIMENTS.md curve: flat, then the knee.
+        assert by_users[1_000_000] > 10 * by_users[10_000]
+
+    def test_fleet_csv_covers_the_frontier(self, tmp_path):
+        code, text = run_cli(
+            "run", "scale_fleet", "--seed", "1", "--csv", str(tmp_path)
+        )
+        assert code == 0
+        for process in FLEET_PROCESSES:
+            assert process in text
+        with open(tmp_path / "scale_fleet.csv") as f:
+            rows = list(csv.reader(f))
+        assert len(rows) - 1 == len(FLEET_PROCESSES) * len(FLEET_BG_USERS)
+        viol = rows[0].index("violation_rate")
+        rates = [float(r[viol]) for r in rows[1:]]
+        assert min(rates) == 0.0 and max(rates) == 1.0

@@ -42,7 +42,9 @@ class TestRegistration:
         stragglers = [
             n
             for n in names[first_slo:]
-            if not n.startswith("slo_")
+            # The scale group registers after slo in the canonical
+            # sequence; anything else after slo_burst is a misplacement.
+            if not n.startswith(("slo_", "scale_"))
         ]
         assert not stragglers, f"registered after slo_burst: {stragglers}"
 
@@ -58,6 +60,7 @@ class TestRegistration:
             "repro.fleet.experiments",
             "repro.analytic.experiments",
             "repro.slo.experiments",
+            "repro.scale.experiments",
         ],
     )
     def test_registry_order_is_import_entry_invariant(self, entry):
@@ -76,8 +79,8 @@ class TestRegistration:
             "assert names[0] == 'fig1', names\n"
             "tail = ['fleet_capacity', 'fleet_placement', 'analytic_link',\n"
             "        'analytic_closed', 'slo_burst', 'slo_chaos_grid',\n"
-            "        'slo_fleet']\n"
-            "assert names[-7:] == tail, names[-7:]\n"
+            "        'slo_fleet', 'scale_load_curve', 'scale_fleet']\n"
+            "assert names[-9:] == tail, names[-9:]\n"
         )
         subprocess.run(
             [sys.executable, "-c", code],
