@@ -623,16 +623,22 @@ class Fleet:
     ):
         """Deploy a hybrid-tier background population on server *index*.
 
-        *spec* is a :class:`repro.scale.PopulationSpec`; its users load the
-        server's LAN as fluid and (when ``cpu_ms_per_packet > 0``) its
-        scheduler as aggregated per-tick bursts, presampled out to
-        *horizon_ms*.  Admission does not see these users — they are
-        statistical mass, not sessions; pin probe sessions
-        (:meth:`open_session` with ``pin_server=index``) to measure
-        through them.  One population per server; the per-population seed
-        derives from the fleet seed and the server index unless given.
+        *spec* is a :class:`repro.scale.PopulationSpec` (open arrivals) or
+        a :class:`repro.scale.ClosedLoopSpec` (typing sessions that block
+        on their echoes); its users load the server's LAN as fluid and
+        (when the spec carries CPU demand) its scheduler as aggregated
+        per-tick bursts, out to *horizon_ms*.  Admission does not see
+        these users — they are statistical mass, not sessions; pin probe
+        sessions (:meth:`open_session` with ``pin_server=index``) to
+        measure through them.  One population per server; the
+        per-population seed derives from the fleet seed and the server
+        index unless given.
         """
-        from ..scale.population import BackgroundPopulation
+        from ..scale.population import (
+            BackgroundPopulation,
+            ClosedLoopPopulation,
+            ClosedLoopSpec,
+        )
 
         if index in self.backgrounds:
             raise FleetError(f"server {index} already has a background")
@@ -642,7 +648,12 @@ class Fleet:
             raise FleetError(
                 f"no server {index} in a fleet of {len(self.servers)}"
             ) from None
-        population = BackgroundPopulation(
+        population_cls = (
+            ClosedLoopPopulation
+            if isinstance(spec, ClosedLoopSpec)
+            else BackgroundPopulation
+        )
+        population = population_cls(
             self.sim,
             state.server.link,
             spec,
@@ -709,6 +720,22 @@ class Fleet:
             "background_users": sum(
                 population.spec.users
                 for population in self.backgrounds.values()
+            ),
+            # Closed-loop populations report their measured throughput —
+            # keystrokes the fleet actually echoed per second — and every
+            # population kind exposes its peak fluid backlog; both stay
+            # zero on open-only and pre-scale paths.
+            "background_keys_per_s": sum(
+                population.throughput_per_ms * 1000.0
+                for population in self.backgrounds.values()
+                if hasattr(population, "throughput_per_ms")
+            ),
+            "background_backlog_ms": max(
+                (
+                    population.fluid.peak_backlog_ms
+                    for population in self.backgrounds.values()
+                ),
+                default=0.0,
             ),
             "backbone_utilization": self.backbone.utilization(t0, end)
             if end > t0

@@ -13,18 +13,22 @@ experiment — means match, p99 does not — and the ``slo_burst`` scenario
 races exactly that pair.
 
 **Batch sampling** (:class:`BatchPoissonSampler`,
-:class:`BatchOnOffSampler`) is the heavy-traffic tier's vectorized twin of
-the per-event generators: instead of one simulator event per packet, a
-sampler draws *per-tick aggregate packet counts* for a whole run in a few
-numpy calls.  The Poisson sampler is statistically **exact** — the
-superposition of N independent Poisson streams at rate λ is one Poisson
-stream at N·λ, so the aggregate per-tick counts have exactly the law the
-per-event generators would produce.  The on-off sampler aggregates N
-independent two-state sources by tracking only the *number* of ON sources
-(a count-level Markov chain stepped once per tick: two binomial flips plus
-one Poisson count draw), which is exact up to within-tick state constancy.
-Both consume split-stable numpy PCG64 child streams, one per purpose, so
-drawing ticks in one batch or many produces identical values —
+:class:`BatchOnOffSampler`, :class:`BatchClosedLoopSampler`) is the
+heavy-traffic tier's vectorized twin of the per-event generators: instead
+of one simulator event per packet, a sampler draws *per-tick aggregate
+packet counts* for a whole run in a few numpy calls.  The Poisson sampler
+is statistically **exact** — the superposition of N independent Poisson
+streams at rate λ is one Poisson stream at N·λ, so the aggregate per-tick
+counts have exactly the law the per-event generators would produce.  The
+on-off sampler aggregates N independent two-state sources by tracking only
+the *number* of ON sources (a count-level Markov chain stepped once per
+tick: two binomial flips plus one Poisson count draw), which is exact up
+to within-tick state constancy.  The closed-loop sampler does the same
+for *typing* sessions — counts over a thinking / typing / blocked-on-echo
+chain, binomial transition draws per tick — so keystroke load that
+self-throttles under latency (the paper's defining workload) vectorizes
+too.  All consume split-stable numpy PCG64 child streams, one per
+purpose, so drawing ticks in one batch or many produces identical values —
 ``tests/scale/test_batch_sampling.py`` pins that boundary invariance.
 
 numpy is deliberately a soft dependency: the per-event generators above
@@ -416,3 +420,198 @@ class BatchOnOffSampler:
     def tick_bytes(self, n_ticks: int):
         """Offered bytes for the next *n_ticks* ticks (numpy int array)."""
         return self.tick_counts(n_ticks) * self.packet_bytes
+
+
+#: Wire bytes of one keystroke packet (matches the fleet's input frames).
+DEFAULT_KEYSTROKE_BYTES = 64
+
+
+class BatchClosedLoopSampler:
+    """Vectorized per-tick counts for N closed-loop typing sessions.
+
+    Each session cycles through the paper's interactive loop — *think*,
+    then emit a geometric burst of keystrokes (mean *burst_keys*, one
+    every *type_ms* on average), blocking on the echo after each — but
+    the population is carried as three **counts** (thinking / typing /
+    blocked-on-echo), not N objects.  Per tick the counts move by exact
+    binomial draws from the tau-leaped CTMC: ``p = 1 - exp(-tick/mean)``
+    for the think->type and inter-keystroke hazards, so every session is
+    accounted for every tick (conservation is exact by construction) at
+    O(1) cost for a million sessions.
+
+    Echo completions — the closed-loop feedback that open samplers don't
+    have — come in three flavours, chosen by *echo_servers*:
+
+    * ``None`` (dedicated): every blocked session completes independently
+      with ``p_echo = 1 - exp(-tick/echo_ms)`` — an infinite-server
+      station, exactly solvable, which pins the stationary think-fraction
+      law in the property tests.
+    * an integer ``c`` (shared): completions per tick are a Poisson draw
+      at the busy-server rate ``min(blocked, c) / echo_ms``, capped at
+      the blocked count — the M/M/c station the MVA oracle models.
+    * caller-supplied: :meth:`step` accepts an explicit completion count,
+      which is how :class:`~repro.scale.population.ClosedLoopPopulation`
+      feeds link-drain-driven completions back into the chain.
+
+    Completed sessions continue their burst with probability
+    ``1 - 1/burst_keys`` (returning to typing) else go back to thinking.
+    The chain and the echo draws consume separate split-stable child
+    streams, so batch boundaries never change either sequence.
+    """
+
+    def __init__(
+        self,
+        think_ms: float,
+        type_ms: float,
+        echo_ms: float,
+        tick_ms: float,
+        *,
+        sources: int = 1,
+        seed: int = 0,
+        burst_keys: float = 1.0,
+        echo_servers: Optional[int] = None,
+        keystroke_bytes: int = DEFAULT_KEYSTROKE_BYTES,
+    ) -> None:
+        if think_ms <= 0 or type_ms <= 0 or echo_ms <= 0:
+            raise NetworkError(
+                "closed-loop think/type/echo means must be positive"
+            )
+        if tick_ms <= 0:
+            raise NetworkError("batch tick must have positive length")
+        if sources < 1:
+            raise NetworkError("a batch population needs at least one source")
+        if burst_keys < 1.0:
+            raise NetworkError(
+                f"burst_keys is a mean burst length, must be >= 1, "
+                f"got {burst_keys}"
+            )
+        if echo_servers is not None and echo_servers < 1:
+            raise NetworkError("a shared echo station needs >= 1 server")
+        if keystroke_bytes <= 0:
+            raise NetworkError("keystroke packets must have positive size")
+        np = _numpy()
+        self.think_ms = think_ms
+        self.type_ms = type_ms
+        self.echo_ms = echo_ms
+        self.tick_ms = tick_ms
+        self.sources = sources
+        self.burst_keys = burst_keys
+        self.echo_servers = echo_servers
+        self.keystroke_bytes = keystroke_bytes
+        self._np = np
+        self._chain = _generator(seed, "batch:closed:chain")
+        self._echo = _generator(seed, "batch:closed:echo")
+        #: Per-tick transition probabilities (tau-leaped CTMC hazards).
+        self.p_think = -math.expm1(-tick_ms / think_ms)
+        self.p_type = -math.expm1(-tick_ms / type_ms)
+        self.p_echo = -math.expm1(-tick_ms / echo_ms)
+        #: Probability a completed echo continues the burst (geometric).
+        self.continue_prob = 1.0 - 1.0 / burst_keys
+        self.ticks_sampled = 0
+        self.keystrokes_total = 0
+        self.completions_total = 0
+        # Start-of-tick state integrals, for Little's-law estimates.
+        self.thinking_ticks = 0
+        self.typing_ticks = 0
+        self.blocked_ticks = 0
+        if echo_servers is None:
+            # The dedicated-echo chain is fully solvable: expected ticks
+            # per think/type/echo visit are 1/p each, and one cycle makes
+            # burst_keys type+echo visits per think visit.  Start in that
+            # stationary law so no burn-in is needed (mirrors the on-off
+            # sampler's stationary start).
+            weights = self.stationary_fractions()
+            drawn = self._chain.multinomial(sources, weights)
+            self.thinking = int(drawn[0])
+            self.typing = int(drawn[1])
+            self.blocked = int(drawn[2])
+        else:
+            # Shared/external echo: the stationary split depends on the
+            # (possibly external) completion process, so start cold —
+            # everyone thinking — and let the caller's warmup converge it.
+            self.thinking = sources
+            self.typing = 0
+            self.blocked = 0
+
+    def stationary_fractions(self):
+        """Stationary (thinking, typing, blocked) fractions, dedicated mode.
+
+        Expected ticks per cycle in each state are ``1/p_think``,
+        ``L/p_type`` and ``L/p_echo`` (L = *burst_keys*); normalizing
+        gives the exact stationary law of the discrete chain at **any**
+        tick width — the property the Hypothesis suite pins.
+        """
+        weights = [
+            1.0 / self.p_think,
+            self.burst_keys / self.p_type,
+            self.burst_keys / self.p_echo,
+        ]
+        total = sum(weights)
+        return [w / total for w in weights]
+
+    def step(self, completions: Optional[int] = None):
+        """Advance one tick; returns ``(keystrokes, completions)``.
+
+        All draws use start-of-tick counts.  *completions* overrides the
+        internal echo model (external mode); it is clamped to the blocked
+        count so conservation survives an optimistic caller.
+        """
+        thinking, typing, blocked = self.thinking, self.typing, self.blocked
+        self.thinking_ticks += thinking
+        self.typing_ticks += typing
+        self.blocked_ticks += blocked
+        chain = self._chain
+        t2y = int(chain.binomial(thinking, self.p_think)) if thinking else 0
+        keys = int(chain.binomial(typing, self.p_type)) if typing else 0
+        if completions is not None:
+            if completions < 0:
+                raise NetworkError("echo completions cannot be negative")
+            done = min(int(completions), blocked)
+        elif self.echo_servers is None:
+            done = int(self._echo.binomial(blocked, self.p_echo)) if blocked else 0
+        else:
+            busy = min(blocked, self.echo_servers)
+            mean = busy * (self.tick_ms / self.echo_ms)
+            done = min(blocked, int(self._echo.poisson(mean))) if busy else 0
+        resume = (
+            int(self._echo.binomial(done, self.continue_prob)) if done else 0
+        )
+        self.thinking = thinking + done - resume - t2y
+        self.typing = typing + t2y + resume - keys
+        self.blocked = blocked + keys - done
+        self.ticks_sampled += 1
+        self.keystrokes_total += keys
+        self.completions_total += done
+        return keys, done
+
+    def advance(self, n_ticks: int):
+        """Batch-run *n_ticks* internal-echo ticks.
+
+        Returns ``(keystrokes, completions)`` numpy int arrays, one entry
+        per tick.  Only the two result arrays are allocated (once, here);
+        the per-tick loop itself is scalar draws — the no-allocation hot
+        path the benchmark gates.  External-completion populations drive
+        :meth:`step` instead.
+        """
+        if n_ticks < 0:
+            raise NetworkError("cannot sample a negative number of ticks")
+        np = self._np
+        keys_out = np.empty(n_ticks, dtype=np.int64)
+        done_out = np.empty(n_ticks, dtype=np.int64)
+        for i in range(n_ticks):
+            keys_out[i], done_out[i] = self.step()
+        return keys_out, done_out
+
+    @property
+    def mean_blocked(self) -> float:
+        """Time-average blocked count over the sampled ticks (Little's L)."""
+        if not self.ticks_sampled:
+            return 0.0
+        return self.blocked_ticks / self.ticks_sampled
+
+    @property
+    def throughput_per_ms(self) -> float:
+        """Echo completions per ms over the sampled ticks (X in MVA terms)."""
+        if not self.ticks_sampled:
+            return 0.0
+        return self.completions_total / (self.ticks_sampled * self.tick_ms)

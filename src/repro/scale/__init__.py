@@ -7,13 +7,20 @@ Python event loop at any kernel speed — the event count scales with the
 population, not with the (capacity-bounded) traffic.  This package adds
 the batch/fluid tier that breaks that coupling:
 
-* **Background populations** are represented by vectorized arrival
-  processes (:class:`~repro.net.loadgen.BatchPoissonSampler`,
-  :class:`~repro.net.loadgen.BatchOnOffSampler`): per-coarse-tick
+* **Background populations** are represented by vectorized processes
+  (:class:`~repro.net.loadgen.BatchPoissonSampler`,
+  :class:`~repro.net.loadgen.BatchOnOffSampler`,
+  :class:`~repro.net.loadgen.BatchClosedLoopSampler`): per-coarse-tick
   aggregate packet counts drawn in a few numpy calls, offered to the
   network as fluid work (:class:`FluidBackground`) and to the schedulers
   as aggregated CPU bursts (:class:`BackgroundPopulation`).  Cost is
   O(ticks), independent of the population size.
+* **Closed-loop populations** (:class:`ClosedLoopPopulation`) extend the
+  tier to the paper's defining workload: typing sessions carried as
+  counts over thinking / typing / blocked-on-echo states, whose offered
+  load self-throttles through the link's own drain — the regime where
+  the closed-network MVA models (:mod:`repro.analytic.mva`) apply and
+  X(N) bends at the knee instead of driving the wire off a cliff.
 * **Probe sessions** stay fully discrete: real packets through the real
   :class:`~repro.net.link.Link` FIFO (the unified workload process — see
   :meth:`~repro.net.link.Link._send_hybrid`), real keystrokes through the
@@ -24,23 +31,35 @@ the batch/fluid tier that breaks that coupling:
 Validation is layered (see MODELING.md "Hybrid fluid/event tier"): a
 differential-equivalence suite compares hybrid and exact runs at small
 populations, statistics property tests pin the samplers to the per-event
-generators' laws, and the analytic M/G/1 oracle — the only independent
-check at 10⁶ users — bounds probe delay at moderate load.
+generators' laws, and the analytic oracles — M/G/1 for the open tier,
+exact MVA for the closed tier, the only independent checks at 10⁶
+users — bound delay and throughput at moderate load.
 """
 
 from .fluid import FluidBackground
 from .hybrid import (
+    ClosedCurveObservation,
     LoadCurveObservation,
+    run_closed_curve_point,
     run_load_curve_point,
     simulate_hybrid_link_probe,
 )
-from .population import BackgroundPopulation, PopulationSpec
+from .population import (
+    BackgroundPopulation,
+    ClosedLoopPopulation,
+    ClosedLoopSpec,
+    PopulationSpec,
+)
 
 __all__ = [
     "BackgroundPopulation",
+    "ClosedCurveObservation",
+    "ClosedLoopPopulation",
+    "ClosedLoopSpec",
     "FluidBackground",
     "LoadCurveObservation",
     "PopulationSpec",
+    "run_closed_curve_point",
     "run_load_curve_point",
     "simulate_hybrid_link_probe",
 ]

@@ -46,7 +46,10 @@ class FluidBackground:
     tick_bytes:
         Sequence (list or numpy array) of offered background bytes per
         tick, starting at simulation time ``start_ms``.  Beyond the last
-        tick the background offers nothing (the queue drains).
+        tick the background offers nothing (the queue drains).  Pass an
+        empty sequence and feed ticks at runtime via :meth:`offer_tick`
+        for workloads that cannot be presampled (closed-loop populations,
+        whose offered bytes depend on the latency they experience).
     """
 
     def __init__(self, link, tick_ms: float, tick_bytes, *, start_ms: float = 0.0,
@@ -122,6 +125,27 @@ class FluidBackground:
     def backlog_ms(self, now: float) -> float:
         """Alias for :meth:`queueing_delay_ms` (reporting-friendly name)."""
         return self.queueing_delay_ms(now)
+
+    def offer_tick(self, tick_bytes: float) -> None:
+        """Append one tick's offered bytes at runtime (streaming mode).
+
+        Open populations presample their whole horizon, but a closed-loop
+        population's next tick depends on the completions this one sees,
+        so its driver appends tick bytes as the simulation reaches each
+        boundary.  The appended tick covers ``[end_ms, end_ms + tick_ms)``
+        and must land before the integrator crosses its start — queries
+        smear it uniformly exactly like a presampled tick.
+        """
+        if tick_bytes < 0:
+            raise NetworkError("offered bytes cannot be negative")
+        if self._t > self.end_ms:
+            raise NetworkError(
+                "cannot append a background tick the integrator has passed"
+            )
+        b = float(tick_bytes)
+        self._rho.append(b / self.tick_ms / self.link.bytes_per_ms)
+        self._bytes.append(b)
+        self.offered_bytes_total += b
 
     def add_work_ms(self, ms: float) -> None:
         """Add a discrete packet's service time to the workload (a step)."""

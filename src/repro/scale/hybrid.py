@@ -35,6 +35,7 @@ from ..analytic.workbench import (
 from ..errors import NetworkError
 from ..net.link import Link
 from ..net.loadgen import (
+    DEFAULT_KEYSTROKE_BYTES,
     BatchPoissonSampler,
     OnOffLoadGenerator,
     PoissonLoadGenerator,
@@ -43,7 +44,7 @@ from ..net.packet import Packet
 from ..sim.engine import Simulator
 from ..sim.rng import RngRegistry, derive_seed
 from ..sim.stats import mean, percentile
-from .population import PopulationSpec
+from .population import DEFAULT_ECHO_BYTES, ClosedLoopSpec, PopulationSpec
 
 #: Run modes: ``exact`` spawns one per-event generator per user (small N
 #: only), ``hybrid`` carries the population as presampled fluid.
@@ -218,6 +219,239 @@ def run_load_curve_point(
         violation_rate=report.violation_rate,
         budget_burn=report.budget_burn,
         duration_ms=duration_ms - warmup_ms,
+    )
+
+
+@dataclass(frozen=True)
+class ClosedCurveObservation:
+    """What one closed-loop curve point measured.
+
+    Probe RTT statistics are the same exact CO-safe ping series the open
+    curve reports.  The closed-loop columns are the MVA quantities:
+    ``throughput_per_ms`` is echo completions per ms over the measurement
+    window (X(N)), ``per_session_keys_per_s`` its per-user share,
+    ``mean_blocked`` the time-average sessions awaiting an echo (Little's
+    L, so R = L/X).  ``mva_throughput_per_ms`` / ``mva_response_ms`` are
+    the closed-network asymptotic bounds ``X ≤ min(N/(Z+D), 1/D)`` and
+    ``R ≥ max(D, N·D − Z)`` — the overlay the tables print.
+    """
+
+    users: int
+    mode: str
+    utilization: float
+    samples: int
+    rtt_mean_ms: float
+    rtt_p50_ms: float
+    rtt_p90_ms: float
+    rtt_p99_ms: float
+    rtt_p999_ms: float
+    violation_rate: float
+    budget_burn: float
+    keystrokes: int
+    completions: int
+    throughput_per_ms: float
+    per_session_keys_per_s: float
+    mean_blocked: float
+    response_ms: float
+    mva_throughput_per_ms: float
+    mva_response_ms: float
+    duration_ms: float
+
+
+def run_closed_curve_point(
+    users: int,
+    *,
+    think_ms: float = 10_000.0,
+    type_ms: float = 300.0,
+    burst_keys: float = 20.0,
+    bandwidth_mbps: float = 10.0,
+    keystroke_bytes: int = DEFAULT_KEYSTROKE_BYTES,
+    echo_bytes: int = DEFAULT_ECHO_BYTES,
+    tick_ms: float = 1.0,
+    probe_interval_ms: float = 5.0,
+    duration_ms: float = 30_000.0,
+    warmup_ms: float = 1_000.0,
+    budget_ms: float = PROBE_BUDGET_MS,
+    seed: int = 0,
+    mode: str = "hybrid",
+) -> ClosedCurveObservation:
+    """One closed-loop point: *users* typing sessions, ping probes.
+
+    The closed-loop twin of :func:`run_load_curve_point`: background
+    sessions think, type keystroke bursts, and block on their echoes over
+    the shared link, so offered load self-throttles as latency grows —
+    X(N) bends at the MVA knee instead of driving the wire off a cliff.
+    ``mode="exact"`` runs one per-event session loop per user (keystroke
+    packet out, echo packet back — the differential baseline);
+    ``mode="hybrid"`` carries the population as count vectors + fluid.
+    Probes are exact packets in both modes.  Everything is a pure
+    function of the parameters and *seed*.
+    """
+    if mode not in MODES:
+        raise NetworkError(f"unknown closed-curve mode {mode!r}")
+    if probe_interval_ms <= 0:
+        raise NetworkError("probe interval must be positive")
+    if duration_ms <= warmup_ms:
+        raise NetworkError("duration must exceed the warmup window")
+    spec = ClosedLoopSpec(
+        users=users,
+        think_ms=think_ms,
+        type_ms=type_ms,
+        burst_keys=burst_keys,
+        tick_ms=tick_ms,
+        keystroke_bytes=keystroke_bytes,
+        echo_bytes=echo_bytes,
+    )
+    from ..slo.budget import LatencyBudget, SloTracker
+
+    rngs = RngRegistry(seed)
+    sim = Simulator()
+    link = Link(sim, bandwidth_mbps=bandwidth_mbps)
+    # Post-warmup closed-loop counters, shared by both modes.
+    window = {"keys": 0, "done": 0, "blocked_ms": 0.0}
+    background = None
+    baseline = {}
+    if mode == "hybrid":
+        from .population import ClosedLoopPopulation
+
+        background = ClosedLoopPopulation(
+            sim,
+            link,
+            spec,
+            duration_ms=duration_ms,
+            seed=derive_seed(seed, "scale:background"),
+        )
+
+        def snapshot() -> None:
+            sampler = background.sampler
+            baseline["keys"] = sampler.keystrokes_total
+            baseline["done"] = sampler.completions_total
+            baseline["blocked_ticks"] = sampler.blocked_ticks
+            baseline["ticks"] = sampler.ticks_sampled
+
+        sim.schedule(warmup_ms, snapshot)
+    else:
+        continue_prob = 1.0 - 1.0 / burst_keys
+
+        def launch_session(index: int) -> None:
+            stream = rngs.stream(f"scale:closed:{index}")
+
+            def think() -> None:
+                sim.schedule(stream.expovariate(1.0 / think_ms), type_next)
+
+            def type_next() -> None:
+                sim.schedule(stream.expovariate(1.0 / type_ms), keystroke)
+
+            def keystroke() -> None:
+                sent_at = sim.now
+                if sent_at >= warmup_ms:
+                    window["keys"] += 1
+
+                def at_server(packet: Packet) -> None:
+                    link.send(
+                        Packet(echo_bytes, channel="closed_echo"), echoed
+                    )
+
+                def echoed(packet: Packet) -> None:
+                    if sent_at >= warmup_ms:
+                        window["done"] += 1
+                        window["blocked_ms"] += sim.now - sent_at
+                    if stream.random() < continue_prob:
+                        type_next()
+                    else:
+                        think()
+
+                link.send(Packet(keystroke_bytes, channel="closed"), at_server)
+
+            think()
+
+        for index in range(users):
+            launch_session(index)
+    tracker = SloTracker(
+        LatencyBudget("probe_rtt", budget_ms, target=PROBE_SLO_TARGET)
+    )
+    probes = rngs.stream("scale:probes")
+    rtts: List[float] = []
+
+    def probe() -> None:
+        sent_at = sim.now
+        if sent_at >= warmup_ms:
+
+            def request_delivered(packet: Packet) -> None:
+                link.send(
+                    Packet(PROBE_BYTES, channel="probe_echo"), echo_delivered
+                )
+
+            def echo_delivered(packet: Packet) -> None:
+                rtt = sim.now - sent_at
+                rtts.append(rtt)
+                tracker.observe(sent_at, rtt)
+
+            link.send(Packet(PROBE_BYTES, channel="probe"), request_delivered)
+        else:
+            link.send(
+                Packet(PROBE_BYTES, channel="probe"),
+                lambda __: link.send(Packet(PROBE_BYTES, channel="probe_echo")),
+            )
+        sim.schedule(probes.expovariate(1.0 / probe_interval_ms), probe)
+
+    sim.schedule(probes.expovariate(1.0 / probe_interval_ms), probe)
+    sim.run_until(duration_ms)
+    if not rtts:
+        raise NetworkError("closed-curve point produced no probe samples")
+    measure_ms = duration_ms - warmup_ms
+    if mode == "hybrid":
+        sampler = background.sampler
+        keys = sampler.keystrokes_total - baseline["keys"]
+        done = sampler.completions_total - baseline["done"]
+        ticks = sampler.ticks_sampled - baseline["ticks"]
+        blocked = (
+            (sampler.blocked_ticks - baseline["blocked_ticks"]) / ticks
+            if ticks
+            else 0.0
+        )
+        utilization = link.utilization(warmup_ms, duration_ms)
+        utilization += background.utilization(warmup_ms, duration_ms)
+    else:
+        keys = window["keys"]
+        done = window["done"]
+        # Little's L over the window: total blocked-time per elapsed ms.
+        blocked = window["blocked_ms"] / measure_ms
+        utilization = link.utilization(warmup_ms, duration_ms)
+    throughput = done / measure_ms
+    response = blocked / throughput if throughput > 0 else 0.0
+    # Closed-network asymptotes, per keystroke round: the wire is the one
+    # queueing station (demand D), think + inter-keystroke time is the
+    # delay station (Z; one think per burst_keys rounds), propagation
+    # rides along as pure delay.
+    demand_ms = spec.round_bytes / link.bytes_per_ms
+    think_per_round = think_ms / burst_keys + type_ms + 2.0 * link.propagation_ms
+    mva_throughput = min(
+        users / (think_per_round + demand_ms), 1.0 / demand_ms
+    )
+    mva_response = max(demand_ms, users * demand_ms - think_per_round)
+    report = tracker.report()
+    return ClosedCurveObservation(
+        users=users,
+        mode=mode,
+        utilization=utilization,
+        samples=len(rtts),
+        rtt_mean_ms=mean(rtts),
+        rtt_p50_ms=percentile(rtts, 50.0),
+        rtt_p90_ms=percentile(rtts, 90.0),
+        rtt_p99_ms=percentile(rtts, 99.0),
+        rtt_p999_ms=percentile(rtts, 99.9),
+        violation_rate=report.violation_rate,
+        budget_burn=report.budget_burn,
+        keystrokes=keys,
+        completions=done,
+        throughput_per_ms=throughput,
+        per_session_keys_per_s=throughput * 1000.0 / users,
+        mean_blocked=blocked,
+        response_ms=response,
+        mva_throughput_per_ms=mva_throughput,
+        mva_response_ms=mva_response,
+        duration_ms=measure_ms,
     )
 
 

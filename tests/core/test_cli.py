@@ -36,7 +36,9 @@ class TestList:
             "slo_chaos_grid",
             "slo_fleet",
             "scale_load_curve",
+            "scale_closed_curve",
             "scale_fleet",
+            "scale_closed_fleet",
         }
         assert figs | tabs | extras == set(EXPERIMENTS)
 

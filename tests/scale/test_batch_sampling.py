@@ -32,6 +32,7 @@ from hypothesis import strategies as st
 
 from repro.errors import NetworkError
 from repro.net.loadgen import (
+    BatchClosedLoopSampler,
     BatchOnOffSampler,
     BatchPoissonSampler,
     PoissonLoadGenerator,
@@ -183,6 +184,141 @@ class TestLaws:
         a = BatchPoissonSampler(0.1, 1.0, sources=10, seed=3, packet_bytes=200)
         b = BatchPoissonSampler(0.1, 1.0, sources=10, seed=3, packet_bytes=200)
         assert np.array_equal(a.tick_bytes(100), b.tick_counts(100) * 200)
+
+
+def closed_sampler(seed, *, sources=500, tick_ms=5.0, echo_servers=None):
+    return BatchClosedLoopSampler(
+        2_000.0,
+        100.0,
+        50.0,
+        tick_ms,
+        sources=sources,
+        seed=seed,
+        burst_keys=4.0,
+        echo_servers=echo_servers,
+    )
+
+
+class TestClosedLoopInvariants:
+    @given(
+        sources=st.integers(min_value=1, max_value=100_000),
+        ticks=st.integers(min_value=1, max_value=200),
+        seed=st.integers(min_value=0, max_value=2**31),
+    )
+    @settings(**COMMON)
+    def test_state_counts_are_conserved_every_tick(
+        self, sources, ticks, seed
+    ):
+        """Sessions move between states; they never appear or vanish."""
+        sampler = closed_sampler(seed, sources=sources)
+        for __ in range(ticks):
+            sampler.step()
+            assert (
+                sampler.thinking + sampler.typing + sampler.blocked == sources
+            )
+            assert sampler.thinking >= 0
+            assert sampler.typing >= 0
+            assert sampler.blocked >= 0
+
+    @given(
+        split=st.integers(min_value=0, max_value=200),
+        total=st.integers(min_value=1, max_value=200),
+        seed=st.integers(min_value=0, max_value=2**31),
+    )
+    @settings(**COMMON)
+    def test_advance_is_split_free(self, split, total, seed):
+        """Batch boundaries never change the trajectory, key for key."""
+        split = min(split, total)
+        one = closed_sampler(seed)
+        two = closed_sampler(seed)
+        whole_keys, whole_done = one.advance(total)
+        a_keys, a_done = two.advance(split)
+        b_keys, b_done = two.advance(total - split)
+        assert np.array_equal(whole_keys, np.concatenate([a_keys, b_keys]))
+        assert np.array_equal(whole_done, np.concatenate([a_done, b_done]))
+        assert (one.thinking, one.typing, one.blocked) == (
+            two.thinking, two.typing, two.blocked
+        )
+
+    @given(
+        split=st.integers(min_value=0, max_value=200),
+        total=st.integers(min_value=1, max_value=200),
+        seed=st.integers(min_value=0, max_value=2**31),
+    )
+    @settings(**COMMON)
+    def test_shared_echo_station_is_split_free_too(self, split, total, seed):
+        split = min(split, total)
+        one = closed_sampler(seed, echo_servers=4)
+        two = closed_sampler(seed, echo_servers=4)
+        whole_keys, whole_done = one.advance(total)
+        parts = [two.advance(split), two.advance(total - split)]
+        assert np.array_equal(
+            whole_keys, np.concatenate([parts[0][0], parts[1][0]])
+        )
+        assert np.array_equal(
+            whole_done, np.concatenate([parts[0][1], parts[1][1]])
+        )
+
+    @given(
+        tick_ms=st.floats(min_value=0.5, max_value=50.0),
+        seed=st.integers(min_value=0, max_value=2**31),
+    )
+    @settings(**{**COMMON, "max_examples": 10})
+    def test_stationary_think_fraction_at_any_tick_width(
+        self, tick_ms, seed
+    ):
+        """The discretized chain keeps the exact stationary law no matter
+        how coarse the tick: the geometric holding times rescale with the
+        per-tick hazards, so occupancy fractions are tick-free."""
+        sampler = closed_sampler(seed, sources=20_000, tick_ms=tick_ms)
+        sampler.advance(max(400, int(6_000.0 / tick_ms)))
+        expected = sampler.stationary_fractions()
+        total = float(
+            sampler.thinking_ticks
+            + sampler.typing_ticks
+            + sampler.blocked_ticks
+        )
+        for observed_ticks, pi in zip(
+            (
+                sampler.thinking_ticks,
+                sampler.typing_ticks,
+                sampler.blocked_ticks,
+            ),
+            expected,
+        ):
+            assert observed_ticks / total == pytest.approx(pi, abs=0.02)
+
+    def test_external_completions_drive_the_unblocking(self):
+        sampler = closed_sampler(11, sources=1_000)
+        sampler.advance(200)
+        blocked = sampler.blocked
+        keys, done = sampler.step(completions=blocked + 50)
+        assert done == blocked  # clamped: can't complete more than blocked
+        keys, done = sampler.step(completions=0)
+        assert done == 0  # starved echoes leave everyone blocked
+
+    def test_closed_sampler_rejects_bad_parameters(self):
+        with pytest.raises(NetworkError):
+            BatchClosedLoopSampler(0.0, 100.0, 50.0, 5.0)
+        with pytest.raises(NetworkError):
+            BatchClosedLoopSampler(2_000.0, 0.0, 50.0, 5.0)
+        with pytest.raises(NetworkError):
+            BatchClosedLoopSampler(2_000.0, 100.0, 0.0, 5.0)
+        with pytest.raises(NetworkError):
+            BatchClosedLoopSampler(2_000.0, 100.0, 50.0, 0.0)
+        with pytest.raises(NetworkError):
+            BatchClosedLoopSampler(2_000.0, 100.0, 50.0, 5.0, sources=0)
+        with pytest.raises(NetworkError):
+            BatchClosedLoopSampler(2_000.0, 100.0, 50.0, 5.0, burst_keys=0.5)
+        with pytest.raises(NetworkError):
+            BatchClosedLoopSampler(
+                2_000.0, 100.0, 50.0, 5.0, echo_servers=0
+            )
+        sampler = closed_sampler(1)
+        with pytest.raises(NetworkError):
+            sampler.advance(-1)
+        with pytest.raises(NetworkError):
+            sampler.step(completions=-1)
 
 
 class TestCrossTier:

@@ -22,16 +22,25 @@ from repro.core.server import ServerConfig
 from repro.errors import FleetError
 from repro.fleet.cluster import Fleet, FleetConfig
 from repro.scale.experiments import (
+    CLOSED_CURVE_USERS,
+    CLOSED_FLEET_BG_SESSIONS,
     FLEET_BG_USERS,
     FLEET_PROCESSES,
     LOAD_CURVE_PROCESSES,
     LOAD_CURVE_USERS,
+    _scale_closed_curve_point,
+    _scale_closed_fleet_point,
     _scale_fleet_point,
     _scale_load_curve_point,
 )
-from repro.scale.population import PopulationSpec
+from repro.scale.population import ClosedLoopSpec, PopulationSpec
 
-SCALE_NAMES = ["scale_load_curve", "scale_fleet"]
+SCALE_NAMES = [
+    "scale_load_curve",
+    "scale_closed_curve",
+    "scale_fleet",
+    "scale_closed_fleet",
+]
 
 
 def run_cli(*argv):
@@ -60,10 +69,22 @@ def small_spec(**overrides):
     return PopulationSpec(**kwargs)
 
 
+def small_closed_spec(**overrides):
+    kwargs = dict(
+        users=2_000,
+        think_ms=5_000.0,
+        type_ms=300.0,
+        burst_keys=2.0,
+        tick_ms=10.0,
+    )
+    kwargs.update(overrides)
+    return ClosedLoopSpec(**kwargs)
+
+
 class TestRegistration:
     def test_scale_experiments_close_the_registry(self):
         names = list(EXPERIMENTS)
-        assert names[-2:] == SCALE_NAMES
+        assert names[-4:] == SCALE_NAMES
 
     def test_group_and_titles(self):
         for name in SCALE_NAMES:
@@ -92,6 +113,31 @@ class TestPointFunctions:
         assert viol == pytest.approx(1.0)
         assert p99 > 100.0  # the budget is unreachable over the cliff
         assert low[5] == 0.0  # and trivially met below it
+
+    def test_closed_curve_point_deterministic(self):
+        point = _scale_closed_curve_point(10_000, seed=3)
+        assert point == _scale_closed_curve_point(10_000, seed=3)
+
+    def test_closed_curve_bends_at_the_mva_knee(self):
+        light = _scale_closed_curve_point(10_000, seed=3)
+        heavy = _scale_closed_curve_point(1_000_000, seed=3)
+        # Columns: (n, util, p50, p99, X/s, X/s/session, R, mvaX/s, viol, burn).
+        assert heavy[1] > 0.95  # the wire is saturated past the knee
+        assert light[1] < 0.10  # and idle well below it
+        assert light[5] > 3 * heavy[5]  # per-session rate decays ~1/N
+        # Aggregate throughput never beats the MVA asymptote (plus CLT slack).
+        assert heavy[4] <= 1.05 * heavy[7]
+
+    def test_closed_fleet_point_deterministic_and_self_throttles(self):
+        low = _scale_closed_fleet_point(20_000, seed=3)
+        assert low == _scale_closed_fleet_point(20_000, seed=3)
+        over = _scale_closed_fleet_point(95_000, seed=3)
+        n, cpu, lan, keys_per_s, p50, p99, viol, burn = over
+        # Closed-loop load clamps at capacity instead of running away.
+        assert cpu > 0.9
+        assert low[1] < cpu
+        assert keys_per_s > low[3]  # throughput still rose toward the ceiling
+        assert p99 > low[5]  # but the probes paid for it
 
 
 class TestFleetIntegration:
@@ -132,6 +178,33 @@ class TestFleetIntegration:
         b = fleet.attach_background(1, small_spec(), horizon_ms=500.0)
         assert a.seed != b.seed
 
+    def test_attach_background_dispatches_on_spec_type(self):
+        from repro.scale.population import (
+            BackgroundPopulation,
+            ClosedLoopPopulation,
+        )
+
+        fleet = small_fleet()
+        open_pop = fleet.attach_background(0, small_spec(), horizon_ms=500.0)
+        closed = fleet.attach_background(
+            1, small_closed_spec(), horizon_ms=500.0
+        )
+        assert isinstance(open_pop, BackgroundPopulation)
+        assert isinstance(closed, ClosedLoopPopulation)
+
+    def test_report_counts_closed_loop_throughput(self):
+        fleet = small_fleet()
+        fleet.attach_background(
+            0,
+            small_closed_spec(cpu_ms_per_echo=0.05),
+            horizon_ms=2_000.0,
+        )
+        fleet.run(2_000.0)
+        report = fleet.report()
+        assert report["background_users"] == 2_000
+        assert report["background_keys_per_s"] > 0.0
+        assert report["background_backlog_ms"] >= 0.0
+
 
 class TestArtifactIdentity:
     """The scale sweeps honor the repo's executor-identity contract."""
@@ -157,6 +230,32 @@ class TestArtifactIdentity:
         assert code == 0
         code, warm = run_cli(
             "run", "scale_fleet", "--seed", "1",
+            "--csv", str(tmp_path / "c"), "--cache-dir", cache,
+        )
+        assert code == 0
+        assert serial == parallel == warm
+        assert (
+            self.read_all(tmp_path / "a")
+            == self.read_all(tmp_path / "b")
+            == self.read_all(tmp_path / "c")
+        )
+
+    def test_closed_curve_identical_serial_parallel_cold_and_warm(
+        self, tmp_path
+    ):
+        cache = str(tmp_path / "cache")
+        code, serial = run_cli(
+            "run", "scale_closed_curve", "--seed", "1",
+            "--csv", str(tmp_path / "a"), "--cache-dir", cache,
+        )
+        assert code == 0
+        code, parallel = run_cli(
+            "run", "scale_closed_curve", "--seed", "1", "--jobs", "4",
+            "--csv", str(tmp_path / "b"),
+        )
+        assert code == 0
+        code, warm = run_cli(
+            "run", "scale_closed_curve", "--seed", "1",
             "--csv", str(tmp_path / "c"), "--cache-dir", cache,
         )
         assert code == 0
@@ -195,6 +294,33 @@ class TestArtifactIdentity:
         assert result.returncode == 0, result.stderr
         assert result.stdout == fleet_stdout
 
+    @pytest.fixture(scope="class")
+    def closed_curve_stdout(self):
+        code, expected = run_cli("run", "scale_closed_curve", "--seed", "5")
+        assert code == 0
+        return expected
+
+    @pytest.mark.parametrize("kernel", ["", "reference"])
+    @pytest.mark.parametrize("recorder", ["", "reference"])
+    def test_closed_curve_identical_across_kernel_and_recorder(
+        self, closed_curve_stdout, kernel, recorder
+    ):
+        env = {**os.environ, "PYTHONPATH": "src"}
+        if kernel:
+            env["REPRO_KERNEL"] = kernel
+        if recorder:
+            env["REPRO_OBS"] = recorder
+        result = subprocess.run(
+            [sys.executable, "-m", "repro", "run", "scale_closed_curve",
+             "--seed", "5"],
+            capture_output=True,
+            text=True,
+            env=env,
+            cwd=os.path.join(os.path.dirname(__file__), "..", ".."),
+        )
+        assert result.returncode == 0, result.stderr
+        assert result.stdout == closed_curve_stdout
+
 
 class TestOutputShape:
     def test_load_curve_csv_covers_the_grid(self, tmp_path):
@@ -232,3 +358,37 @@ class TestOutputShape:
         viol = rows[0].index("violation_rate")
         rates = [float(r[viol]) for r in rows[1:]]
         assert min(rates) == 0.0 and max(rates) == 1.0
+
+    def test_closed_curve_csv_covers_the_grid(self, tmp_path):
+        code, text = run_cli(
+            "run", "scale_closed_curve", "--seed", "1", "--csv", str(tmp_path)
+        )
+        assert code == 0
+        assert "MVA knee" in text
+        with open(tmp_path / "scale_closed_curve.csv") as f:
+            rows = list(csv.reader(f))
+        assert len(rows) - 1 == len(CLOSED_CURVE_USERS)
+        header = rows[0]
+        sessions = header.index("sessions")
+        per_session = header.index("per_session_keys_per_s")
+        by_sessions = {
+            int(r[sessions]): float(r[per_session]) for r in rows[1:]
+        }
+        # The committed EXPERIMENTS.md curve: flat until the knee, then 1/N.
+        assert by_sessions[10_000] > 3 * by_sessions[1_000_000]
+
+    def test_closed_fleet_csv_covers_the_frontier(self, tmp_path):
+        code, text = run_cli(
+            "run", "scale_closed_fleet", "--seed", "1", "--csv", str(tmp_path)
+        )
+        assert code == 0
+        assert "frontier" in text
+        with open(tmp_path / "scale_closed_fleet.csv") as f:
+            rows = list(csv.reader(f))
+        assert len(rows) - 1 == len(CLOSED_FLEET_BG_SESSIONS)
+        header = rows[0]
+        cpu = header.index("cpu_utilization")
+        utils = [float(r[cpu]) for r in rows[1:]]
+        # Self-throttling: utilization climbs toward (and clamps at) 1.0.
+        assert utils == sorted(utils)
+        assert max(utils) <= 1.05

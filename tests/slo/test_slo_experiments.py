@@ -79,8 +79,9 @@ class TestRegistration:
             "assert names[0] == 'fig1', names\n"
             "tail = ['fleet_capacity', 'fleet_placement', 'analytic_link',\n"
             "        'analytic_closed', 'slo_burst', 'slo_chaos_grid',\n"
-            "        'slo_fleet', 'scale_load_curve', 'scale_fleet']\n"
-            "assert names[-9:] == tail, names[-9:]\n"
+            "        'slo_fleet', 'scale_load_curve', 'scale_closed_curve',\n"
+            "        'scale_fleet', 'scale_closed_fleet']\n"
+            "assert names[-11:] == tail, names[-11:]\n"
         )
         subprocess.run(
             [sys.executable, "-c", code],
